@@ -1,0 +1,79 @@
+"""Ablation: subtree-level selection vs uniform policies.
+
+The paper's closing proposal ("apply cheaper but acceptably accurate
+reduction algorithms to subtrees based on the profile") quantified: on a
+heterogeneous communicator — most ranks holding benign data, a few holding
+cancelling data — compare
+
+* uniform-ST (cheapest, irreproducible on the hostile ranks),
+* uniform-PR (robust, overpays everywhere),
+* hierarchical (per-rank cheapest-acceptable + deterministic combine).
+
+Hierarchical must land between the uniform extremes in measured time while
+matching uniform-PR's accuracy on the total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import exact_sum
+from repro.generators import zero_sum_set
+from repro.selection import CostModel, HierarchicalReducer
+from repro.summation import SumContext, get_algorithm
+from repro.util.timing import time_callable
+
+
+@pytest.fixture(scope="module")
+def chunks(scale):
+    rng = np.random.default_rng(scale.seed)
+    per_rank = max(scale.fig4_n_terms // 8, 50_000)
+    out = [np.abs(rng.uniform(1.0, 2.0, per_rank)) for _ in range(14)]
+    out.append(zero_sum_set(per_rank, dr=32, seed=scale.seed + 1))
+    out.append(zero_sum_set(per_rank, dr=24, seed=scale.seed + 2))
+    return out
+
+
+def _uniform(chunks, code):
+    alg = get_algorithm(code)
+    ctx = SumContext.for_data(np.concatenate(chunks)) if alg.needs_context else None
+    partials = []
+    for c in chunks:
+        acc = alg.make_accumulator(ctx)
+        acc.add_array(c)
+        partials.append(acc.result())
+    top = get_algorithm("PR")
+    arr = np.asarray(partials)
+    return top.sum_array(arr, SumContext.for_data(arr))
+
+
+def test_uniform_st(benchmark, chunks):
+    benchmark(lambda: _uniform(chunks, "ST"))
+
+
+def test_uniform_pr(benchmark, chunks):
+    benchmark(lambda: _uniform(chunks, "PR"))
+
+
+def test_hierarchical(benchmark, chunks):
+    red = HierarchicalReducer(threshold=1e-12)
+    plan = red.plan(chunks)
+    result = benchmark(lambda: red.reduce(chunks, plan=plan))
+    assert set(plan.local_codes[:14]) <= {"ST", "K"}
+    assert set(plan.local_codes[14:]) == {"PR"}
+    exact = exact_sum(np.concatenate(chunks))
+    assert result.value == pytest.approx(exact, rel=1e-11)
+
+
+def test_hierarchical_sits_between_extremes(chunks):
+    red = HierarchicalReducer(threshold=1e-12)
+    plan = red.plan(chunks)
+    t_st = time_callable(lambda: _uniform(chunks, "ST"), repeats=3, warmup=1).best
+    t_pr = time_callable(lambda: _uniform(chunks, "PR"), repeats=3, warmup=1).best
+    t_h = time_callable(lambda: red.reduce(chunks, plan=plan), repeats=3, warmup=1).best
+    assert t_h < t_pr
+    # cost-model view agrees: heterogeneous plan is cheaper than uniform PR
+    cm = CostModel()
+    sizes = [c.size for c in chunks]
+    assert plan.estimated_cost(cm, sizes) < sum(cm.cost("PR", n) for n in sizes)

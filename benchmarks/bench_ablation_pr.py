@@ -1,0 +1,45 @@
+"""Ablation: prerounded summation's fold count K and fold width W.
+
+DESIGN.md calls out the PR accuracy knobs for ablation: more folds / wider
+folds retain more low-order bits (more accuracy) at proportionally more
+extraction passes (more cost).  This bench times each configuration and
+records its residual error on a hostile zero-sum workload, verifying the
+monotone accuracy-vs-cost tradeoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import zero_sum_set
+from repro.summation import SumContext
+from repro.summation.prerounded import PreroundedSum
+
+CONFIGS = [(1, 40), (2, 40), (3, 40), (4, 40), (3, 26), (2, 26)]
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    data = zero_sum_set(max(scale.grid_n, 4096), dr=48, seed=scale.seed)
+    return data, SumContext.for_data(data)
+
+
+@pytest.mark.parametrize("folds,width", CONFIGS, ids=[f"K{k}W{w}" for k, w in CONFIGS])
+def test_pr_fold_configs(benchmark, workload, folds, width):
+    data, ctx = workload
+    alg = PreroundedSum(folds=folds, fold_width=width)
+    value = benchmark(lambda: alg.sum_array(data, ctx))
+    # residual error is the pre-rounding loss; exact sum is zero
+    assert abs(value) <= 2.0 ** (48 - folds * width + 14)
+
+
+def test_accuracy_monotone_in_retained_bits(workload):
+    data, ctx = workload
+    errs = {
+        (k, w): abs(PreroundedSum(folds=k, fold_width=w).sum_array(data, ctx))
+        for k, w in CONFIGS
+    }
+    by_bits = sorted(CONFIGS, key=lambda cfg: cfg[0] * cfg[1])
+    vals = [errs[cfg] for cfg in by_bits]
+    # more retained bits never hurts (ties allowed once exact)
+    assert all(vals[i] >= vals[i + 1] or vals[i] == 0.0 for i in range(len(vals) - 1))

@@ -1,0 +1,60 @@
+"""Ablation: does runtime profiling pay for itself?
+
+The selector spends extra passes sketching (n, k, dr).  Against the
+alternative policy "always run PR to be safe", profiling wins whenever the
+data turns out benign (the common case in the paper's motivating
+applications) — the adaptive path then reduces with ST at a fraction of PR's
+cost, profiling included.  This bench measures both pipelines on benign and
+hostile data so the crossover is visible in the pytest-benchmark table, and
+asserts the headline: adaptive-on-benign beats always-PR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import zero_sum_set
+from repro.mpi import SimComm, make_reduction_op
+from repro.selection import AdaptiveReducer
+from repro.summation import get_algorithm
+from repro.util.timing import time_callable
+
+
+@pytest.fixture(scope="module")
+def setup(scale):
+    comm = SimComm(8, seed=scale.seed)
+    n = max(scale.fig4_n_terms, 200_000)
+    benign = np.abs(np.random.default_rng(scale.seed).uniform(1.0, 2.0, n))
+    hostile = zero_sum_set(n, dr=32, seed=scale.seed)
+    return comm, comm.scatter_array(benign), comm.scatter_array(hostile)
+
+
+def test_adaptive_on_benign(benchmark, setup):
+    comm, benign, _ = setup
+    red = AdaptiveReducer(comm, threshold=1e-13)
+    result = benchmark(lambda: red.reduce(benign))
+    assert result.decision.code in ("ST", "K")
+
+
+def test_adaptive_on_hostile(benchmark, setup):
+    comm, _, hostile = setup
+    red = AdaptiveReducer(comm, threshold=1e-13)
+    result = benchmark(lambda: red.reduce(hostile))
+    assert result.decision.code == "PR"
+    assert result.value == 0.0
+
+
+def test_always_pr_baseline(benchmark, setup):
+    comm, benign, _ = setup
+    op = make_reduction_op(get_algorithm("PR"))
+    benchmark(lambda: comm.reduce(benign, op))
+
+
+def test_profiling_pays_for_itself_on_benign_data(setup):
+    comm, benign, _ = setup
+    red = AdaptiveReducer(comm, threshold=1e-13)
+    pr_op = make_reduction_op(get_algorithm("PR"))
+    t_adaptive = time_callable(lambda: red.reduce(benign), repeats=5, warmup=1)
+    t_always_pr = time_callable(lambda: comm.reduce(benign, pr_op), repeats=5, warmup=1)
+    assert t_adaptive.best < t_always_pr.best

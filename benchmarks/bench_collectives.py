@@ -1,0 +1,50 @@
+"""Collectives beyond reduce: scan and allreduce-strategy costs.
+
+Quantifies the extension substrates: prefix reductions under each algorithm
+and the two allreduce strategies, plus the consistency assertions that make
+the numbers meaningful (PR agreeing everywhere; Kahan's butterfly hazard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import zero_sum_set
+from repro.mpi import (
+    SimComm,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    make_reduction_op,
+    scan,
+)
+from repro.summation import get_algorithm
+
+
+@pytest.fixture(scope="module")
+def chunks(scale):
+    data = zero_sum_set(scale.fig4_n_terms // 4, dr=24, seed=scale.seed + 5)
+    return SimComm(16).scatter_array(data)
+
+
+@pytest.mark.parametrize("code", ["ST", "CP", "PR"])
+def test_scan_cost(benchmark, chunks, code):
+    out = benchmark(lambda: scan(chunks, code))
+    assert out.shape == (16,)
+
+
+@pytest.mark.parametrize("strategy", ["butterfly", "ring"])
+@pytest.mark.parametrize("code", ["ST", "PR"])
+def test_allreduce_cost(benchmark, chunks, code, strategy):
+    op = make_reduction_op(get_algorithm(code))
+    fn = allreduce_recursive_doubling if strategy == "butterfly" else allreduce_ring
+    vals = benchmark(lambda: fn(chunks, op))
+    if code == "PR":
+        assert len(set(vals)) == 1
+
+
+def test_pr_strategy_agreement(chunks):
+    op = make_reduction_op(get_algorithm("PR"))
+    bf = allreduce_recursive_doubling(chunks, op)
+    ring = allreduce_ring(chunks, op)
+    assert set(bf) == set(ring) and len(set(bf)) == 1

@@ -1,0 +1,25 @@
+"""Extension experiments: shape spectrum, fault campaigns, dot products."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import (
+    ext_allreduce,
+    ext_dot,
+    ext_enum,
+    ext_faults,
+    ext_select,
+    ext_shapes,
+)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [ext_shapes, ext_faults, ext_dot, ext_enum, ext_select, ext_allreduce],
+    ids=["shapes", "faults", "dot", "enum", "select", "allreduce"],
+)
+def test_extension(benchmark, scale, results_dir, module):
+    result = benchmark.pedantic(module.run, args=(scale,), rounds=1, iterations=1)
+    save_and_check(result, results_dir)

@@ -1,0 +1,11 @@
+"""Fig. 10: (n, dr) grid of error variability at fixed k = 1."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig10_ndr
+
+
+def test_fig10(benchmark, scale, results_dir):
+    result = benchmark.pedantic(fig10_ndr.run, args=(scale,), rounds=1, iterations=1)
+    save_and_check(result, results_dir)

@@ -1,0 +1,11 @@
+"""Fig. 11: (n, k) grid of error variability at fixed dynamic range."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig11_nk
+
+
+def test_fig11(benchmark, scale, results_dir):
+    result = benchmark.pedantic(fig11_nk.run, args=(scale,), rounds=1, iterations=1)
+    save_and_check(result, results_dir)

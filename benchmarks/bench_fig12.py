@@ -1,0 +1,13 @@
+"""Fig. 12: cheapest acceptable algorithm per (k, dr) cell per threshold."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig12_selection
+
+
+def test_fig12(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        fig12_selection.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_and_check(result, results_dir)

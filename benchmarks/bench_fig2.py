@@ -1,0 +1,11 @@
+"""Fig. 2: error magnitudes vs analytical/statistical worst-case bounds."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig2_bounds
+
+
+def test_fig2(benchmark, scale, results_dir):
+    result = benchmark.pedantic(fig2_bounds.run, args=(scale,), rounds=1, iterations=1)
+    save_and_check(result, results_dir)

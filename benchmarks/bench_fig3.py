@@ -1,0 +1,13 @@
+"""Fig. 3: cancellation counts vs error magnitude (CESTAC substrate)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig3_cancellation
+
+
+def test_fig3(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        fig3_cancellation.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_and_check(result, results_dir)

@@ -1,0 +1,13 @@
+"""Fig. 6: relative sensitivity of K/CP/PR to leaf assignment."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig6_sensitivity
+
+
+def test_fig6(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        fig6_sensitivity.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_and_check(result, results_dir)

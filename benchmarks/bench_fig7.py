@@ -1,0 +1,13 @@
+"""Fig. 7 (a-h): error distributions over balanced/unbalanced tree ensembles."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig7_distributions
+
+
+def test_fig7(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        fig7_distributions.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_and_check(result, results_dir)

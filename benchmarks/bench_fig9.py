@@ -1,0 +1,11 @@
+"""Fig. 9: (k, dr) grid of error variability at fixed concurrency."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import fig9_kdr
+
+
+def test_fig9(benchmark, scale, results_dir):
+    result = benchmark.pedantic(fig9_kdr.run, args=(scale,), rounds=1, iterations=1)
+    save_and_check(result, results_dir)

@@ -1,0 +1,41 @@
+"""Reproducible statistics: the overhead of bitwise-stable mean/variance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.summation.moments import (
+    reproducible_mean,
+    reproducible_norm2,
+    reproducible_variance,
+)
+
+
+@pytest.fixture(scope="module")
+def data(scale):
+    rng = np.random.default_rng(scale.seed)
+    return rng.uniform(-10.0, 10.0, max(scale.fig4_n_terms // 2, 100_000))
+
+
+def test_numpy_mean_baseline(benchmark, data):
+    benchmark(lambda: float(np.mean(data)))
+
+
+def test_reproducible_mean(benchmark, data):
+    value = benchmark(lambda: reproducible_mean(data))
+    assert value == pytest.approx(float(np.mean(data)), rel=1e-12)
+
+
+def test_numpy_variance_baseline(benchmark, data):
+    benchmark(lambda: float(np.var(data)))
+
+
+def test_reproducible_variance(benchmark, data):
+    value = benchmark(lambda: reproducible_variance(data))
+    assert value == pytest.approx(float(np.var(data)), rel=1e-9)
+
+
+def test_reproducible_norm(benchmark, data):
+    value = benchmark(lambda: reproducible_norm2(data))
+    assert value == pytest.approx(float(np.linalg.norm(data)), rel=1e-12)

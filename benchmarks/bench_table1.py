@@ -1,0 +1,13 @@
+"""Table I: sample sets with specified (dr, k) — label verification."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_check
+from repro.experiments import table1_samples
+
+
+def test_table1(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        table1_samples.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_and_check(result, results_dir)

@@ -1,0 +1,55 @@
+"""Ablation: the full Sec. III technique spectrum on one workload.
+
+The paper surveys five technique families (fixed order, interval arithmetic,
+high precision, compensated, prerounded) but evaluates only the last two.
+With every family implemented, this bench lines them all up on the same
+hostile workload: accuracy (|error| on an exact-zero sum), certified digits
+(intervals only), and wall time — the complete Sec. III comparison the
+paper's Table-of-techniques implies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import zero_sum_set
+from repro.interval import IntervalSum
+from repro.precision import EmulatedPrecisionSum
+from repro.summation import SumContext, get_algorithm
+
+#: code -> (algorithm factory, is-from-registry)
+TECHNIQUES = ["ST", "SO", "IV", "K", "CP", "DD", "AS", "PR", "EX"]
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    data = zero_sum_set(max(scale.fig6_n, 4096), dr=32, seed=scale.seed + 3)
+    return data, SumContext.for_data(data)
+
+
+@pytest.mark.parametrize("code", TECHNIQUES)
+def test_technique_time(benchmark, workload, code):
+    data, ctx = workload
+    alg = get_algorithm(code)
+    value = benchmark(lambda: alg.sum_array(data, ctx))
+    # exact sum is zero: compensated-and-up techniques must nail it to
+    # far below the ST error scale
+    if code in ("CP", "DD", "AS", "PR", "EX", "SO"):
+        st_err = abs(get_algorithm("ST").sum_array(data, ctx))
+        assert abs(value) <= max(1e-3 * st_err, 1e-300)
+
+
+def test_interval_certifies_containment(workload):
+    data, _ = workload
+    enclosure = IntervalSum().enclosure(data)
+    assert enclosure.lo <= 0.0 <= enclosure.hi  # exact sum is zero
+    # ... but certifies almost no digits on a cancelling sum (Sec. III.B)
+    assert enclosure.digits() < 2.0
+
+
+def test_reduced_precision_cost_of_accuracy(benchmark, workload):
+    """Sec. III.C's tradeoff datum: float32-width accumulation time."""
+    data, _ = workload
+    alg = EmulatedPrecisionSum(24)
+    benchmark(lambda: alg.sum_array(data[: min(data.size, 8192)]))

@@ -1,0 +1,71 @@
+"""Ablation: tree-evaluation strategies (node-walk vs vectorised).
+
+DESIGN.md requires the vectorised evaluators to be pinned against the
+generic node-walk (tests do that bitwise) and their speedup quantified —
+this is what makes the paper-scale 2**20-leaf ensembles feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.summation import get_algorithm
+from repro.trees import (
+    balanced,
+    evaluate_balanced_vectorized,
+    evaluate_tree_generic,
+    serial,
+)
+from repro.trees.serial_batch import serial_ensemble_standard, serial_ensemble_vops
+
+
+@pytest.fixture(scope="module")
+def data(scale):
+    rng = np.random.default_rng(scale.seed)
+    return rng.uniform(-1.0, 1.0, min(scale.grid_n, 16_384))
+
+
+@pytest.mark.parametrize("code", ["ST", "CP"])
+def test_generic_node_walk(benchmark, data, code):
+    small = data[:2048]
+    tree = balanced(small.size)
+    alg = get_algorithm(code)
+    benchmark(lambda: evaluate_tree_generic(tree, small, alg))
+
+
+@pytest.mark.parametrize("code", ["ST", "CP"])
+def test_balanced_vectorized(benchmark, data, code):
+    alg = get_algorithm(code)
+    benchmark(lambda: evaluate_balanced_vectorized(data, alg))
+
+
+def test_serial_cumsum_kernel(benchmark, data):
+    rng = np.random.default_rng(1)
+    mat = data[np.vstack([rng.permutation(data.size) for _ in range(16)])]
+    benchmark(lambda: serial_ensemble_standard(mat))
+
+
+def test_serial_vops_kernel(benchmark, data):
+    rng = np.random.default_rng(2)
+    small = data[:2048]
+    mat = small[np.vstack([rng.permutation(small.size) for _ in range(16)])]
+    vops = get_algorithm("CP").vector_ops
+    benchmark(lambda: serial_ensemble_vops(mat, vops))
+
+
+def test_vectorized_speedup_material(data, scale):
+    """The vectorised balanced evaluator must beat the node-walk by >= 10x
+    at grid size (it is ~100x in practice)."""
+    from repro.util.timing import time_callable
+
+    alg = get_algorithm("CP")
+    small = data[:4096]
+    tree = balanced(small.size)
+    t_generic = time_callable(
+        lambda: evaluate_tree_generic(tree, small, alg), repeats=3, warmup=1
+    )
+    t_vec = time_callable(
+        lambda: evaluate_balanced_vectorized(small, alg), repeats=3, warmup=1
+    )
+    assert t_vec.best * 10 < t_generic.best

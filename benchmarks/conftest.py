@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures (at the
+scale selected by ``REPRO_SCALE``, default ``ci``) under pytest-benchmark
+timing, asserts the paper's qualitative shape checks, and writes the rendered
+figure text to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import Scale, resolve_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_check(result, results_dir: Path) -> None:
+    """Persist the rendered figure and assert its shape checks."""
+    out = results_dir / f"{result.experiment_id}_{result.scale}.txt"
+    out.write_text(result.render() + "\n")
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Calibrate a grid classifier and ship it: Fig. 12 as a tool.
+
+Runs a reduced (k, dr) sweep (the Fig. 9/12 methodology), turns the measured
+error variabilities into a :class:`GridClassifier`, serialises it to JSON,
+reloads it, and uses it as the policy of an :class:`AdaptiveReducer` — the
+complete "calibrate offline once, select online cheaply" workflow the paper's
+Sec. V.D advocates.
+
+Run:  python examples/calibrated_selector.py
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro import SimComm, generate_sum_set
+from repro.experiments.fig12_selection import PAPER_THRESHOLDS, classifier_from_sweep
+from repro.experiments.grid import format_k, grid_sweep
+from repro.selection import AdaptiveReducer, GridClassifier
+from repro.viz import render_category_grid
+
+
+def main() -> None:
+    print("calibrating: sweeping the (k, dr) grid at n = 2048 "
+          "(60 trees per cell)...")
+    cells = grid_sweep(
+        n_values=[2048],
+        k_values=[1.0, 1e3, 1e6, 1e9, 1e12, 1e15],
+        dr_values=[0, 16, 32],
+        codes=("ST", "K", "CP", "PR"),
+        n_trees=60,
+        seed=99,
+    )
+    classifier = classifier_from_sweep(cells)
+
+    path = Path("results") if Path("results").is_dir() else Path(".")
+    out = path / "calibration.json"
+    out.write_text(classifier.to_json())
+    print(f"calibration table written to {out} "
+          f"({len(classifier.cells)} cells)\n")
+
+    t = PAPER_THRESHOLDS[0]
+    grid = classifier.decision_grid(t)
+    labels = {
+        (format_k(cell.condition), str(cell.dynamic_range)): code
+        for cell, code in grid
+    }
+    print(
+        render_category_grid(
+            [format_k(10.0**d) for d in (0, 3, 6, 9, 12, 15)],
+            ["0", "16", "32"],
+            labels,
+            title=f"cheapest acceptable algorithm at t = {t:.0e} (rows k, cols dr)",
+        )
+    )
+
+    print("\nreloading the shipped table and reducing live data with it:")
+    reloaded = GridClassifier.from_json(out.read_text())
+    comm = SimComm(8, seed=1)
+    reducer = AdaptiveReducer(comm, policy=reloaded, threshold=t)
+    for k in (1.0, 1e9, math.inf):
+        data = generate_sum_set(2048, k, 16, seed=5).values
+        result = reducer.reduce(comm.scatter_array(data))
+        print(
+            f"  data with k = {format_k(k):>5}: chose {result.decision.code:>2} "
+            f"(measured cell std {result.decision.predicted_std:.1e}), "
+            f"value = {result.value:.6e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Debugging irreproducibility: trap a suspicious run, replay it bitwise.
+
+Sec. II.B's warning — "variability in floating-point error accumulation may
+become so great that debugging is impaired" — is a workflow problem: the
+run that produced the weird number is gone by the time anyone looks.  This
+example shows the mitigation the simulator enables: during a campaign of
+nondeterministic reductions, capture the full provenance (tree + operands +
+algorithm) of the worst run as a JSON trace, then reproduce it exactly and
+dissect it.
+
+Run:  python examples/debug_trace.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimComm, zero_sum_set
+from repro.exact import exact_sum
+from repro.mpi import ReductionTrace, make_reduction_op, record, replay
+from repro.summation import get_algorithm
+
+
+def main() -> None:
+    data = zero_sum_set(16_000, dr=32, seed=99)
+    comm = SimComm(24, seed=5)
+    chunks = comm.scatter_array(data)
+    op = make_reduction_op(get_algorithm("ST"))
+
+    print("campaign: 30 nondeterministic reductions of an exact-zero sum")
+    worst = None
+    for i in range(30):
+        res = comm.reduce_nondeterministic(chunks, op, jitter=0.5, fault_prob=0.1)
+        if worst is None or abs(res.value) > abs(worst[1].value):
+            worst = (i, res)
+    run_idx, res = worst
+    print(f"worst run: #{run_idx}, value = {res.value:.6e} "
+          f"(exact = {exact_sum(data):.1f}), tree depth = {res.tree.depth()}\n")
+
+    # capture the provenance of exactly that run
+    value, trace = record(chunks, op, res.tree)
+    assert value == res.value
+    payload = trace.to_json()
+    print(f"trace captured: {len(payload)} bytes of JSON "
+          f"({trace.n_ranks} ranks, {len(trace.data_hex)} operands)")
+
+    # ... attach to a bug report; later, anywhere:
+    replayed = replay(ReductionTrace.from_json(payload))
+    print(f"replayed value:  {replayed:.6e}  (bitwise equal: {replayed == res.value})")
+
+    # dissect: rerun the same tree with stronger operators
+    for code in ("K", "CP", "PR"):
+        v, _ = record(chunks, make_reduction_op(get_algorithm(code)), res.tree)
+        print(f"  same tree under {code:>2}: {v:.6e}")
+    print("\nthe tree is innocent — the algorithm is the problem; CP/PR fix it")
+
+
+if __name__ == "__main__":
+    main()

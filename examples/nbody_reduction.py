@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""N-body force reduction: the paper's motivating ill-conditioned workload.
+
+Sec. V.A: "N-body simulations involve reductions of floating-point values
+that are ill-conditioned; both k and dr can frequently be very large."  This
+example builds a clustered N-body system whose probe particle sits where
+pulls nearly cancel, distributes the force terms across simulated MPI ranks,
+and shows:
+
+1. run-to-run drift of the net force under nondeterministic reduction with
+   plain summation — enough to flip the *sign* of a near-zero force;
+2. the runtime selector diagnosing the ill-conditioning from its one-pass
+   profile and switching to a robust algorithm;
+3. the fault-injection campaign: even with 30% of ranks stalling (and the
+   reduction tree reshaping around them), the selected reduction stays
+   bitwise stable.
+
+Run:  python examples/nbody_reduction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimComm, nbody_force_terms
+from repro.exact import exact_sum
+from repro.metrics import profile_set
+from repro.mpi import FaultModel, MachineTopology, make_reduction_op, run_campaign
+from repro.selection import AdaptiveReducer
+from repro.summation import get_algorithm
+
+
+def main() -> None:
+    workload = nbody_force_terms(
+        20_001, axis=0, clustering=3.0, asymmetry=0.005, seed=42
+    )
+    terms = workload.terms
+    profile = profile_set(terms)
+    print(f"force terms on probe particle: n = {profile.n}")
+    print(f"  condition number k  = {profile.condition:.3e}")
+    print(f"  dynamic range dr    = {profile.dynamic_range} binades")
+    print(f"  exact net force     = {exact_sum(terms):.6e}\n")
+
+    topo = MachineTopology(nodes=4, sockets_per_node=2, cores_per_socket=4)
+    comm = SimComm(topology=topo, seed=3)
+    chunks = comm.scatter_array(terms)
+
+    print("10 nondeterministic reductions (arrival-order trees) per algorithm:")
+    for code in ("ST", "K", "CP", "PR"):
+        op = make_reduction_op(get_algorithm(code))
+        values = [
+            comm.reduce_nondeterministic(chunks, op, jitter=0.5).value
+            for _ in range(10)
+        ]
+        print(
+            f"  {code:>2}: {len(set(values))} distinct value(s), "
+            f"range [{min(values):.6e}, {max(values):.6e}]"
+        )
+
+    print("\nadaptive selection at tolerance 1e-13 (relative):")
+    reducer = AdaptiveReducer(comm, threshold=1e-13)
+    result = reducer.reduce(chunks, nondeterministic=True)
+    d = result.decision
+    print(f"  profile-estimated k = {d.profile.condition:.3e}, dr = {d.profile.dynamic_range}")
+    print(f"  chose {d.code} (cost x{d.relative_cost:.1f} vs ST), value = {result.value:.6e}")
+
+    print("\nfault campaign (30% rank stall probability, 40 runs):")
+    model = FaultModel(jitter=0.3, fault_prob=0.3, fault_delay=40.0)
+    for code in ("ST", d.code):
+        campaign = run_campaign(comm, chunks, make_reduction_op(get_algorithm(code)), model, 40)
+        print(
+            f"  {code:>2}: {campaign.n_distinct_values} distinct value(s), "
+            f"tree depth {campaign.depths.min()}-{campaign.depths.max()}, "
+            f"completion time {campaign.times.mean():.0f} (sim units)"
+        )
+
+
+if __name__ == "__main__":
+    main()

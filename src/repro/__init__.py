@@ -1,0 +1,80 @@
+"""repro — reproducible numerical accuracy through intelligent runtime
+selection of reduction algorithms.
+
+A from-scratch reproduction of Chapp, Johnston & Taufer, "On the Need for
+Reproducible Numerical Accuracy through Intelligent Runtime Selection of
+Reduction Algorithms at the Extreme Scale" (IEEE CLUSTER 2015).
+
+Quick tour
+----------
+>>> import numpy as np
+>>> from repro import get_algorithm, generate_sum_set, evaluate_ensemble
+>>> data = generate_sum_set(4096, condition=1e9, dynamic_range=16, seed=0).values
+>>> st = evaluate_ensemble(data, "balanced", get_algorithm("ST"), 100, seed=1)
+>>> pr = evaluate_ensemble(data, "balanced", get_algorithm("PR"), 100, seed=1)
+>>> len(set(st.tolist())) > 1 and len(set(pr.tolist())) == 1
+True
+
+Top-level re-exports cover the public API's main entry points; the
+subpackages (``repro.summation``, ``repro.trees``, ``repro.mpi``,
+``repro.selection``, ``repro.experiments``, ...) hold the full surface.
+"""
+
+from repro.exact import ExactSum, exact_sum, exact_sum_fraction
+from repro.interval import Interval, sum_interval_array
+from repro.generators import generate_sum_set, nbody_force_terms, zero_sum_series, zero_sum_set
+from repro.metrics import condition_number, dynamic_range, error_stats, profile_set
+from repro.mpi import MachineTopology, SimComm, make_reduction_op
+from repro.precision import EmulatedPrecisionSum, tune_precision
+from repro.selection import (
+    AdaptiveReducer,
+    AnalyticPolicy,
+    GridClassifier,
+    HierarchicalReducer,
+)
+from repro.summation import (
+    PAPER_CODES,
+    SumContext,
+    all_algorithms,
+    get_algorithm,
+    paper_algorithms,
+)
+from repro.trees import balanced, evaluate_ensemble, evaluate_tree, random_shape, serial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveReducer",
+    "AnalyticPolicy",
+    "EmulatedPrecisionSum",
+    "ExactSum",
+    "HierarchicalReducer",
+    "Interval",
+    "GridClassifier",
+    "MachineTopology",
+    "PAPER_CODES",
+    "SimComm",
+    "SumContext",
+    "__version__",
+    "all_algorithms",
+    "balanced",
+    "condition_number",
+    "dynamic_range",
+    "error_stats",
+    "evaluate_ensemble",
+    "evaluate_tree",
+    "exact_sum",
+    "exact_sum_fraction",
+    "generate_sum_set",
+    "get_algorithm",
+    "make_reduction_op",
+    "nbody_force_terms",
+    "paper_algorithms",
+    "profile_set",
+    "random_shape",
+    "serial",
+    "sum_interval_array",
+    "tune_precision",
+    "zero_sum_series",
+    "zero_sum_set",
+]

@@ -1,0 +1,38 @@
+"""CESTAC stochastic arithmetic and cancellation tracking — the CADNA
+substitute used by the Sec. IV.B reproduction."""
+
+from repro.cestac.arrays import (
+    StochasticArray,
+    random_rounded_add_arrays,
+    stochastic_balanced_sum,
+)
+from repro.cestac.cancellation import (
+    SEVERITY_DIGITS,
+    CancellationReport,
+    track_cancellations,
+    track_cancellations_cestac,
+)
+from repro.cestac.stochastic import (
+    STUDENT_T_95,
+    StochasticValue,
+    cestac_sum,
+    random_rounded_add,
+    random_rounded_mul,
+    significant_digits,
+)
+
+__all__ = [
+    "CancellationReport",
+    "SEVERITY_DIGITS",
+    "STUDENT_T_95",
+    "StochasticArray",
+    "random_rounded_add_arrays",
+    "stochastic_balanced_sum",
+    "StochasticValue",
+    "cestac_sum",
+    "random_rounded_add",
+    "random_rounded_mul",
+    "significant_digits",
+    "track_cancellations",
+    "track_cancellations_cestac",
+]

@@ -1,0 +1,138 @@
+"""CESTAC stochastic arithmetic: random rounding + significant-digit estimates.
+
+CADNA (paper reference [12]) implements the CESTAC method: every operation
+is performed ``N`` times (classically ``N = 3``) with the rounding direction
+chosen at random, and the number of decimal significant digits common to the
+samples is estimated with a Student-t interval:
+
+    C = log10( sqrt(N) * |mean| / (tau * sigma) )
+
+with ``tau`` the 95% two-sided Student-t quantile for ``N - 1`` degrees of
+freedom.  Since we cannot flip the FPU rounding mode portably from Python,
+random rounding is *synthesised exactly*: TwoSum gives the sign of the
+rounding error of every add, so the correctly rounded result can be bumped
+one ulp toward the exact value with probability 1/2 — precisely the
+round-up/round-down pair CESTAC alternates between.
+
+Scope: addition/subtraction chains (all the paper needs — summation) plus
+multiplication via TwoProd for completeness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.fp.eft import two_prod, two_sum
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "STUDENT_T_95",
+    "random_rounded_add",
+    "random_rounded_mul",
+    "StochasticValue",
+    "cestac_sum",
+    "significant_digits",
+]
+
+#: Two-sided 95% Student-t quantiles, indexed by degrees of freedom.
+STUDENT_T_95: dict[int, float] = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571}
+
+
+def random_rounded_add(a: float, b: float, rng: np.random.Generator) -> float:
+    """``a + b`` rounded randomly up/down (the CESTAC rounding model).
+
+    When the add is exact, the result is returned unperturbed.
+    """
+    s, e = two_sum(a, b)
+    if e == 0.0:
+        return s
+    if rng.random() < 0.5:
+        return s
+    return math.nextafter(s, math.inf if e > 0.0 else -math.inf)
+
+
+def random_rounded_mul(a: float, b: float, rng: np.random.Generator) -> float:
+    """``a * b`` rounded randomly up/down."""
+    p, e = two_prod(a, b)
+    if e == 0.0:
+        return p
+    if rng.random() < 0.5:
+        return p
+    return math.nextafter(p, math.inf if e > 0.0 else -math.inf)
+
+
+@dataclass(frozen=True)
+class StochasticValue:
+    """A CESTAC value: ``n_samples`` independently rounded realisations."""
+
+    samples: tuple[float, ...]
+
+    @staticmethod
+    def from_float(x: float, n_samples: int = 3) -> "StochasticValue":
+        return StochasticValue(tuple([float(x)] * n_samples))
+
+    def add(self, other: "StochasticValue", rng: np.random.Generator) -> "StochasticValue":
+        if len(self.samples) != len(other.samples):
+            raise ValueError("sample-count mismatch")
+        return StochasticValue(
+            tuple(
+                random_rounded_add(a, b, rng)
+                for a, b in zip(self.samples, other.samples)
+            )
+        )
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def significant_digits(self) -> float:
+        return significant_digits(self.samples)
+
+
+def significant_digits(samples: Sequence[float]) -> float:
+    """CESTAC estimate of decimal significant digits common to ``samples``.
+
+    Returns 15.95 (the full double precision, log10(2**53)) when all samples
+    agree bitwise, and 0.0 when the spread swamps the mean ("computational
+    zero" in CADNA terms).
+    """
+    n = len(samples)
+    if n < 2:
+        raise ValueError("need >= 2 samples")
+    mean = sum(samples) / n
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    if var == 0.0:
+        return 15.95
+    if mean == 0.0:
+        return 0.0
+    tau = STUDENT_T_95.get(n - 1, 2.0)
+    c = math.log10(math.sqrt(n) * abs(mean) / (tau * math.sqrt(var)))
+    return float(min(max(c, 0.0), 15.95))
+
+
+def cestac_sum(
+    x: np.ndarray, seed: SeedLike = None, n_samples: int = 3
+) -> StochasticValue:
+    """Left-to-right sum of ``x`` under stochastic rounding.
+
+    Vectorised across the ``n_samples`` realisations: the recurrence over
+    elements is sequential (as it must be), but each step processes all
+    samples at once.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    rng = resolve_rng(seed)
+    if x.size == 0:
+        return StochasticValue.from_float(0.0, n_samples)
+    acc = np.full(n_samples, x[0], dtype=np.float64)
+    for v in x[1:].tolist():
+        s = acc + v
+        bb = s - acc
+        e = (acc - (s - bb)) + (v - bb)
+        bump = rng.random(n_samples) >= 0.5
+        nonexact = e != 0.0
+        up = np.nextafter(s, np.where(e > 0.0, np.inf, -np.inf))
+        acc = np.where(bump & nonexact, up, s)
+    return StochasticValue(tuple(float(v) for v in acc))

@@ -1,0 +1,30 @@
+"""Exact (error-free) reference summation — replaces the paper's MPFR
+quad-double reference with a strictly stronger integer superaccumulator."""
+
+from repro.exact.reference import (
+    abs_error,
+    errors_against_exact,
+    fraction_reference,
+    fsum_reference,
+    relative_error,
+    signed_error,
+)
+from repro.exact.superacc import (
+    ExactSum,
+    exact_abs_sum_fraction,
+    exact_sum,
+    exact_sum_fraction,
+)
+
+__all__ = [
+    "ExactSum",
+    "abs_error",
+    "errors_against_exact",
+    "exact_abs_sum_fraction",
+    "exact_sum",
+    "exact_sum_fraction",
+    "fraction_reference",
+    "fsum_reference",
+    "relative_error",
+    "signed_error",
+]

@@ -1,0 +1,76 @@
+"""Reference sums and error measurement against them.
+
+Three references of increasing cost/exactness are provided so tests can
+cross-check one against another:
+
+* :func:`fsum_reference` — CPython's Shewchuk-based ``math.fsum`` (correctly
+  rounded double; exact up to the final rounding).
+* :func:`fraction_reference` — exact rational sum built from
+  ``float.as_integer_ratio`` (slow, scalar; used in property tests).
+* :class:`~repro.exact.superacc.ExactSum` — exact and fast; the default
+  reference for all experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exact.superacc import ExactSum, exact_sum_fraction
+
+__all__ = [
+    "fsum_reference",
+    "fraction_reference",
+    "signed_error",
+    "abs_error",
+    "relative_error",
+    "errors_against_exact",
+]
+
+
+def fsum_reference(x: "np.ndarray | Iterable[float]") -> float:
+    """Correctly rounded sum via ``math.fsum``."""
+    arr = np.asarray(x, dtype=np.float64) if not isinstance(x, np.ndarray) else x
+    return math.fsum(arr.ravel().tolist())
+
+
+def fraction_reference(x: "Sequence[float] | np.ndarray") -> Fraction:
+    """Exact rational sum via per-element ``Fraction`` conversion (slow)."""
+    total = Fraction(0)
+    arr = np.asarray(x, dtype=np.float64).ravel()
+    for v in arr.tolist():
+        total += Fraction(v)
+    return total
+
+
+def signed_error(computed: float, exact: Fraction) -> float:
+    """``computed - exact`` rounded once to a double."""
+    return float(Fraction(computed) - exact)
+
+
+def abs_error(computed: float, exact: Fraction) -> float:
+    """``|computed - exact|`` rounded once to a double."""
+    return abs(signed_error(computed, exact))
+
+
+def relative_error(computed: float, exact: Fraction) -> float:
+    """``|computed - exact| / |exact|``; ``inf`` when exact == 0 and the
+    computed value is nonzero, ``0`` when both are zero."""
+    if exact == 0:
+        return 0.0 if computed == 0.0 else math.inf
+    return float(abs(Fraction(computed) - exact) / abs(exact))
+
+
+def errors_against_exact(
+    computed: "Sequence[float] | np.ndarray", data: np.ndarray
+) -> np.ndarray:
+    """Absolute errors of many computed sums of the same ``data`` set.
+
+    The exact reference is computed once; this is the inner loop of every
+    tree-ensemble experiment (100-1000 computed sums per set).
+    """
+    exact = exact_sum_fraction(np.asarray(data, dtype=np.float64))
+    return np.array([abs_error(float(c), exact) for c in np.asarray(computed, dtype=np.float64)])

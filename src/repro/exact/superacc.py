@@ -1,0 +1,161 @@
+"""Exact summation via an integer superaccumulator.
+
+The paper computes every error "with respect to an accurate reference sum,
+which we compute in quad-double precision using the GNU MPFR high-precision
+library" (Sec. V.C).  We go one better: every finite binary64 value is an
+integer multiple of 2**-1074, so the exact sum of any number of doubles is
+representable as a single arbitrary-precision integer scaled by 2**-1074.
+:class:`ExactSum` maintains that integer (a Kulisch-style superaccumulator
+with unbounded width), making the reference *error-free* rather than merely
+high-precision, and trivially independent of summation order.
+
+The vectorised :meth:`ExactSum.add_array` path decomposes a float64 array
+with ``numpy.frexp`` into 53-bit integer mantissas and exponents, groups by
+exponent, and reduces each group in overflow-safe int64 blocks before folding
+the per-exponent totals into the big integer.  Summing 10**6 doubles takes a
+few tens of milliseconds, which is what makes the 1000-tree grid experiments
+feasible.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["ExactSum", "exact_sum", "exact_sum_fraction", "exact_abs_sum_fraction"]
+
+#: All finite binary64 values are integer multiples of 2**-SCALE_BITS.
+_SCALE_BITS = 1074
+
+#: Mantissas from frexp have magnitude < 2**53; blocks of 512 keep partial
+#: sums below 2**62, safely inside int64.
+_BLOCK = 512
+
+
+class ExactSum:
+    """Error-free accumulator for binary64 values.
+
+    The represented value is ``self._acc * 2**-1074``.  All operations are
+    exact; only :meth:`to_float` rounds (correctly, to nearest-even).
+
+    Supports the same accumulate/merge interface as the summation
+    accumulators in :mod:`repro.summation`, so it can be plugged into any
+    reduction tree as the "oracle" operator.
+    """
+
+    __slots__ = ("_acc", "count")
+
+    def __init__(self) -> None:
+        self._acc: int = 0
+        self.count: int = 0
+
+    # -- scalar path -------------------------------------------------------
+    def add(self, x: float) -> None:
+        """Add one finite double exactly."""
+        x = float(x)
+        if x != x or x in (float("inf"), float("-inf")):
+            raise ValueError(f"cannot accumulate non-finite value {x!r}")
+        if x == 0.0:
+            self.count += 1
+            return
+        p, q = x.as_integer_ratio()  # q is a power of two <= 2**1074
+        shift = _SCALE_BITS - (q.bit_length() - 1)
+        self._acc += p << shift
+        self.count += 1
+
+    # -- vectorised path ----------------------------------------------------
+    def add_array(self, x: np.ndarray) -> None:
+        """Add every element of a float64 array exactly (vectorised)."""
+        x = np.ascontiguousarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return
+        if not np.all(np.isfinite(x)):
+            raise ValueError("cannot accumulate non-finite values")
+        nz = x[x != 0.0]
+        self.count += x.size
+        if nz.size == 0:
+            return
+        m, e = np.frexp(nz)
+        # m in +-[0.5, 1): scale to integers < 2**53 in magnitude.
+        mi = np.ldexp(m, 53).astype(np.int64)
+        shifts = e.astype(np.int64) - 53 + _SCALE_BITS
+        order = np.argsort(shifts, kind="stable")
+        mi = mi[order]
+        shifts = shifts[order]
+        # Group-reduce equal shifts in overflow-safe blocks.
+        boundaries = np.flatnonzero(np.diff(shifts)) + 1
+        group_starts = np.concatenate(([0], boundaries))
+        group_ends = np.concatenate((boundaries, [shifts.size]))
+        acc = self._acc
+        for gs, ge in zip(group_starts, group_ends):
+            total = 0
+            for bs in range(gs, ge, _BLOCK):
+                be = min(bs + _BLOCK, ge)
+                total += int(np.add.reduce(mi[bs:be]))
+            shift = int(shifts[gs])
+            if shift >= 0:
+                acc += total << shift
+            else:
+                # Subnormal-range values: mantissa has enough trailing zeros
+                # for the right-shift to be exact.
+                acc += total >> (-shift)
+        self._acc = acc
+
+    # -- combination ---------------------------------------------------------
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulator into this one (exact, order-free)."""
+        self._acc += other._acc
+        self.count += other.count
+
+    def copy(self) -> "ExactSum":
+        out = ExactSum()
+        out._acc = self._acc
+        out.count = self.count
+        return out
+
+    # -- extraction ----------------------------------------------------------
+    def to_fraction(self) -> Fraction:
+        """The exact accumulated value as a rational number."""
+        return Fraction(self._acc, 1 << _SCALE_BITS)
+
+    def to_float(self) -> float:
+        """Correctly rounded (nearest-even) double of the exact value."""
+        return float(self.to_fraction())
+
+    def is_zero(self) -> bool:
+        return self._acc == 0
+
+    def error_of(self, computed: float) -> float:
+        """Signed error ``computed - exact`` as a double.
+
+        The subtraction is done in exact rational arithmetic and only the
+        final difference is rounded, so tiny errors of sums with huge
+        magnitude are reported faithfully.
+        """
+        return float(Fraction(computed) - self.to_fraction())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExactSum(value={self.to_float()!r}, count={self.count})"
+
+
+def exact_sum(x: "np.ndarray | Iterable[float]") -> float:
+    """Correctly rounded sum of ``x`` (convenience wrapper)."""
+    acc = ExactSum()
+    acc.add_array(np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=np.float64))
+    return acc.to_float()
+
+
+def exact_sum_fraction(x: "np.ndarray | Iterable[float]") -> Fraction:
+    """Exact rational sum of ``x``."""
+    acc = ExactSum()
+    acc.add_array(np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=np.float64))
+    return acc.to_fraction()
+
+
+def exact_abs_sum_fraction(x: np.ndarray) -> Fraction:
+    """Exact rational value of ``sum(|x_i|)`` (used by the condition number)."""
+    acc = ExactSum()
+    acc.add_array(np.abs(np.asarray(x, dtype=np.float64)))
+    return acc.to_fraction()

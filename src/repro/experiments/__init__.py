@@ -1,0 +1,20 @@
+"""Experiment harness: one module per table/figure of the paper, a shared
+grid sweep, and a CLI runner (``repro-experiments``)."""
+
+from repro.experiments.config import SCALES, ExperimentResult, Scale, resolve_scale
+from repro.experiments.grid import GridCellResult, format_k, format_n, grid_sweep
+from repro.experiments.runner import EXPERIMENTS, EXTENSIONS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "ExperimentResult",
+    "GridCellResult",
+    "SCALES",
+    "Scale",
+    "format_k",
+    "format_n",
+    "grid_sweep",
+    "resolve_scale",
+    "run_experiment",
+]

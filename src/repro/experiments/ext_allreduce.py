@@ -1,0 +1,117 @@
+"""Extension experiment: allreduce strategy choice changes bits.
+
+Production MPI libraries switch allreduce algorithms by message size and
+communicator shape; the application never sees which one ran.  This
+experiment quantifies the consequence for each summation operator: values
+under recursive doubling vs ring reduce-scatter, cross-rank consistency
+within one collective, and whether the operator's guarantee survives the
+strategy switch.
+
+Checks: strategies disagree for ST on cancelling data; the Kahan butterfly
+leaves different ranks with different values (the classic consistency
+hazard); the ring agrees across ranks for every operator; PR is bitwise
+identical across strategies, segment counts, and ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ExperimentResult, Scale, resolve_scale
+from repro.generators.conditioned import zero_sum_set
+from repro.mpi.allreduce import allreduce_recursive_doubling, allreduce_ring
+from repro.mpi.comm import SimComm
+from repro.mpi.ops import make_reduction_op
+from repro.summation.registry import get_algorithm
+from repro.util.rng import derive_seed
+from repro.viz.tables import render_table
+
+__all__ = ["run"]
+
+_CODES = ("ST", "K", "CP", "PR")
+
+
+def run(scale: "Scale | str | None" = None) -> ExperimentResult:
+    scale = scale if isinstance(scale, Scale) else resolve_scale(scale)
+    n = max(scale.fig6_n * 8, 16_000)
+    n_ranks = 10  # non-power-of-two: exercises the butterfly pre-fold
+    data = zero_sum_set(n, dr=32, seed=derive_seed(scale.seed, "extallreduce"))
+    chunks = SimComm(n_ranks).scatter_array(data)
+
+    rows: list[dict] = []
+    per_code: dict[str, dict] = {}
+    for code in _CODES:
+        op = make_reduction_op(get_algorithm(code))
+        bf = allreduce_recursive_doubling(chunks, op)
+        ring = allreduce_ring(chunks, op)
+        ring5 = allreduce_ring(chunks, op, segments=5)
+        entry = {
+            "butterfly_distinct_ranks": len(set(bf)),
+            "ring_distinct_ranks": len(set(ring)),
+            "strategies_agree": bf[0] == ring[0],
+            "segmentation_agrees": ring[0] == ring5[0],
+            "butterfly_value": bf[0],
+            "ring_value": ring[0],
+        }
+        per_code[code] = entry
+        rows.append({"algorithm": code, **entry})
+
+    # Whether the Kahan butterfly's rank divergence materialises depends on
+    # the rounding luck of the particular dataset; the *hazard* is what we
+    # assert, so sample several datasets for it.
+    k_op = make_reduction_op(get_algorithm("K"))
+    kahan_divergence = per_code["K"]["butterfly_distinct_ranks"] > 1
+    for trial in range(8):
+        if kahan_divergence:
+            break
+        d = zero_sum_set(n, dr=32, seed=derive_seed(scale.seed, "extallreduce-k", trial))
+        bf = allreduce_recursive_doubling(SimComm(n_ranks).scatter_array(d), k_op)
+        kahan_divergence = len(set(bf)) > 1
+
+    text = render_table(
+        [
+            "algorithm",
+            "butterfly ranks",
+            "ring ranks",
+            "strategies agree",
+            "segments agree",
+            "butterfly value",
+            "ring value",
+        ],
+        [
+            [
+                r["algorithm"],
+                r["butterfly_distinct_ranks"],
+                r["ring_distinct_ranks"],
+                r["strategies_agree"],
+                r["segmentation_agrees"],
+                r["butterfly_value"],
+                r["ring_value"],
+            ]
+            for r in rows
+        ],
+        title=f"allreduce strategies over {n_ranks} ranks, zero-sum data n={n}",
+    )
+    checks = {
+        "strategy choice changes ST's bits": not per_code["ST"]["strategies_agree"],
+        "Kahan butterfly can leave ranks inconsistent": kahan_divergence,
+        "ring internally consistent for every operator": all(
+            per_code[c]["ring_distinct_ranks"] == 1 for c in _CODES
+        ),
+        "PR identical across strategies, segments and ranks": (
+            per_code["PR"]["strategies_agree"]
+            and per_code["PR"]["segmentation_agrees"]
+            and per_code["PR"]["butterfly_distinct_ranks"] == 1
+        ),
+        "CP agrees across strategies on this workload": per_code["CP"][
+            "strategies_agree"
+        ],
+    }
+    return ExperimentResult(
+        experiment_id="extallreduce",
+        title="Extension: collective-algorithm choice changes bits",
+        scale=scale.name,
+        rows=tuple(rows),
+        text=text,
+        checks=checks,
+    )

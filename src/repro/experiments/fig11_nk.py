@@ -1,0 +1,104 @@
+"""Fig. 11 — error variability over the (n, k) space at fixed dynamic range.
+
+Paper finding: "we observe a strong relationship between high variability of
+sums and sets of summands with high condition number" — the k axis dominates
+the n axis.
+
+Shape checks:
+* ST variability rises with k at every n (rho >= 0.9);
+* the k axis moves variability by more decades than the n axis (dominance —
+  the figure's headline claim);
+* CP stays >= 6 decades below ST's peak.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.config import ExperimentResult, Scale, resolve_scale
+from repro.experiments.fig3_cancellation import spearman
+from repro.experiments.grid import format_k, format_n, grid_sweep
+from repro.viz.heatmap import render_value_grid
+
+__all__ = ["run"]
+
+_CODES = ("ST", "K", "CP")
+_FIXED_DR = 16
+
+
+def run(scale: "Scale | str | None" = None) -> ExperimentResult:
+    scale = scale if isinstance(scale, Scale) else resolve_scale(scale)
+    ks = [10.0**d for d in scale.grid_k_decades]
+    cells = grid_sweep(
+        n_values=list(scale.grid_n_values),
+        k_values=ks,
+        dr_values=[_FIXED_DR],
+        codes=_CODES,
+        n_trees=scale.grid_n_trees,
+        seed=scale.seed + 11,
+    )
+
+    n_labels = [format_n(n) for n in scale.grid_n_values]
+    k_labels = [format_k(k) for k in ks]
+    texts = []
+    rows: list[dict] = []
+    grids: dict[str, dict[tuple[str, str], float]] = {c: {} for c in _CODES}
+    for cell in cells:
+        for code in _CODES:
+            grids[code][(format_n(cell.n), format_k(cell.condition))] = cell.rel_std(code)
+            rows.append(
+                {
+                    "n": cell.n,
+                    "k": cell.condition,
+                    "algorithm": code,
+                    "rel_std": cell.rel_std(code),
+                    "abs_std": cell.abs_std(code),
+                }
+            )
+    for code in _CODES:
+        texts.append(
+            render_value_grid(
+                n_labels,
+                k_labels,
+                grids[code],
+                title=f"{code}: relative std of errors, dr={_FIXED_DR} "
+                "(rows: concurrency n, cols: condition number k)",
+            )
+        )
+
+    def by_k(code: str, n: int) -> np.ndarray:
+        vals = {c.condition: c.rel_std(code) for c in cells if c.n == n}
+        return np.array([vals[k] for k in ks])
+
+    def by_n(code: str, k: float) -> np.ndarray:
+        vals = {c.n: c.rel_std(code) for c in cells if c.condition == k}
+        return np.array([vals[n] for n in scale.grid_n_values])
+
+    k_rhos = [spearman(np.array(ks), by_k("ST", n)) for n in scale.grid_n_values]
+
+    def decades(vals: np.ndarray) -> float:
+        pos = vals[vals > 0]
+        return math.log10(pos.max() / pos.min()) if pos.size >= 2 else 0.0
+
+    k_effect = float(np.mean([decades(by_k("ST", n)) for n in scale.grid_n_values]))
+    n_effect = float(np.mean([decades(by_n("ST", k)) for k in ks]))
+    st_peak = max(c.rel_std("ST") for c in cells)
+    cp_peak = max(c.rel_std("CP") for c in cells)
+    checks = {
+        "ST variability rises with k at every n (rho >= 0.9)": all(
+            r >= 0.9 for r in k_rhos
+        ),
+        "condition number dominates concurrency (decade span)": k_effect
+        > 2.0 * n_effect,
+        "CP >= 6 decades below ST peak": cp_peak <= st_peak * 1e-6,
+    }
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="(n, k) grid of error variability at fixed dr",
+        scale=scale.name,
+        rows=tuple(rows),
+        text="\n\n".join(texts),
+        checks=checks,
+    )

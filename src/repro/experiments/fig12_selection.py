@@ -1,0 +1,141 @@
+"""Fig. 12 — cheapest acceptably-accurate algorithm per (k, dr) cell.
+
+Paper setup: "we show the (k, dr) grid for several error variability
+thresholds (left to right: t = 5e-13, 3e-13, 2.5e-13, 1.5e-13, 5e-14).  Here
+cells are shaded based on the cheapest summation algorithm that achieves a
+given degree of reproducibility at that cell.  As we reduce the variability
+threshold ... we see that increasingly costly summation algorithms are
+required for the more challenging regions."
+
+This experiment *is* the selector's calibration: the measured (k, dr) grid
+(Fig. 9's sweep, now including PR) feeds a
+:class:`~repro.selection.classifier.GridClassifier`, whose decision grids are
+rendered per threshold.
+
+Shape checks:
+* per cell, the chosen algorithm's cost rank is non-decreasing as t tightens;
+* the cheapest algorithm count (ST cells) is non-increasing and the PR/CP
+  count non-decreasing as t tightens;
+* harder cells (higher k) never need a cheaper algorithm than easier cells
+  in the same column at the same threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.config import ExperimentResult, Scale, resolve_scale
+from repro.experiments.fig9_kdr import sweep_kdr
+from repro.experiments.grid import format_k
+from repro.selection.classifier import GridCell, GridClassifier
+from repro.selection.costmodel import CostModel
+from repro.viz.heatmap import render_category_grid
+
+__all__ = ["run", "PAPER_THRESHOLDS", "classifier_from_sweep"]
+
+#: the five thresholds of Fig. 12, left to right
+PAPER_THRESHOLDS: tuple[float, ...] = (5e-13, 3e-13, 2.5e-13, 1.5e-13, 5e-14)
+
+_CODES = ("ST", "K", "CP", "PR")
+
+
+def classifier_from_sweep(cells) -> GridClassifier:
+    """Wrap a grid sweep's measurements as a calibrated classifier."""
+    grid_cells = [
+        GridCell(
+            n=c.n,
+            condition=c.condition,
+            dynamic_range=c.dynamic_range,
+            stds={code: c.rel_std(code) for code in _CODES},
+        )
+        for c in cells
+    ]
+    return GridClassifier(grid_cells, CostModel())
+
+
+def run(scale: "Scale | str | None" = None) -> ExperimentResult:
+    scale = scale if isinstance(scale, Scale) else resolve_scale(scale)
+    sweep = sweep_kdr(scale, codes=_CODES)
+    classifier = classifier_from_sweep(sweep)
+    cost_rank = {code: i for i, code in enumerate(_CODES)}
+
+    k_labels = [format_k(10.0**d) for d in scale.grid_k_decades]
+    dr_labels = [str(dr) for dr in scale.grid_dr_values]
+
+    texts: list[str] = []
+    rows: list[dict] = []
+    decisions: dict[float, dict[tuple[float, int], str]] = {}
+    for t in PAPER_THRESHOLDS:
+        grid = classifier.decision_grid(t)
+        labels = {}
+        per_cell = {}
+        for cell, code in grid:
+            labels[(format_k(cell.condition), str(cell.dynamic_range))] = code
+            per_cell[(cell.condition, cell.dynamic_range)] = code
+            rows.append(
+                {
+                    "threshold": t,
+                    "k": cell.condition,
+                    "dr": cell.dynamic_range,
+                    "choice": code,
+                }
+            )
+        decisions[t] = per_cell
+        texts.append(
+            render_category_grid(
+                k_labels,
+                dr_labels,
+                labels,
+                title=f"cheapest acceptable algorithm at t = {t:.1e} "
+                "(rows: k, cols: dr)",
+            )
+        )
+
+    # --- checks -------------------------------------------------------------
+    cell_keys = list(decisions[PAPER_THRESHOLDS[0]])
+    monotone_cells = all(
+        all(
+            cost_rank[decisions[PAPER_THRESHOLDS[i]][key]]
+            <= cost_rank[decisions[PAPER_THRESHOLDS[i + 1]][key]]
+            for i in range(len(PAPER_THRESHOLDS) - 1)
+        )
+        for key in cell_keys
+    )
+    st_counts = [
+        sum(1 for v in decisions[t].values() if v == "ST") for t in PAPER_THRESHOLDS
+    ]
+    robust_counts = [
+        sum(1 for v in decisions[t].values() if v in ("CP", "PR"))
+        for t in PAPER_THRESHOLDS
+    ]
+    monotone_k = all(
+        cost_rank[decisions[t][(k1, dr)]] <= cost_rank[decisions[t][(k2, dr)]]
+        for t in PAPER_THRESHOLDS
+        for dr in scale.grid_dr_values
+        for k1, k2 in zip(
+            [10.0**d for d in scale.grid_k_decades],
+            [10.0**d for d in scale.grid_k_decades][1:],
+        )
+    )
+    checks = {
+        "per-cell escalation as t tightens": monotone_cells,
+        "ST cell count non-increasing with tighter t": all(
+            st_counts[i] >= st_counts[i + 1] for i in range(len(st_counts) - 1)
+        ),
+        "CP/PR cell count non-decreasing with tighter t": all(
+            robust_counts[i] <= robust_counts[i + 1]
+            for i in range(len(robust_counts) - 1)
+        ),
+        "higher k never needs a cheaper algorithm (same dr, t)": monotone_k,
+        "selection is non-trivial (>= 2 algorithms appear)": any(
+            len(set(decisions[t].values())) >= 2 for t in PAPER_THRESHOLDS
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Runtime selection of the cheapest acceptable algorithm",
+        scale=scale.name,
+        rows=tuple(rows),
+        text="\n\n".join(texts),
+        checks=checks,
+    )

@@ -1,0 +1,125 @@
+"""Fig. 3 — cancellation counts do not predict error magnitude.
+
+Paper setup: 1,000 values uniform in [-1, 1], summed under 100 distinct
+orders; CADNA (here: our CESTAC substrate) counts cancellations by digit-loss
+severity {1, 2, 4, 8}; error magnitudes are measured per order.  Finding:
+"the number of cancellations, at any of the considered severities, does not
+consistently predict error magnitude", with the concrete counterexample of
+an order having ~5x the cancellations of another but only half the error.
+
+Shape checks:
+* the rank correlation between every severity count and |error| stays well
+  below 1 (no consistent prediction);
+* a concrete counterexample pair exists (more cancellations, smaller error).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.cestac.cancellation import SEVERITY_DIGITS, track_cancellations
+from repro.exact.superacc import exact_sum_fraction
+from repro.experiments.config import ExperimentResult, Scale, resolve_scale
+from repro.generators.distributions import uniform_symmetric
+from repro.util.rng import permutation_stream, resolve_rng
+from repro.viz.tables import render_table
+
+__all__ = ["run", "spearman"]
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (ties broken by average rank)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size != b.size or a.size < 3:
+        raise ValueError("need two equal-length vectors of size >= 3")
+
+    def ranks(x: np.ndarray) -> np.ndarray:
+        order = np.argsort(x, kind="stable")
+        r = np.empty_like(x)
+        r[order] = np.arange(1, x.size + 1, dtype=np.float64)
+        # average ranks over ties
+        for v in np.unique(x):
+            mask = x == v
+            if mask.sum() > 1:
+                r[mask] = r[mask].mean()
+        return r
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = math.sqrt(float((ra**2).sum() * (rb**2).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((ra * rb).sum() / denom)
+
+
+def run(scale: "Scale | str | None" = None) -> ExperimentResult:
+    scale = scale if isinstance(scale, Scale) else resolve_scale(scale)
+    rng = resolve_rng(scale.seed + 3)
+    data = uniform_symmetric(scale.fig3_n_values, 1.0, rng)
+    exact = exact_sum_fraction(data)
+
+    rows: list[dict] = []
+    for i, p in enumerate(
+        permutation_stream(data.size, scale.fig3_n_orders, rng)
+    ):
+        ordered = data[p]
+        report = track_cancellations(ordered)
+        value = float(np.cumsum(ordered)[-1])
+        err = abs(float(Fraction(value) - exact))
+        row = {"order": i, "error": err, "total_events": report.total_events}
+        row.update({f"loss>={d}": c for d, c in report.counts.items()})
+        rows.append(row)
+
+    errors = np.array([r["error"] for r in rows])
+    correlations = {
+        d: spearman(np.array([r[f"loss>={d}"] for r in rows]), errors)
+        for d in SEVERITY_DIGITS
+    }
+
+    # hunt the paper's counterexample: order A with clearly more
+    # cancellations than order B yet clearly less error
+    counterexample = None
+    counts1 = np.array([r["loss>=1"] for r in rows], dtype=np.float64)
+    for i in range(len(rows)):
+        for j in range(len(rows)):
+            if (
+                counts1[i] >= 2.0 * max(counts1[j], 1.0)
+                and errors[i] > 0
+                and errors[i] <= 0.5 * errors[j]
+            ):
+                counterexample = (j, i)  # (few-cancellation/high-error, many/low)
+                break
+        if counterexample:
+            break
+
+    display = rows[: min(10, len(rows))]
+    headers = ["order", *(f"loss>={d}" for d in SEVERITY_DIGITS), "error"]
+    text = render_table(
+        headers,
+        [[r["order"], *(r[f"loss>={d}"] for d in SEVERITY_DIGITS), r["error"]] for r in display],
+        title=(
+            f"{scale.fig3_n_values} values U(-1,1), {scale.fig3_n_orders} orders "
+            f"(first {len(display)} shown); Spearman(count, error): "
+            + ", ".join(f">={d}d: {c:+.2f}" for d, c in correlations.items())
+        ),
+    )
+    checks = {
+        "no severity's count strongly predicts error (|rho| < 0.8)": all(
+            abs(c) < 0.8 for c in correlations.values()
+        ),
+        "counterexample exists (2x cancellations, <= half the error)": counterexample
+        is not None,
+    }
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Cancellations vs error magnitude",
+        scale=scale.name,
+        rows=tuple(rows),
+        text=text,
+        checks=checks,
+    )

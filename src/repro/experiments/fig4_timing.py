@@ -1,0 +1,99 @@
+"""Figs. 4 & 5 — execution time and performance penalty of ST/K/CP/PR.
+
+Paper setup: "on each process, we generate a chunk of a vector of values of
+length 10^6 from a series that is known to sum to zero under exact
+arithmetic.  We locally reduce these values using each of the four summation
+algorithms ... Finally, we globally reduce the local sums by using MPI_Reduce
+with custom reduction operators", on a dedicated 48-core node, 20 repeats,
+warmed cache.  Fig. 4 reports times; Fig. 5 the penalties relative to ST.
+
+Here each "process" is a rank of the simulated communicator; the timed
+quantity is the real wall-clock of the local reduction kernels plus the
+combine phase — the constant factors are ours, but the *ranking*
+ST < K < CP < PR is the paper's claim and is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentResult, Scale, resolve_scale
+from repro.generators.series import zero_sum_series
+from repro.mpi.comm import SimComm
+from repro.mpi.ops import make_reduction_op
+from repro.summation.registry import PAPER_CODES, get_algorithm
+from repro.util.timing import TimingResult, time_callable
+from repro.viz.tables import render_table
+
+__all__ = ["run", "measure_timings"]
+
+
+def measure_timings(
+    n_terms: int, n_ranks: int, repeats: int, seed: int
+) -> dict[str, TimingResult]:
+    """Wall-clock of local-reduce + simulated global reduce per algorithm."""
+    series = zero_sum_series(n_terms * n_ranks, seed=seed)
+    comm = SimComm(n_ranks, seed=seed)
+    chunks = comm.scatter_array(series)
+    timings: dict[str, TimingResult] = {}
+    for code in PAPER_CODES:
+        op = make_reduction_op(get_algorithm(code))
+        timings[code] = time_callable(
+            lambda op=op: comm.reduce(chunks, op, tree="balanced"),
+            label=code,
+            repeats=repeats,
+            warmup=2,
+        )
+    return timings
+
+
+def run(scale: "Scale | str | None" = None) -> ExperimentResult:
+    scale = scale if isinstance(scale, Scale) else resolve_scale(scale)
+    timings = measure_timings(
+        scale.fig4_n_terms // scale.fig4_n_ranks,
+        scale.fig4_n_ranks,
+        scale.fig4_repeats,
+        scale.seed + 4,
+    )
+    st_mean = timings["ST"].mean
+    rows = tuple(
+        {
+            "algorithm": code,
+            "mean_seconds": timings[code].mean,
+            "best_seconds": timings[code].best,
+            "penalty_vs_ST": timings[code].mean / st_mean,
+        }
+        for code in PAPER_CODES
+    )
+    text = render_table(
+        ["algorithm", "mean_seconds", "best_seconds", "penalty_vs_ST"],
+        [
+            [r["algorithm"], r["mean_seconds"], r["best_seconds"], r["penalty_vs_ST"]]
+            for r in rows
+        ],
+        title=(
+            f"sum of {scale.fig4_n_terms} terms across {scale.fig4_n_ranks} "
+            f"simulated ranks, {scale.fig4_repeats} repeats, warmed cache"
+        ),
+    )
+    # rank on best-of-N: the min is far more robust to scheduler noise and
+    # co-running processes than the mean (classic timing methodology)
+    bests = [timings[c].best for c in PAPER_CODES]
+    checks = {
+        "cost ranking ST < K < CP < PR (best-of-N)": all(
+            bests[i] < bests[i + 1] for i in range(len(bests) - 1)
+        ),
+        "every best-time penalty >= 1": all(
+            timings[c].best >= timings["ST"].best for c in PAPER_CODES
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Execution time (Fig. 4) and penalty vs ST (Fig. 5)",
+        scale=scale.name,
+        rows=rows,
+        text=text,
+        checks=checks,
+    )

@@ -1,0 +1,115 @@
+"""Fig. 7 (a-h) — error distributions of ST/K/CP/PR across tree ensembles.
+
+Paper setup: two exact-zero-sum sets with dynamic range 32 (8K and 1M
+values), two tree shapes (completely balanced, completely unbalanced), 100
+distinct reduction trees per shape via random leaf permutation; boxplots of
+error per algorithm.  Findings asserted as shape checks:
+
+* "Kahan summation tends in general to produce more reproducible sums than
+  standard summation, but only composite precision and prerounded summations
+  offer reproducible numerical accuracy at an acceptable level";
+* "as the level of concurrency rises, the absolute error in the sum rises";
+* "much more variation in the sum occurs when the tree is unbalanced than
+  when it is balanced for the standard summation algorithm".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ExperimentResult, Scale, resolve_scale
+from repro.generators.conditioned import zero_sum_set
+from repro.metrics.errors import ErrorStats, boxplot_summary, error_stats
+from repro.summation.registry import PAPER_CODES, get_algorithm
+from repro.trees.evaluate import evaluate_ensemble
+from repro.util.rng import derive_seed
+from repro.viz.boxplot import render_boxplot_panel
+
+__all__ = ["run", "panel_stats"]
+
+
+def panel_stats(
+    data: np.ndarray, shape: str, n_trees: int, seed: int
+) -> dict[str, tuple[ErrorStats, object]]:
+    """(ErrorStats, BoxplotSummary) per algorithm for one Fig. 7 panel."""
+    out = {}
+    for code in PAPER_CODES:
+        alg = get_algorithm(code)
+        values = evaluate_ensemble(
+            data, shape, alg, n_trees, seed=derive_seed(seed, shape, code)
+        )
+        out[code] = (error_stats(values, data), boxplot_summary(values, data))
+    return out
+
+
+def run(scale: "Scale | str | None" = None) -> ExperimentResult:
+    scale = scale if isinstance(scale, Scale) else resolve_scale(scale)
+    panels = {}
+    rows: list[dict] = []
+    texts: list[str] = []
+    sizes = {"small": scale.fig7_small_n, "large": scale.fig7_large_n}
+    for size_name, n in sizes.items():
+        data = zero_sum_set(n, dr=32, seed=derive_seed(scale.seed, "fig7", size_name))
+        for shape in ("balanced", "serial"):
+            key = (shape, size_name)
+            stats = panel_stats(
+                data, shape, scale.fig7_n_trees, derive_seed(scale.seed, "fig7e", size_name)
+            )
+            panels[key] = stats
+            texts.append(
+                render_boxplot_panel(
+                    f"panel: {shape} tree, n={n} ({scale.fig7_n_trees} trees)",
+                    [(code, stats[code][1]) for code in PAPER_CODES],
+                )
+            )
+            for code in PAPER_CODES:
+                es = stats[code][0]
+                rows.append(
+                    {
+                        "shape": shape,
+                        "n": n,
+                        "algorithm": code,
+                        "max_abs_error": es.max_abs,
+                        "std_error": es.std,
+                        "spread": es.spread,
+                        "n_distinct": es.n_distinct,
+                    }
+                )
+
+    def spread(shape: str, size: str, code: str) -> float:
+        return panels[(shape, size)][code][0].spread
+
+    checks = {
+        # within a panel: ST > K and CP/PR near-exact
+        "balanced/small: ST more variable than K": spread("balanced", "small", "ST")
+        > spread("balanced", "small", "K"),
+        "CP and PR reproducible at acceptable level (<= 1e-3 of ST spread)": all(
+            spread(sh, sz, c) <= max(1e-3 * spread(sh, sz, "ST"), 1e-30)
+            for sh in ("balanced", "serial")
+            for sz in sizes
+            for c in ("CP", "PR")
+        ),
+        "PR bitwise reproducible in every panel": all(
+            panels[(sh, sz)]["PR"][0].reproducible_bitwise
+            for sh in ("balanced", "serial")
+            for sz in sizes
+        ),
+        # across concurrency: error rises with n for ST
+        "ST error rises with concurrency (both shapes)": all(
+            panels[(sh, "large")]["ST"][0].max_abs
+            > panels[(sh, "small")]["ST"][0].max_abs
+            for sh in ("balanced", "serial")
+        ),
+        # across shape: unbalanced more variable than balanced for ST
+        "unbalanced ST more variable than balanced ST (both sizes)": all(
+            spread("serial", sz, "ST") > spread("balanced", sz, "ST") for sz in sizes
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Error distributions across balanced/unbalanced tree ensembles",
+        scale=scale.name,
+        rows=tuple(rows),
+        text="\n\n".join(texts),
+        checks=checks,
+    )

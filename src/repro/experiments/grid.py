@@ -1,0 +1,115 @@
+"""Shared machinery for the grid experiments (Figs. 9-12).
+
+Sec. V.C: "We represent the spaces of (k, dr), (n, dr), and (n, k) as a grid
+of cells, where for each cell we generate a set of floating-point values with
+the cell parameters.  ... we measure their potential for irreproducibility by
+computing their sum with 1,000 distinct, balanced reduction trees obtained by
+permuting the assignment of summands to leaves.  ... the error in each sum is
+calculated with respect to an accurate reference sum ... we compute the
+standard deviation of the errors and shade the cell according to that value."
+
+Cells are independent, so the sweep fans out over a process pool; workers
+receive only picklable parameter tuples and derive their RNG streams from
+stable integer seeds, making the sweep bitwise independent of worker count.
+
+Shading metric: the *relative* standard deviation (std of errors divided by
+the magnitude of the exact sum).  With magnitudes fixed by the generator, the
+absolute error std is nearly k-independent — it is the relative spread that
+reproduces the paper's strong-condition-number / weak-dynamic-range shading
+(see EXPERIMENTS.md for the full argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.generators.conditioned import generate_sum_set
+from repro.metrics.errors import ErrorStats, error_stats
+from repro.metrics.properties import condition_number
+from repro.summation.registry import get_algorithm
+from repro.trees.evaluate import evaluate_ensemble
+from repro.util.parallel import map_parallel
+from repro.util.rng import derive_seed
+
+__all__ = ["GridCellResult", "grid_sweep", "format_k", "format_n"]
+
+
+@dataclass(frozen=True)
+class GridCellResult:
+    """Measured irreproducibility of one grid cell."""
+
+    n: int
+    condition: float  # requested k
+    dynamic_range: int
+    achieved_condition: float
+    stats: Mapping[str, ErrorStats]  # algorithm code -> ensemble stats
+
+    def rel_std(self, code: str) -> float:
+        return self.stats[code].rel_std
+
+    def abs_std(self, code: str) -> float:
+        return self.stats[code].std
+
+
+def _run_cell(payload: tuple) -> GridCellResult:
+    """Worker: generate the cell's set, run every algorithm's ensemble."""
+    (base_seed, n, k, dr, codes, n_trees, shape) = payload
+    k = math.inf if k == "inf" else float(k)
+    set_seed = derive_seed(base_seed, "set", n, int(dr), repr(k))
+    data = generate_sum_set(n, k, dr, seed=set_seed).values
+    stats: dict[str, ErrorStats] = {}
+    for code in codes:
+        alg = get_algorithm(code)
+        ens_seed = derive_seed(base_seed, "trees", n, int(dr), repr(k), code)
+        values = evaluate_ensemble(data, shape, alg, n_trees, seed=ens_seed)
+        stats[code] = error_stats(values, data)
+    return GridCellResult(
+        n=n,
+        condition=k,
+        dynamic_range=dr,
+        achieved_condition=condition_number(data),
+        stats=stats,
+    )
+
+
+def grid_sweep(
+    *,
+    n_values: Sequence[int],
+    k_values: Sequence[float],
+    dr_values: Sequence[int],
+    codes: Sequence[str],
+    n_trees: int,
+    seed: int,
+    shape: str = "balanced",
+    workers: "int | None" = None,
+) -> list[GridCellResult]:
+    """Measure every (n, k, dr) cell; returns cells in axis order."""
+    payloads = [
+        (seed, int(n), ("inf" if math.isinf(k) else float(k)), int(dr),
+         tuple(codes), int(n_trees), shape)
+        for n in n_values
+        for k in k_values
+        for dr in dr_values
+    ]
+    return map_parallel(_run_cell, payloads, workers=workers)
+
+
+def format_k(k: float) -> str:
+    """Grid label for a condition number."""
+    if math.isinf(k):
+        return "inf"
+    d = math.log10(k)
+    return f"1e{d:.0f}" if d == int(d) else f"{k:.1g}"
+
+
+def format_n(n: int) -> str:
+    """Grid label for a concurrency level (8192 -> '8K', 1048576 -> '1M')."""
+    if n % (1 << 20) == 0:
+        return f"{n >> 20}M"
+    if n % 1024 == 0:
+        return f"{n >> 10}K"
+    return str(n)

@@ -1,0 +1,87 @@
+"""Aggregate experiment JSON outputs into one markdown report.
+
+``repro-experiments run all --out results/`` leaves one JSON per
+experiment; ``repro-experiments report results/ -o REPORT.md`` folds them
+into a single human-readable summary: per experiment, the scale it ran at,
+its shape checks, and a compact excerpt of its rows.  Useful as the artifact
+attached to a reproduction claim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["build_report", "collect_payloads"]
+
+
+def collect_payloads(directory: "str | Path") -> list[dict]:
+    """Load every ``*_<scale>.json`` experiment payload under ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no such results directory: {directory}")
+    payloads = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        if isinstance(data, dict) and {"experiment", "checks"} <= set(data):
+            data["_file"] = path.name
+            payloads.append(data)
+    return payloads
+
+
+def _order_key(payload: dict) -> tuple:
+    order = [
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig9", "fig10", "fig11", "fig12",
+        "extshapes", "extfaults", "extdot", "extenum", "extselect", "extallreduce",
+    ]
+    exp = payload.get("experiment", "")
+    idx = order.index(exp) if exp in order else len(order)
+    return (idx, payload.get("scale", ""))
+
+
+def build_report(directory: "str | Path", *, max_rows: int = 6) -> str:
+    """Render the markdown report for every payload under ``directory``."""
+    payloads = sorted(collect_payloads(directory), key=_order_key)
+    if not payloads:
+        raise ValueError(f"no experiment payloads found under {directory}")
+    lines: list[str] = [
+        "# Reproduction report",
+        "",
+        f"{len(payloads)} experiment run(s) aggregated from `{directory}`.",
+        "",
+    ]
+    n_checks = n_pass = 0
+    for p in payloads:
+        checks = p.get("checks", {})
+        n_checks += len(checks)
+        n_pass += sum(1 for v in checks.values() if v)
+    lines.append(f"**Shape checks: {n_pass}/{n_checks} pass.**")
+    lines.append("")
+    for p in payloads:
+        checks = p.get("checks", {})
+        ok = all(checks.values())
+        lines.append(
+            f"## {p['experiment']} — {p.get('title', '')} "
+            f"({p.get('scale', '?')} scale) {'✅' if ok else '❌'}"
+        )
+        lines.append("")
+        for name, passed in checks.items():
+            lines.append(f"- [{'x' if passed else ' '}] {name}")
+        rows = p.get("rows", [])
+        if rows:
+            lines.append("")
+            lines.append(f"<details><summary>{len(rows)} data rows "
+                         f"(first {min(max_rows, len(rows))} shown)</summary>")
+            lines.append("")
+            lines.append("```json")
+            for row in rows[:max_rows]:
+                lines.append(json.dumps(row, default=str))
+            lines.append("```")
+            lines.append("</details>")
+        lines.append("")
+    return "\n".join(lines)

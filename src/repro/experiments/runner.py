@@ -1,0 +1,169 @@
+"""CLI runner: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig7 [--scale ci|paper] [--out results/]
+    repro-experiments run all  [--scale ci|paper] [--out results/]
+
+Each experiment prints its rows/series as text (the same content the paper's
+figure encodes) plus PASS/FAIL shape checks against the paper's qualitative
+claims.  With ``--out``, the rows are also written as JSON for downstream
+analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.experiments.config import ExperimentResult, resolve_scale
+
+__all__ = ["EXPERIMENTS", "EXTENSIONS", "run_experiment", "main"]
+
+
+def _registry() -> "Mapping[str, Callable]":
+    # imported lazily so `repro-experiments list` stays instant
+    from repro.experiments import (
+        ext_allreduce,
+        ext_dot,
+        ext_enum,
+        ext_select,
+        ext_faults,
+        ext_shapes,
+        fig2_bounds,
+        fig3_cancellation,
+        fig4_timing,
+        fig6_sensitivity,
+        fig7_distributions,
+        fig9_kdr,
+        fig10_ndr,
+        fig11_nk,
+        fig12_selection,
+        table1_samples,
+    )
+
+    return {
+        "table1": table1_samples.run,
+        "fig2": fig2_bounds.run,
+        "fig3": fig3_cancellation.run,
+        "fig4": fig4_timing.run,
+        "fig5": fig4_timing.run,  # Fig. 5 is the penalty view of Fig. 4
+        "fig6": fig6_sensitivity.run,
+        "fig7": fig7_distributions.run,
+        "fig9": fig9_kdr.run,
+        "fig10": fig10_ndr.run,
+        "fig11": fig11_nk.run,
+        "fig12": fig12_selection.run,
+        "extshapes": ext_shapes.run,
+        "extfaults": ext_faults.run,
+        "extdot": ext_dot.run,
+        "extenum": ext_enum.run,
+        "extselect": ext_select.run,
+        "extallreduce": ext_allreduce.run,
+    }
+
+
+#: the paper's tables/figures, in paper order
+EXPERIMENTS = tuple(
+    ("table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12")
+)
+
+#: beyond-the-paper studies (shape spectrum, fault campaigns, dot products)
+EXTENSIONS = ("extshapes", "extfaults", "extdot", "extenum", "extselect", "extallreduce")
+
+
+def _json_safe(value):
+    # normalise numpy scalars (np.bool_, np.float64, np.int64) first
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            value = value.item()
+        except (AttributeError, ValueError):
+            pass
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+def run_experiment(exp_id: str, scale_name: "str | None" = None) -> ExperimentResult:
+    """Run one experiment by id at the given scale."""
+    registry = _registry()
+    if exp_id not in registry:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(registry)}")
+    return registry[exp_id](resolve_scale(scale_name))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id, or 'all'")
+    run_p.add_argument("--scale", default=None, help="ci (default), large, or paper")
+    run_p.add_argument("--out", default=None, help="directory for JSON rows")
+    rep_p = sub.add_parser("report", help="aggregate JSON outputs into markdown")
+    rep_p.add_argument("directory", help="directory holding *_<scale>.json files")
+    rep_p.add_argument("-o", "--output", default=None, help="write report here")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        from repro.experiments.report import build_report
+
+        text = build_report(args.directory)
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "list":
+        for exp in EXPERIMENTS + EXTENSIONS:
+            print(exp)
+        return 0
+
+    if args.experiment == "all":
+        targets = list(EXPERIMENTS) + list(EXTENSIONS)
+    else:
+        targets = [args.experiment]
+    failures = 0
+    for exp_id in targets:
+        t0 = time.perf_counter()
+        result = run_experiment(exp_id, args.scale)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+        if not result.all_checks_pass:
+            failures += 1
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "scale": result.scale,
+                "checks": _json_safe(dict(result.checks)),
+                "rows": _json_safe(list(result.rows)),
+            }
+            (out_dir / f"{exp_id}_{result.scale}.json").write_text(
+                json.dumps(payload, indent=2)
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

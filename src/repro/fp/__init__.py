@@ -1,0 +1,43 @@
+"""Floating-point foundations: EFTs, representation queries, double-double."""
+
+from repro.fp.double_double import DoubleDouble, dd_add_array, dd_sum
+from repro.fp.eft import (
+    fast_two_sum,
+    fast_two_sum_array,
+    split,
+    two_prod,
+    two_prod_array,
+    two_sum,
+    two_sum_array,
+)
+from repro.fp.properties import (
+    MANTISSA_BITS,
+    UNIT_ROUNDOFF,
+    exponent,
+    exponents,
+    is_power_of_two,
+    next_down,
+    next_up,
+    ulp,
+)
+
+__all__ = [
+    "DoubleDouble",
+    "MANTISSA_BITS",
+    "UNIT_ROUNDOFF",
+    "dd_add_array",
+    "dd_sum",
+    "exponent",
+    "exponents",
+    "fast_two_sum",
+    "fast_two_sum_array",
+    "is_power_of_two",
+    "next_down",
+    "next_up",
+    "split",
+    "two_prod",
+    "two_prod_array",
+    "two_sum",
+    "two_sum_array",
+    "ulp",
+]

@@ -1,0 +1,122 @@
+"""Error-free transformations (EFTs) for IEEE-754 binary64 arithmetic.
+
+An error-free transformation rewrites a floating-point operation as a pair
+``(result, error)`` such that the mathematical identity holds *exactly* in
+real arithmetic: for addition, ``a + b == s + e`` where ``s = fl(a + b)``.
+These are the building blocks of every compensated algorithm in
+:mod:`repro.summation`:
+
+* :func:`two_sum` — Knuth's 6-flop branch-free transformation, valid for any
+  ``a, b``.
+* :func:`fast_two_sum` — Dekker's 3-flop variant, valid when
+  ``|a| >= |b|`` (or ``a == 0``).
+* :func:`split` — Dekker's mantissa splitting, used by :func:`two_prod`.
+* :func:`two_prod` — exact product transformation (used by the double-double
+  substrate, not by summation itself).
+
+Every function has both a scalar and a vectorised form; the vectorised forms
+operate elementwise on ``numpy`` arrays and are what the level-wise tree
+evaluators use.  All of them assume round-to-nearest-even binary64, which is
+what CPython/NumPy provide on every mainstream platform.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "two_sum",
+    "fast_two_sum",
+    "two_sum_array",
+    "fast_two_sum_array",
+    "split",
+    "two_prod",
+    "two_prod_array",
+]
+
+#: Dekker splitting constant for binary64: 2**ceil(53/2) + 1.
+_SPLITTER = float(2**27 + 1)
+
+
+def two_sum(a: float, b: float) -> Tuple[float, float]:
+    """Knuth's TwoSum: return ``(s, e)`` with ``s = fl(a+b)`` and
+    ``a + b = s + e`` exactly.
+
+    Works for all finite inputs with no magnitude precondition.
+    """
+    s = a + b
+    bb = s - a
+    e = (a - (s - bb)) + (b - bb)
+    return s, e
+
+
+def fast_two_sum(a: float, b: float) -> Tuple[float, float]:
+    """Dekker's FastTwoSum: like :func:`two_sum` but requires ``|a| >= |b|``.
+
+    The precondition is *not* checked (this is a hot-path primitive); callers
+    that cannot guarantee it must use :func:`two_sum`.
+    """
+    s = a + b
+    e = b - (s - a)
+    return s, e
+
+
+def two_sum_array(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise TwoSum over arrays; returns ``(s, e)`` arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    s = a + b
+    bb = s - a
+    e = (a - (s - bb)) + (b - bb)
+    return s, e
+
+
+def fast_two_sum_array(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise FastTwoSum; requires ``|a| >= |b|`` elementwise (unchecked)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    s = a + b
+    e = b - (s - a)
+    return s, e
+
+
+def split(a: float) -> Tuple[float, float]:
+    """Dekker's Split: return ``(hi, lo)`` with ``a = hi + lo`` exactly and
+    each part representable in 26/27 mantissa bits.
+
+    Overflows for ``|a| >= 2**996``; inputs that large should be pre-scaled.
+    """
+    c = _SPLITTER * a
+    hi = c - (c - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_prod(a: float, b: float) -> Tuple[float, float]:
+    """TwoProd via Dekker splitting: ``(p, e)`` with ``a * b = p + e`` exactly.
+
+    Uses the FMA-free formulation so results are identical on platforms
+    without a fused multiply-add.
+    """
+    p = a * b
+    a_hi, a_lo = split(a)
+    b_hi, b_lo = split(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def two_prod_array(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise TwoProd over arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    p = a * b
+    ca = _SPLITTER * a
+    a_hi = ca - (ca - a)
+    a_lo = a - a_hi
+    cb = _SPLITTER * b
+    b_hi = cb - (cb - b)
+    b_lo = b - b_hi
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e

@@ -1,0 +1,31 @@
+"""Workload generators: targeted (k, dr) sets, zero-sum workloads, Table I
+literals, plain random draws, and the physically motivated N-body terms."""
+
+from repro.generators.conditioned import ConditionedSet, generate_sum_set, zero_sum_set
+from repro.generators.dotprod import DotWorkload, dot_condition_number, ill_conditioned_dot
+from repro.generators.distributions import (
+    log_uniform_magnitudes,
+    signed_log_uniform,
+    uniform_symmetric,
+)
+from repro.generators.nbody import NBodyWorkload, nbody_force_terms
+from repro.generators.samples import TABLE_I, TableISample
+from repro.generators.series import chunk_for_rank, zero_sum_series
+
+__all__ = [
+    "ConditionedSet",
+    "DotWorkload",
+    "dot_condition_number",
+    "ill_conditioned_dot",
+    "NBodyWorkload",
+    "TABLE_I",
+    "TableISample",
+    "chunk_for_rank",
+    "generate_sum_set",
+    "log_uniform_magnitudes",
+    "nbody_force_terms",
+    "signed_log_uniform",
+    "uniform_symmetric",
+    "zero_sum_series",
+    "zero_sum_set",
+]

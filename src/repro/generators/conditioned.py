@@ -1,0 +1,300 @@
+"""Generate summand sets with prescribed condition number and dynamic range.
+
+Sec. V.A characterises a set of floating-point values by two intrinsic,
+order-independent properties:
+
+* sum condition number  ``k = (Σ|x_i|) / |Σ x_i|``  (``inf`` for exact-zero
+  sums), and
+* dynamic range  ``dr = exp(max|x_i|) - exp(min|x_i|)`` (difference of binary
+  exponents).
+
+The grid experiments need sets hitting target ``(k, dr)`` cells.  The
+construction here guarantees ``dr`` *exactly* (both extreme exponents are
+planted) and hits ``k`` to within a few percent (the cells of the paper's
+grids are decades apart; the achieved value is always measured exactly by
+:func:`repro.metrics.properties.condition_number` and reported alongside).
+
+Construction regimes, chosen by target ``k``:
+
+``k == 1``
+    All values positive.  (The sign pattern is irrelevant per the paper:
+    "A condition number equal to 1 means all values in sum have the same
+    sign".)
+``1 < k <= n/4``  (mixture regime)
+    ``n/k`` positive-only values carry the surviving sum; the rest are exact
+    ``±`` pairs contributing absolute mass but no net sum, so in expectation
+    ``k = 1 + T_pairs/T_pos``.  One value is then corrected analytically to
+    land the exact target.
+``n/4 < k < inf``  (surplus regime)
+    All values are exact ``±`` pairs except one "surplus" pair
+    ``(fl(v + S_t), -v)`` whose tiny imbalance sets the sum to
+    ``S_t ≈ T/k`` while both magnitudes stay inside the exponent range —
+    mirroring Table I's ``{2.505e+2, 2.5e+2, -2.495e+2, -2.5e+2}`` pattern.
+``k == inf``
+    Pure exact ``±`` pairs (plus one exact ``(a, a, -2a)`` triple when ``n``
+    is odd), so the exact sum is identically zero — the Fig. 6/7 workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fp.properties import exponent
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["ConditionedSet", "generate_sum_set", "zero_sum_set"]
+
+
+@dataclass(frozen=True)
+class ConditionedSet:
+    """A generated summand set plus its requested targets.
+
+    ``values`` is shuffled; achieved properties should be measured with
+    :mod:`repro.metrics.properties` (exactly) rather than trusted from the
+    request.
+    """
+
+    values: np.ndarray
+    target_k: float
+    target_dr: int
+    base_exponent: int
+
+
+def _magnitudes(
+    rng: np.random.Generator, count: int, dr: int, base_exponent: int
+) -> np.ndarray:
+    """Positive magnitudes with exponents uniform over ``[e0, e0+dr]``,
+    both endpoints guaranteed present (when count >= 2)."""
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    exps = rng.integers(0, dr + 1, size=count) + base_exponent
+    if count >= 2 and dr >= 0:
+        exps[0] = base_exponent
+        exps[1] = base_exponent + dr
+    # mantissas in [1, 2): exponent is exactly exps[i]
+    mant = rng.uniform(1.0, 2.0, size=count)
+    # keep strictly below 2.0 so the exponent cannot round up a binade
+    mant = np.minimum(mant, math.nextafter(2.0, 1.0))
+    return np.ldexp(mant, exps)
+
+
+def zero_sum_set(
+    n: int, dr: int, seed: SeedLike = None, base_exponent: int = 0
+) -> np.ndarray:
+    """Exact-zero-sum set of ``n`` values with dynamic range exactly ``dr``.
+
+    This is the workload of Sec. V.B ("constructed to have the exact sum of
+    zero and dynamic range of 32"): maximal condition number, tunable
+    alignment error.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2 for a zero-sum set")
+    if dr < 0:
+        raise ValueError("dynamic range must be >= 0")
+    rng = resolve_rng(seed)
+    odd = n % 2
+    parts: list[np.ndarray]
+    if not odd:
+        if n == 2 and dr > 0:
+            raise ValueError("a single ± pair always has dr == 0")
+        mags = _magnitudes(rng, n // 2, dr, base_exponent)
+        parts = [mags, -mags]
+    elif dr >= 1 and dr <= 52:
+        # Exact triple spanning the whole range: (2**(e0+dr), 2**e0,
+        # -(2**(e0+dr) + 2**e0)); the inner sum is exact for dr <= 52, and
+        # the negated value's exponent is e0+dr, so the span is realised by
+        # the triple itself and the pairs are free to roam.
+        m = (n - 3) // 2
+        exps = rng.integers(0, dr + 1, size=m) + base_exponent
+        mags = np.ldexp(
+            np.minimum(rng.uniform(1.0, 2.0, size=m), math.nextafter(2.0, 1.0)), exps
+        )
+        hi = math.ldexp(1.0, base_exponent + dr)
+        lo = math.ldexp(1.0, base_exponent)
+        parts = [mags, -mags, np.array([hi, lo, -(hi + lo)])]
+    elif dr >= 53:
+        # Pairs plant the endpoints; the odd triple (a, a, -2a) sits at the
+        # bottom, with -2a one binade up (inside the span).
+        m = (n - 3) // 2
+        if m < 2:
+            raise ValueError("odd zero-sum sets with dr >= 53 need n >= 7")
+        mags = _magnitudes(rng, m, dr, base_exponent)
+        a = float(np.ldexp(rng.uniform(1.0, 2.0), base_exponent))
+        parts = [mags, -mags, np.array([a, a, -2.0 * a])]
+    else:
+        # dr == 0 and n odd: an exact-zero triple inside one binade is
+        # impossible (a + b >= 2**(e+1) > |c|), but the exact quintuple
+        # (m, m, m, -1.5m, -1.5m) stays in-binade for m in [1, 4/3).
+        if n < 5:
+            raise ValueError("no odd zero-sum set with dr=0 exists for n < 5")
+        m5 = (n - 5) // 2
+        mags = _magnitudes(rng, m5, 0, base_exponent)
+        q = float(np.ldexp(rng.uniform(1.0, 4.0 / 3.0), base_exponent))
+        parts = [mags, -mags, np.array([q, q, q, -1.5 * q, -1.5 * q])]
+    vals = np.concatenate(parts)
+    rng.shuffle(vals)
+    return vals
+
+
+def generate_sum_set(
+    n: int,
+    condition: float,
+    dynamic_range: int,
+    seed: SeedLike = None,
+    base_exponent: int = 0,
+) -> ConditionedSet:
+    """Generate ``n`` doubles targeting sum condition number ``condition``
+    and dynamic range ``dynamic_range``.
+
+    Parameters
+    ----------
+    n:
+        Set size (>= 8; smaller sets over-constrain the simultaneous k and
+        dr targets — build them by hand or from Table I instead).
+    condition:
+        Target ``k >= 1`` or ``math.inf`` for an exact-zero sum.
+    dynamic_range:
+        Exact binary-exponent span of the magnitudes.
+    base_exponent:
+        Exponent of the smallest magnitudes (default 0: values in [1, 2)).
+    """
+    if n < 8:
+        raise ValueError("need n >= 8")
+    if condition < 1.0:
+        raise ValueError("condition number is >= 1 by definition")
+    if dynamic_range < 0:
+        raise ValueError("dynamic range must be >= 0")
+    rng = resolve_rng(seed)
+    dr = int(dynamic_range)
+
+    if math.isinf(condition):
+        vals = zero_sum_set(n, dr, rng, base_exponent)
+        return ConditionedSet(vals, math.inf, dr, base_exponent)
+
+    if condition == 1.0:
+        vals = _magnitudes(rng, n, dr, base_exponent)
+        rng.shuffle(vals)
+        return ConditionedSet(vals, 1.0, dr, base_exponent)
+
+    vals = _surplus_regime(rng, n, condition, dr, base_exponent)
+    if vals is None:
+        vals = _mixture_regime(rng, n, condition, dr, base_exponent)
+    rng.shuffle(vals)
+    return ConditionedSet(vals, condition, dr, base_exponent)
+
+
+def _mixture_regime(
+    rng: np.random.Generator, n: int, k: float, dr: int, e0: int
+) -> np.ndarray:
+    """±-pair mass plus a positive-only block carrying the net sum.
+
+    Handles small targets (k close to 1, where most of the mass must
+    survive).  The positive-block size is refined iteratively against the
+    measured ratio, then the whole positive block is rescaled analytically:
+    with pair mass ``T_p`` and positive mass ``T_+``, scaling positives by
+    ``alpha = T_p / ((k-1) T_+)`` lands ``k = 1 + T_p / (alpha T_+)``
+    exactly (up to per-value range clamping).
+    """
+    n_pos = max(2, min(n - 4, int(round(n / k))))
+    lo = math.ldexp(1.0, e0)
+    hi = math.ldexp(math.nextafter(2.0, 1.0), e0 + dr)
+    best: np.ndarray | None = None
+    best_miss = math.inf
+    for _ in range(4):
+        if (n - n_pos) % 2:
+            n_pos = min(n - 4, n_pos + 1)
+        m = (n - n_pos) // 2
+        pair_mags = _magnitudes(rng, m, dr, e0)
+        pos = _magnitudes(rng, n_pos, dr, e0)
+        t_pairs = 2.0 * float(np.sum(pair_mags))
+        t_pos = float(np.sum(pos))
+        if k > 1.0 and t_pairs > 0.0:
+            alpha = t_pairs / ((k - 1.0) * t_pos)
+            pos = np.clip(pos * alpha, lo, hi)
+        vals = np.concatenate([pair_mags, -pair_mags, pos])
+        t_pos_new = float(np.sum(pos))
+        achieved = 1.0 + (t_pairs / t_pos_new if t_pos_new else math.inf)
+        miss = abs(math.log(achieved / k)) if achieved > 0 else math.inf
+        if miss < best_miss:
+            best, best_miss = vals, miss
+        if miss < 0.02:
+            break
+        # clamping skewed the ratio: trade positive count against it
+        n_pos = max(2, min(n - 4, int(round(n_pos * achieved / k))))
+    assert best is not None
+    return best
+
+
+def _surplus_regime(
+    rng: np.random.Generator, n: int, k: float, dr: int, e0: int
+) -> "np.ndarray | None":
+    """Exact ± pairs plus ``j`` near-cancelling surplus pairs setting the sum.
+
+    Each surplus pair is ``(fl(v_i + S_t/j), -v_i)`` with ``v_i`` in the top
+    binade; the per-pair increment ``S_t/j`` is kept below ``0.4 * 2**(e0+dr)``
+    so the perturbed value stays in-binade and the increment survives
+    rounding.  Returns ``None`` when the required ``j`` does not fit in ``n``
+    (the mixture regime then applies — that is the small-k case).
+    """
+    odd = n % 2
+    top = math.ldexp(1.0, e0 + dr)
+    v_scale = 1.3 * top
+    cap = 0.4 * top
+
+    # Fixed point for (j, S_t): total absolute mass T ≈ T0 + 2 j v̄ + S_t and
+    # S_t = T / k.  Estimate T0 from the expected pair magnitude.
+    def pair_mean() -> float:
+        # expectation of mantissa(1.5 avg) * 2**U[0, dr]
+        if dr == 0:
+            return 1.5 * math.ldexp(1.0, e0)
+        return 1.5 * math.ldexp(1.0, e0) * (2.0 ** (dr + 1) - 1) / (dr + 1)
+
+    # The zero-sum block absorbing odd n: an exact triple (a, a, -2a) when
+    # the span allows -2a's higher binade, else the in-binade quintuple
+    # (q, q, q, -1.5q, -1.5q).
+    odd_block = (3 if dr >= 1 else 5) * odd
+
+    j = 1
+    for _ in range(16):
+        m = (n - 2 * j - odd_block) // 2
+        if m < 0:
+            return None
+        t0_est = 2.0 * m * pair_mean() + 6.0 * math.ldexp(1.2, e0) * odd
+        s_t = (t0_est + 2.0 * j * v_scale) / (k - 1.0)
+        j_new = max(1, math.ceil(s_t / cap))
+        if j_new == j:
+            break
+        j = j_new
+    if 2 * j + odd_block > n - 4 and not (2 * j + odd_block == n):
+        return None
+
+    m = (n - 2 * j - odd_block) // 2
+    if m < 2 and dr > 0:
+        # not enough ± pairs left to plant the bottom of the exponent span
+        return None
+    pair_mags = _magnitudes(rng, m, dr, e0)
+    parts = [pair_mags, -pair_mags]
+    t0 = 2.0 * float(np.sum(pair_mags))
+    if odd:
+        if dr >= 1:
+            a = float(np.ldexp(rng.uniform(1.0, 1.4), e0))
+            parts.append(np.array([a, a, -2.0 * a]))
+            t0 += 4.0 * a
+        else:
+            q = float(np.ldexp(rng.uniform(1.0, 4.0 / 3.0), e0))
+            parts.append(np.array([q, q, q, -1.5 * q, -1.5 * q]))
+            t0 += 6.0 * q
+    v = np.ldexp(1.2 + 0.2 * rng.random(j), np.full(j, e0 + dr))
+    # Re-solve S_t with the realised masses: S = (t0 + 2 Σv + S)/k.
+    s_t = (t0 + 2.0 * float(np.sum(v))) / (k - 1.0)
+    inc = s_t / j
+    s1 = v + inc
+    # clamp any value the increment pushed out of the top binade
+    s1 = np.minimum(s1, math.nextafter(2.0, 1.0) * top)
+    parts.append(s1)
+    parts.append(-v)
+    return np.concatenate(parts)

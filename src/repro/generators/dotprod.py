@@ -1,0 +1,102 @@
+"""Ill-conditioned dot-product workloads (Ogita-Rump-Oishi ``GenDot``).
+
+Companion generator for :mod:`repro.summation.dot`: produces vector pairs
+``(x, y)`` whose dot product has a prescribed condition number
+
+    k_dot = 2 * Σ|x_i y_i| / |Σ x_i y_i|
+
+following Algorithm 6.1 of Ogita, Rump & Oishi, "Accurate Sum and Dot
+Product" (SIAM J. Sci. Comput., 2005): half the entries are drawn with
+exponents spanning ``log2(k)/2``; the other half are constructed one at a
+time so the running exact dot product cancels down to the target size.  The
+running products are tracked with the exact superaccumulator, so the
+achieved condition is controlled to well within a decade.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exact.superacc import ExactSum
+from repro.fp.eft import two_prod
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["DotWorkload", "ill_conditioned_dot", "dot_condition_number"]
+
+
+@dataclass(frozen=True)
+class DotWorkload:
+    """A dot-product problem with its requested condition target."""
+
+    x: np.ndarray
+    y: np.ndarray
+    target_condition: float
+
+
+def dot_condition_number(x: np.ndarray, y: np.ndarray) -> float:
+    """Exact ``2 Σ|x_i y_i| / |Σ x_i y_i|`` (``inf`` for zero dots)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise ValueError("length mismatch")
+    if x.size == 0:
+        return 1.0
+    from fractions import Fraction
+
+    num = Fraction(0)
+    den = ExactSum()
+    for xi, yi in zip(x.tolist(), y.tolist()):
+        p, e = two_prod(xi, yi)
+        num += abs(Fraction(p) + Fraction(e))
+        den.add(p)
+        den.add(e)
+    if den.is_zero():
+        return math.inf
+    return float(2 * num / abs(den.to_fraction()))
+
+
+def ill_conditioned_dot(
+    n: int, condition: float, seed: SeedLike = None
+) -> DotWorkload:
+    """Generate ``(x, y)`` of length ``n`` with dot condition ~ ``condition``.
+
+    Requires ``n >= 6`` and ``condition >= 2`` (the definition's floor).
+    """
+    if n < 6:
+        raise ValueError("need n >= 6")
+    if condition < 2.0:
+        raise ValueError("dot condition number is >= 2 by definition")
+    rng = resolve_rng(seed)
+    b = math.log2(condition)
+    n_half = n // 2
+    x = np.zeros(n)
+    y = np.zeros(n)
+
+    # first half: exponents spread over [0, b/2], endpoints planted
+    e = np.rint(rng.uniform(0.0, b / 2.0, n_half)).astype(np.int64)
+    e[0] = int(round(b / 2.0))
+    e[-1] = 0
+    x[:n_half] = (2.0 * rng.random(n_half) - 1.0) * np.exp2(e)
+    y[:n_half] = (2.0 * rng.random(n_half) - 1.0) * np.exp2(e)
+
+    # running exact dot of the prefix
+    acc = ExactSum()
+    for xi, yi in zip(x[:n_half].tolist(), y[:n_half].tolist()):
+        p, err = two_prod(xi, yi)
+        acc.add(p)
+        acc.add(err)
+
+    # second half: choose y[i] to cancel the running dot down to ~2**e_i
+    e2 = np.rint(np.linspace(b / 2.0, 0.0, n - n_half)).astype(np.int64)
+    for idx, ei in zip(range(n_half, n), e2.tolist()):
+        x[idx] = (2.0 * rng.random() - 1.0) * math.exp2(ei)
+        target = (2.0 * rng.random() - 1.0) * math.exp2(ei)
+        y[idx] = (target - acc.to_float()) / x[idx]
+        p, err = two_prod(float(x[idx]), float(y[idx]))
+        acc.add(p)
+        acc.add(err)
+
+    return DotWorkload(x=x, y=y, target_condition=condition)

@@ -1,0 +1,112 @@
+"""N-body-style force-reduction workloads.
+
+Sec. V.A motivates ill-conditioned inputs with N-body simulations [16]:
+"reductions of floating-point values that are ill-conditioned; both k and dr
+can frequently be very large", e.g. "when the net force on a particle is
+close to zero".  This generator produces exactly that situation from first
+principles: softened inverse-square pairwise forces on a probe particle in a
+random cluster, for one coordinate axis.  Attractive pulls from opposite
+sides cancel, so the net component is tiny relative to the absolute force
+mass — large ``k`` — while clustering spreads magnitudes over many binades —
+large ``dr``.
+
+This is the physically-motivated example application workload (see
+``examples/nbody_reduction.py``); the grid experiments use the precisely
+targeted :mod:`repro.generators.conditioned` sets instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["NBodyWorkload", "nbody_force_terms"]
+
+
+@dataclass(frozen=True)
+class NBodyWorkload:
+    """Force contributions on a probe particle along one axis.
+
+    ``terms`` are the per-source force components whose sum is the net
+    force; ``positions``/``masses`` allow the example app to rebuild or
+    perturb the system.
+    """
+
+    terms: np.ndarray
+    positions: np.ndarray
+    masses: np.ndarray
+    probe_index: int
+    axis: int
+
+
+def nbody_force_terms(
+    n_bodies: int,
+    *,
+    axis: int = 0,
+    softening: float = 1e-6,
+    clustering: float = 3.0,
+    asymmetry: float = 0.01,
+    seed: SeedLike = None,
+) -> NBodyWorkload:
+    """Pairwise force components on body 0 from ``n_bodies - 1`` sources.
+
+    The cluster is built (mostly) point-symmetric about the probe: a source
+    at ``p`` with mass ``m`` is mirrored at ``-p`` with the same mass, so
+    their pulls cancel *exactly* and the net force is carried only by the
+    small asymmetric remainder — the "net force on a particle is close to
+    zero" situation Sec. V.A highlights.  This makes the term set genuinely
+    ill-conditioned: ``k ~ (symmetric mass) / (remainder force)``.
+
+    Parameters
+    ----------
+    n_bodies:
+        Total bodies (>= 2); the probe is body 0 at the cluster's centre.
+    softening:
+        Plummer softening length; smaller values allow closer encounters
+        and hence wider dynamic range.
+    clustering:
+        Log-normal sigma of radial distances: 0 gives a thin shell, larger
+        values spread bodies over ``e**clustering`` decades of distance.
+    asymmetry:
+        Fraction of sources left unmirrored (0 gives an exactly-zero net
+        force, i.e. ``k = inf``).
+    """
+    if n_bodies < 2:
+        raise ValueError("need at least two bodies")
+    if not 0 <= axis <= 2:
+        raise ValueError("axis must be 0, 1 or 2")
+    if not 0.0 <= asymmetry <= 1.0:
+        raise ValueError("asymmetry must be in [0, 1]")
+    rng = resolve_rng(seed)
+    n_sources = n_bodies - 1
+    n_lone = min(n_sources, max(0, round(asymmetry * n_sources)))
+    if (n_sources - n_lone) % 2:
+        n_lone += 1
+    n_pairs = (n_sources - n_lone) // 2
+
+    def sample(count: int) -> tuple[np.ndarray, np.ndarray]:
+        raw = rng.normal(size=(count, 3))
+        raw /= np.linalg.norm(raw, axis=1, keepdims=True)
+        radii = np.exp(rng.normal(0.0, clustering, size=count))
+        return raw * radii[:, None], np.exp(rng.normal(0.0, 1.0, size=count))
+
+    pos_half, mass_half = sample(n_pairs)
+    pos_lone, mass_lone = sample(n_lone)
+    pos = np.vstack([pos_half, -pos_half, pos_lone])
+    src_masses = np.concatenate([mass_half, mass_half, mass_lone])
+    positions = np.vstack([np.zeros(3), pos])
+    masses = np.concatenate([[1.0], src_masses])
+    # force on probe (body 0) from each source j: G = 1
+    r2 = np.sum(pos * pos, axis=1) + softening * softening
+    inv_r3 = r2 ** (-1.5)
+    terms = masses[0] * src_masses * inv_r3 * pos[:, axis]
+    return NBodyWorkload(
+        terms=terms,
+        positions=positions,
+        masses=masses,
+        probe_index=0,
+        axis=axis,
+    )

@@ -1,0 +1,49 @@
+"""Table I's literal sample sets with specified (dr, k).
+
+The paper's Table I gives eleven four-value sets illustrating how dynamic
+range and condition number are independent knobs.  They are reproduced here
+verbatim (as decimal literals, exactly as printed) together with the (dr, k)
+labels the table assigns, so the test suite can check our measured properties
+against the paper's claims — the measured ``dr`` for decimal literals can
+differ by ±1 binade from the paper's nominal label, since e.g. 1e-6 and 1e-14
+do not sit exactly 8 binades apart; the table's labels are decimal-order
+approximations.  ``TABLE_I`` entries carry the nominal labels; tests assert
+exact agreement for ``k`` (which is decimal-exact by construction) and
+agreement within 2 binades for ``dr``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TableISample", "TABLE_I"]
+
+
+@dataclass(frozen=True)
+class TableISample:
+    """One row of Table I: four values plus the nominal (dr, k) labels."""
+
+    values: tuple[float, float, float, float]
+    nominal_dr: int
+    nominal_k: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array(self.values, dtype=np.float64)
+
+
+TABLE_I: tuple[TableISample, ...] = (
+    TableISample((1.23e32, 1.35e32, 2.37e32, 3.54e32), 0, 1.0),
+    TableISample((1.23e-32, 1.35e-32, 2.37e-32, 3.54e-32), 0, 1.0),
+    TableISample((-1.23e16, -1.35e16, -2.37e16, -3.54e16), 0, 1.0),
+    TableISample((2.37e16, 3.41e8, 4.32e8, 8.14e16), 8, 1.0),
+    TableISample((3.14e32, 1.59e16, 2.65e18, 3.58e24), 16, 1.0),
+    TableISample((2.505e2, 2.5e2, -2.495e2, -2.5e2), 0, 1000.0),
+    TableISample((5.00e2, 4.99999e-1, 1.0e-6, -4.995e2), 8, 1000.0),
+    TableISample((5.00e2, 4.9999e-1, 1.0e-14, -4.995e2), 16, 1000.0),
+    TableISample((3.14e8, 1.59e8, -3.14e8, -1.59e8), 0, math.inf),
+    TableISample((3.14e4, 1.59e-4, -3.14e4, -1.59e-4), 8, math.inf),
+    TableISample((3.14e8, 1.59e-8, -3.14e8, -1.59e-8), 16, math.inf),
+)

@@ -1,0 +1,60 @@
+"""Zero-sum series for the Fig. 4/5 timing workload.
+
+The paper's timing case study generates, on each process, "a chunk of a
+vector of values of length 10^6 from a series that is known to sum to zero
+under exact arithmetic".  :func:`zero_sum_series` builds such a vector: the
+full series is exactly zero *in exact arithmetic* (and in fact exactly zero
+in binary, since it is built from negation pairs arranged with varying
+magnitudes), while each chunk individually is nonzero — so the global
+reduction is genuinely exercised.
+
+The layout interleaves scales so chunks see wide dynamic range (making the
+timing workload numerically honest, not just a constant-stride memcpy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["zero_sum_series", "chunk_for_rank"]
+
+
+def zero_sum_series(
+    n: int, dynamic_range: int = 24, seed: SeedLike = None
+) -> np.ndarray:
+    """A length-``n`` vector whose exact (and binary-exact) sum is zero.
+
+    Values are ``±m * 2**e`` negation pairs with exponents cycling through
+    ``[0, dynamic_range]``; the pair members are deliberately placed far
+    apart (first half positive, second half negated in reversed order) so
+    contiguous chunks do not trivially cancel.  Odd ``n`` appends an exact
+    ``(a, a, -2a)`` triple spread across the vector.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if dynamic_range < 0:
+        raise ValueError("dynamic_range must be >= 0")
+    rng = resolve_rng(seed)
+    odd = n % 2
+    m = (n - 3 * odd) // 2
+    exps = np.arange(m) % (dynamic_range + 1)
+    mant = rng.uniform(1.0, 2.0, size=m)
+    mags = np.ldexp(np.minimum(mant, np.nextafter(2.0, 1.0)), exps)
+    out = np.concatenate([mags, -mags[::-1]])
+    if odd:
+        a = float(np.ldexp(1.5, 0))
+        out = np.concatenate([out[: m // 2], [a, a], out[m // 2 :], [-2.0 * a]])
+    return out
+
+
+def chunk_for_rank(series: np.ndarray, rank: int, n_ranks: int) -> np.ndarray:
+    """The contiguous chunk of ``series`` owned by ``rank`` (block layout)."""
+    if not 0 <= rank < n_ranks:
+        raise ValueError(f"rank {rank} out of range for {n_ranks} ranks")
+    n = series.size
+    base, extra = divmod(n, n_ranks)
+    start = rank * base + min(rank, extra)
+    length = base + (1 if rank < extra else 0)
+    return series[start : start + length]

@@ -1,0 +1,20 @@
+"""Interval-arithmetic substrate (Sec. III.B): outward-rounded enclosures
+and the IV summation algorithm measuring that technique's tradeoffs."""
+
+from repro.interval.core import Interval, add_down, add_up, sum_interval_array
+from repro.interval.summation import IntervalAccumulator, IntervalSum
+from repro.summation.registry import register as _register
+
+# The interval algorithm lives outside repro.summation (to keep the import
+# graph acyclic) and registers itself on package import; `import repro`
+# always triggers this.
+_register(IntervalSum())
+
+__all__ = [
+    "Interval",
+    "IntervalAccumulator",
+    "IntervalSum",
+    "add_down",
+    "add_up",
+    "sum_interval_array",
+]

@@ -1,0 +1,49 @@
+"""Measurement layer: intrinsic set properties, ensemble error statistics,
+and the worst-case bounds the paper shows to be uninformative."""
+
+from repro.metrics.bounds import (
+    analytical_bound,
+    compensated_bound,
+    condition_based_relative_bound,
+    kahan_bound,
+    pairwise_bound,
+    prerounded_bound,
+    statistical_bound,
+)
+from repro.metrics.distributions import (
+    DistributionSummary,
+    EmpiricalCDF,
+    ks_distance,
+    stochastically_dominates,
+    summarize,
+)
+from repro.metrics.errors import BoxplotSummary, ErrorStats, boxplot_summary, error_stats
+from repro.metrics.properties import (
+    SetProfile,
+    condition_number,
+    dynamic_range,
+    profile_set,
+)
+
+__all__ = [
+    "BoxplotSummary",
+    "DistributionSummary",
+    "EmpiricalCDF",
+    "ErrorStats",
+    "SetProfile",
+    "analytical_bound",
+    "compensated_bound",
+    "kahan_bound",
+    "pairwise_bound",
+    "prerounded_bound",
+    "boxplot_summary",
+    "condition_based_relative_bound",
+    "condition_number",
+    "dynamic_range",
+    "error_stats",
+    "ks_distance",
+    "stochastically_dominates",
+    "summarize",
+    "profile_set",
+    "statistical_bound",
+]

@@ -1,0 +1,130 @@
+"""Worst-case error bounds for floating-point summation (Sec. IV.A).
+
+Two bounds frame the Fig. 2 experiment:
+
+* the **analytical** (deterministic worst-case) bound, Higham [11]:
+  ``|fl(Σ x_i) - Σ x_i| < n · u · Σ |x_i|``  with unit roundoff
+  ``u = 2**-53``;
+* a **statistical** bound modelling per-operation roundoffs as independent
+  zero-mean random variables, which scales with ``sqrt(n)`` instead of
+  ``n`` (the classic Wilkinson "rule of thumb"); we use the 3-sigma form
+  ``3 · sqrt(n) · u · Σ |x_i|``.
+
+The paper's point — which the Fig. 2 reproduction asserts — is that *both*
+overestimate observed error magnitudes by orders of magnitude, so bounds
+alone cannot drive algorithm selection.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fp.properties import UNIT_ROUNDOFF
+
+__all__ = [
+    "analytical_bound",
+    "statistical_bound",
+    "condition_based_relative_bound",
+    "pairwise_bound",
+    "kahan_bound",
+    "compensated_bound",
+    "prerounded_bound",
+]
+
+
+def analytical_bound(x: np.ndarray, u: float = UNIT_ROUNDOFF) -> float:
+    """Higham's deterministic worst case: ``n * u * Σ|x_i|``.
+
+    Valid for any summation order (any reduction tree), which is what makes
+    it both safe and extremely loose.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n == 0:
+        return 0.0
+    return n * u * float(np.sum(np.abs(x)))
+
+
+def statistical_bound(
+    x: np.ndarray, u: float = UNIT_ROUNDOFF, sigmas: float = 3.0
+) -> float:
+    """Probabilistic bound: ``sigmas * sqrt(n) * u * Σ|x_i|``.
+
+    Treats the n-1 rounding errors as independent, zero-mean, bounded by
+    ``u`` per partial-sum magnitude; a ``sigmas``-sigma excursion of their
+    sum gives the sqrt(n) scaling (Wilkinson; see also Higham & Mary 2019).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n == 0:
+        return 0.0
+    return sigmas * math.sqrt(n) * u * float(np.sum(np.abs(x)))
+
+
+def condition_based_relative_bound(
+    condition: float, n: int, u: float = UNIT_ROUNDOFF
+) -> float:
+    """Relative-error form ``n * u * k``: the condition number converts the
+    absolute bound into a relative one (``inf`` for zero-sum sets)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if math.isinf(condition):
+        return math.inf
+    return n * u * condition
+
+
+# --- per-algorithm worst cases (classical results, first-order forms) ------
+
+
+def pairwise_bound(x: np.ndarray, u: float = UNIT_ROUNDOFF) -> float:
+    """Balanced (pairwise) summation: ``ceil(log2 n) * u * Σ|x_i|`` to first
+    order — the depth of the tree replaces n (why balanced beats serial)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n <= 1:
+        return 0.0
+    return math.ceil(math.log2(n)) * u * float(np.sum(np.abs(x)))
+
+
+def kahan_bound(x: np.ndarray, u: float = UNIT_ROUNDOFF) -> float:
+    """Kahan's compensated summation: ``(2u + O(n u**2)) * Σ|x_i|`` (Knuth/
+    Goldberg) — n-independent to first order."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n <= 1:
+        return 0.0
+    t = float(np.sum(np.abs(x)))
+    return (2.0 * u + 2.0 * n * u * u) * t
+
+
+def compensated_bound(x: np.ndarray, u: float = UNIT_ROUNDOFF) -> float:
+    """Composite precision / Sum2: ``u*|s| + 2 n**2 u**2 Σ|x_i|`` (Ogita-
+    Rump-Oishi Prop. 4.5 shape) — as-if-doubled working precision."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n <= 1:
+        return 0.0
+    t = float(np.sum(np.abs(x)))
+    s = abs(float(np.sum(x)))
+    return u * s + 2.0 * n * n * u * u * t
+
+
+def prerounded_bound(
+    x: np.ndarray, folds: int = 3, fold_width: int = 40
+) -> float:
+    """Prerounded summation: each operand loses at most half the cutoff grid
+    ``2**(E - K*W - 1)``, plus one final rounding of the result."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n == 0:
+        return 0.0
+    max_abs = float(np.max(np.abs(x)))
+    if max_abs == 0.0:
+        return 0.0
+    from repro.fp.properties import exponent
+
+    cutoff = math.ldexp(1.0, exponent(max_abs) - folds * fold_width - 1)
+    s = abs(float(np.sum(x)))
+    return n * cutoff + UNIT_ROUNDOFF * s

@@ -1,0 +1,129 @@
+"""Distributional analysis of error ensembles.
+
+The boxplots of Figs. 6/7 summarise distributions with five numbers; this
+module gives the harness (and downstream users) the full distributional
+toolkit: empirical CDFs, quantile tables, two-sample comparisons between
+algorithms (stochastic dominance and a Kolmogorov-Smirnov distance computed
+without scipy), and moment-based shape descriptors.  All inputs are the raw
+ensembles the tree evaluators produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "EmpiricalCDF",
+    "DistributionSummary",
+    "summarize",
+    "ks_distance",
+    "stochastically_dominates",
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Right-continuous empirical CDF of a sample."""
+
+    sorted_values: np.ndarray
+
+    @staticmethod
+    def from_sample(values: "Sequence[float] | np.ndarray") -> "EmpiricalCDF":
+        arr = np.sort(np.asarray(values, dtype=np.float64).ravel())
+        if arr.size == 0:
+            raise ValueError("empty sample")
+        return EmpiricalCDF(arr)
+
+    def __call__(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """P(X <= x)."""
+        idx = np.searchsorted(self.sorted_values, x, side="right")
+        out = idx / self.sorted_values.size
+        return float(out) if np.isscalar(x) else out
+
+    def quantile(self, q: "float | np.ndarray") -> "float | np.ndarray":
+        """Inverse CDF (type-1: lower empirical quantile)."""
+        qa = np.asarray(q, dtype=np.float64)
+        if np.any((qa < 0) | (qa > 1)):
+            raise ValueError("quantiles must be in [0, 1]")
+        n = self.sorted_values.size
+        idx = np.minimum((qa * n).astype(np.int64), n - 1)
+        out = self.sorted_values[idx]
+        return float(out) if np.isscalar(q) else out
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Moment and quantile portrait of one ensemble."""
+
+    n: int
+    mean: float
+    std: float
+    skewness: float
+    excess_kurtosis: float
+    quantiles: dict  # q -> value
+
+    @property
+    def heavy_tailed(self) -> bool:
+        """Excess kurtosis well above the Gaussian's 0."""
+        return self.excess_kurtosis > 1.0
+
+
+def summarize(
+    values: "Sequence[float] | np.ndarray",
+    quantiles: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95),
+) -> DistributionSummary:
+    """Moments + quantiles of an ensemble of computed sums (or errors)."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    mean = float(arr.mean())
+    centered = arr - mean
+    var = float(np.mean(centered**2))
+    std = math.sqrt(var)
+    if std == 0.0:
+        skew = 0.0
+        kurt = 0.0
+    else:
+        skew = float(np.mean(centered**3)) / std**3
+        kurt = float(np.mean(centered**4)) / std**4 - 3.0
+    cdf = EmpiricalCDF.from_sample(arr)
+    return DistributionSummary(
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        skewness=skew,
+        excess_kurtosis=kurt,
+        quantiles={float(q): float(cdf.quantile(q)) for q in quantiles},
+    )
+
+
+def ks_distance(
+    a: "Sequence[float] | np.ndarray", b: "Sequence[float] | np.ndarray"
+) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic ``sup |F_a - F_b|``."""
+    fa = EmpiricalCDF.from_sample(a)
+    fb = EmpiricalCDF.from_sample(b)
+    grid = np.concatenate([fa.sorted_values, fb.sorted_values])
+    return float(np.max(np.abs(fa(grid) - fb(grid))))
+
+
+def stochastically_dominates(
+    better: "Sequence[float] | np.ndarray",
+    worse: "Sequence[float] | np.ndarray",
+    *,
+    slack: float = 0.0,
+) -> bool:
+    """First-order dominance of |better| over |worse| (smaller is better).
+
+    True when at every threshold t, P(|better| <= t) >= P(|worse| <= t) -
+    slack — the clean statement of "algorithm A's error distribution is
+    uniformly better than B's" that Figs. 6/7 depict.
+    """
+    fa = EmpiricalCDF.from_sample(np.abs(np.asarray(better, dtype=np.float64)))
+    fb = EmpiricalCDF.from_sample(np.abs(np.asarray(worse, dtype=np.float64)))
+    grid = np.concatenate([fa.sorted_values, fb.sorted_values])
+    return bool(np.all(fa(grid) >= fb(grid) - slack))

@@ -1,0 +1,106 @@
+"""Error statistics over tree ensembles.
+
+The paper visualises irreproducibility two ways: boxplots of error
+magnitudes over 100 permuted trees (Fig. 7) and grid cells shaded by the
+*standard deviation of the errors* over 1000 trees (Figs. 9-11).  This module
+computes both from a vector of computed sums plus the exact reference.
+
+A constant vector of computed values (a deterministic algorithm) reports a
+spread of exactly 0.0 — ``numpy.std`` on a constant array can emit ~1e-16 of
+pure arithmetic noise, which would wrongly shade PR cells, so we special-case
+bitwise-constant inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.exact.superacc import exact_sum_fraction
+
+__all__ = ["ErrorStats", "error_stats", "boxplot_summary", "BoxplotSummary"]
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary of signed errors of an ensemble of computed sums."""
+
+    n_samples: int
+    n_distinct: int
+    mean_abs: float
+    max_abs: float
+    std: float
+    spread: float  # max - min of signed errors
+    rel_std: float  # std / |exact sum|; NaN for exact-zero sums
+
+    @property
+    def reproducible_bitwise(self) -> bool:
+        return self.n_distinct == 1
+
+
+def error_stats(values: "Sequence[float] | np.ndarray", data: np.ndarray) -> ErrorStats:
+    """Error statistics of ``values`` (ensemble of computed sums of ``data``).
+
+    The exact reference is computed once with the superaccumulator; each
+    error is rounded exactly once.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("need at least one computed value")
+    exact = exact_sum_fraction(np.asarray(data, dtype=np.float64))
+    abs_exact = abs(float(exact)) if exact != 0 else 0.0
+    distinct = np.unique(values)
+    if distinct.size == 1:
+        err = float(Fraction(float(distinct[0])) - exact)
+        return ErrorStats(
+            n_samples=int(values.size),
+            n_distinct=1,
+            mean_abs=abs(err),
+            max_abs=abs(err),
+            std=0.0,
+            spread=0.0,
+            rel_std=0.0 if abs_exact else math.nan,
+        )
+    errs = np.array([float(Fraction(float(v)) - exact) for v in values])
+    std = float(np.std(errs))
+    return ErrorStats(
+        n_samples=int(values.size),
+        n_distinct=int(distinct.size),
+        mean_abs=float(np.mean(np.abs(errs))),
+        max_abs=float(np.max(np.abs(errs))),
+        std=std,
+        spread=float(np.max(errs) - np.min(errs)),
+        rel_std=std / abs_exact if abs_exact else math.nan,
+    )
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary (plus whisker bounds) of |error| magnitudes —
+    the quantities a Fig. 7 boxplot encodes."""
+
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+
+def boxplot_summary(values: "Sequence[float] | np.ndarray", data: np.ndarray) -> BoxplotSummary:
+    """Tukey boxplot summary of absolute errors of an ensemble."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    exact = exact_sum_fraction(np.asarray(data, dtype=np.float64))
+    errs = np.abs(np.array([float(Fraction(float(v)) - exact) for v in values]))
+    q1, med, q3 = (float(q) for q in np.percentile(errs, [25, 50, 75]))
+    iqr = q3 - q1
+    lo_fence, hi_fence = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    inside = errs[(errs >= lo_fence) & (errs <= hi_fence)]
+    whisk_lo = float(inside.min()) if inside.size else q1
+    whisk_hi = float(inside.max()) if inside.size else q3
+    outliers = tuple(float(e) for e in errs[(errs < lo_fence) | (errs > hi_fence)])
+    return BoxplotSummary(q1, med, q3, whisk_lo, whisk_hi, outliers)

@@ -1,0 +1,98 @@
+"""Intrinsic properties of summand sets: condition number and dynamic range.
+
+Definitions follow Sec. V.A verbatim.  For a set ``{x_1, ..., x_n}``:
+
+* sum condition number ``k = (Σ |x_i|) / |Σ x_i|`` — "how sensitive the
+  final sum is to small errors in the partial sums"; ``inf`` when the exact
+  sum is zero.
+* dynamic range ``dr = exp(max |x_i|) - exp(min |x_i|)`` where ``exp`` is
+  the binary exponent of the value's representation — "a rough estimator of
+  alignment error".
+
+Both are computed *exactly*: the condition number's numerator and denominator
+come from the integer superaccumulator, so even ``k`` values near 1e16 are
+trustworthy.  Zero elements are ignored by ``dr`` (they have no exponent) and
+contribute nothing to ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exact.superacc import ExactSum
+from repro.fp.properties import exponents
+
+__all__ = ["condition_number", "dynamic_range", "SetProfile", "profile_set"]
+
+
+def condition_number(x: np.ndarray) -> float:
+    """Exact sum condition number ``Σ|x_i| / |Σ x_i|`` (``inf`` if sum == 0).
+
+    Returns 1.0 for the empty set and for all-zero sets by convention (their
+    sum is exactly reproducible no matter what).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        return 1.0
+    num = ExactSum()
+    num.add_array(np.abs(x))
+    if num.is_zero():
+        return 1.0  # all zeros
+    den = ExactSum()
+    den.add_array(x)
+    if den.is_zero():
+        return math.inf
+    ratio = num.to_fraction() / abs(den.to_fraction())
+    return float(ratio)
+
+
+def dynamic_range(x: np.ndarray) -> int:
+    """Exact dynamic range: binary-exponent span of the nonzero magnitudes.
+
+    Raises ``ValueError`` for sets with no nonzero element (no exponent is
+    defined there, following the paper's definition).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    nz = x[x != 0.0]
+    if nz.size == 0:
+        raise ValueError("dynamic range undefined for all-zero sets")
+    e = exponents(nz)
+    return int(e.max() - e.min())
+
+
+@dataclass(frozen=True)
+class SetProfile:
+    """Measured intrinsic properties of a summand set.
+
+    This is what the runtime selector's *exact* profiling path produces; the
+    cheap streaming estimator lives in :mod:`repro.selection.profile`.
+    """
+
+    n: int
+    condition: float
+    dynamic_range: int
+    max_abs: float
+    abs_sum: float = math.nan  # Σ|x_i|; NaN when the producer did not track it
+
+    @property
+    def log10_condition(self) -> float:
+        return math.inf if math.isinf(self.condition) else math.log10(self.condition)
+
+    @property
+    def has_abs_sum(self) -> bool:
+        return not math.isnan(self.abs_sum)
+
+
+def profile_set(x: np.ndarray) -> SetProfile:
+    """Exactly measure ``(n, k, dr, max|x|, Σ|x|)`` for a summand set."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    return SetProfile(
+        n=int(x.size),
+        condition=condition_number(x),
+        dynamic_range=dynamic_range(x),
+        max_abs=float(np.max(np.abs(x))) if x.size else 0.0,
+        abs_sum=float(np.sum(np.abs(x))),
+    )

@@ -1,0 +1,46 @@
+"""Simulated-MPI substrate: communicator, topology model, custom reduction
+operators, nondeterministic arrival-order reduction, fault injection."""
+
+from repro.mpi.allreduce import allreduce_recursive_doubling, allreduce_ring
+from repro.mpi.comm import ReduceResult, SimComm
+from repro.mpi.faults import CampaignResult, FaultModel, run_campaign
+from repro.mpi.nondet import (
+    ArrivalReduction,
+    ArrivalSchedule,
+    arrival_order_tree,
+    sample_arrival_times,
+)
+from repro.mpi.ops import ReductionOp, make_reduction_op
+from repro.mpi.scan import exscan, scan
+from repro.mpi.trace import ReductionTrace, record, replay
+from repro.mpi.topology import (
+    MachineTopology,
+    binomial_tree,
+    topology_aware_tree,
+    tree_cost,
+)
+
+__all__ = [
+    "ArrivalReduction",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "ArrivalSchedule",
+    "CampaignResult",
+    "FaultModel",
+    "MachineTopology",
+    "ReduceResult",
+    "ReductionOp",
+    "SimComm",
+    "arrival_order_tree",
+    "ReductionTrace",
+    "exscan",
+    "record",
+    "replay",
+    "scan",
+    "binomial_tree",
+    "make_reduction_op",
+    "run_campaign",
+    "sample_arrival_times",
+    "topology_aware_tree",
+    "tree_cost",
+]

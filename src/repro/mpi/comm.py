@@ -1,0 +1,196 @@
+"""SimComm: a single-process simulator of MPI collective reductions.
+
+The paper's testbed runs MPI on a dedicated 48-core node; no MPI is
+available here, and more importantly the *phenomenon under study is
+arithmetic*, not transport.  :class:`SimComm` therefore executes collectives
+SPMD-style in one process: the caller supplies every rank's local data at
+once, and the communicator applies the same local-accumulate + tree-combine
+structure a real ``MPI_Reduce`` with a custom op would, including:
+
+* deterministic reduction down a *fixed* tree (``reduce(..., tree=...)``),
+* topology-aware trees (Balaji & Kimpe style, via the machine model),
+* **nondeterministic arrival-order reduction** (``reduce_nondeterministic``)
+  whose effective tree varies run to run with jitter and fault injection —
+  the exascale behaviour of Sec. II.B.
+
+API shape follows mpi4py's lowercase conventions loosely (``reduce``,
+``allreduce``, ``max_allreduce``) adapted to the SPMD-at-once calling style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.nondet import arrival_order_tree, sample_arrival_times
+from repro.mpi.ops import ReductionOp
+from repro.mpi.topology import MachineTopology, topology_aware_tree, tree_cost
+from repro.summation.base import SumContext
+from repro.trees.shapes import balanced, serial
+from repro.trees.tree import ReductionTree
+from repro.util.chunking import split_indices
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["ReduceResult", "SimComm"]
+
+
+@dataclass(frozen=True)
+class ReduceResult:
+    """Outcome of a simulated global reduction."""
+
+    value: float
+    tree: ReductionTree
+    simulated_time: float  # critical-path cost on the topology (0 if none)
+    algorithm_code: str
+
+
+class SimComm:
+    """A simulated communicator of ``n_ranks`` ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Communicator size; if ``topology`` is given its rank count wins.
+    topology:
+        Optional machine model used for topology-aware trees, link costs and
+        arrival-time simulation.
+    seed:
+        Seeds the communicator's private RNG stream (nondeterministic
+        reductions draw from it, so two communicators with equal seeds
+        replay identical "nondeterminism").
+    """
+
+    def __init__(
+        self,
+        n_ranks: int | None = None,
+        *,
+        topology: MachineTopology | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if topology is not None:
+            n_ranks = topology.n_ranks
+        if n_ranks is None or n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1 (or provide a topology)")
+        self.n_ranks = int(n_ranks)
+        self.topology = topology
+        self._rng = resolve_rng(seed)
+
+    # -- data distribution ---------------------------------------------------
+    def scatter_array(self, data: np.ndarray) -> list[np.ndarray]:
+        """Block-scatter a global vector into per-rank chunks."""
+        data = np.asarray(data, dtype=np.float64).ravel()
+        return [data[s] for s in split_indices(data.size, self.n_ranks)]
+
+    # -- collectives --------------------------------------------------------
+    def max_allreduce(self, local_values: Sequence[float]) -> float:
+        """Exact, order-independent max reduction (PR's "pre" pass)."""
+        self._check_size(local_values)
+        return float(max(local_values))
+
+    def reduce(
+        self,
+        chunks: Sequence[np.ndarray],
+        op: ReductionOp,
+        tree: "ReductionTree | str" = "topology",
+    ) -> ReduceResult:
+        """Deterministic global reduction down a fixed tree of ranks.
+
+        ``chunks[r]`` is rank ``r``'s local data.  ``tree`` may be a
+        ready-made rank tree or one of ``"balanced"``, ``"serial"``,
+        ``"topology"`` (topology-aware when a topology exists, else
+        balanced).
+        """
+        self._check_size(chunks)
+        op = self._contextualize(op, chunks)
+        tree = self._resolve_tree(tree)
+        accs: list = [op.local(chunk) for chunk in chunks]
+        slots: list = accs + [None] * (self.n_ranks - 1)
+        for a, b, out in tree.iter_steps():
+            slots[out] = op.combine(slots[a], slots[b])
+        value = op.finalize(slots[tree.root_slot])
+        cost = tree_cost(tree, self.topology) if self.topology else 0.0
+        return ReduceResult(
+            value=value, tree=tree, simulated_time=cost, algorithm_code=op.code
+        )
+
+    def allreduce(
+        self,
+        chunks: Sequence[np.ndarray],
+        op: ReductionOp,
+        tree: "ReductionTree | str" = "topology",
+    ) -> list[float]:
+        """Reduce then broadcast: every rank sees the same value (bitwise)."""
+        result = self.reduce(chunks, op, tree)
+        return [result.value] * self.n_ranks
+
+    def reduce_nondeterministic(
+        self,
+        chunks: Sequence[np.ndarray],
+        op: ReductionOp,
+        *,
+        jitter: float = 0.25,
+        fault_prob: float = 0.0,
+        fault_delay: float = 25.0,
+    ) -> ReduceResult:
+        """One *run* of an arrival-order reduction (tree varies per call).
+
+        Each call draws fresh arrival times from the communicator's RNG
+        stream, so repeated calls model repeated application runs on a busy
+        machine.
+        """
+        self._check_size(chunks)
+        op = self._contextualize(op, chunks)
+        schedule = sample_arrival_times(
+            self.n_ranks,
+            jitter=jitter,
+            fault_prob=fault_prob,
+            fault_delay=fault_delay,
+            seed=self._rng,
+        )
+        run = arrival_order_tree(schedule, self.topology)
+        tree = run.tree
+        accs: list = [op.local(chunk) for chunk in chunks]
+        slots: list = accs + [None] * (self.n_ranks - 1)
+        for a, b, out in tree.iter_steps():
+            slots[out] = op.combine(slots[a], slots[b])
+        value = op.finalize(slots[tree.root_slot])
+        return ReduceResult(
+            value=value,
+            tree=tree,
+            simulated_time=run.completion_time,
+            algorithm_code=op.code,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+    def _check_size(self, seq: Sequence) -> None:
+        if len(seq) != self.n_ranks:
+            raise ValueError(
+                f"expected one entry per rank ({self.n_ranks}), got {len(seq)}"
+            )
+
+    def _contextualize(self, op: ReductionOp, chunks: Sequence[np.ndarray]) -> ReductionOp:
+        """Run the pre-pass (max allreduce) for context-needing algorithms."""
+        if not op.algorithm.needs_context or op.context is not None:
+            return op
+        local_maxes = [
+            float(np.max(np.abs(c))) if np.asarray(c).size else 0.0 for c in chunks
+        ]
+        total = int(sum(np.asarray(c).size for c in chunks))
+        return op.with_context_for(self.max_allreduce(local_maxes), total)
+
+    def _resolve_tree(self, tree: "ReductionTree | str") -> ReductionTree:
+        if isinstance(tree, ReductionTree):
+            if tree.n_leaves != self.n_ranks:
+                raise ValueError("tree leaf count != communicator size")
+            return tree
+        if tree == "balanced":
+            return balanced(self.n_ranks)
+        if tree == "serial":
+            return serial(self.n_ranks)
+        if tree == "topology":
+            if self.topology is not None:
+                return topology_aware_tree(self.topology)
+            return balanced(self.n_ranks)
+        raise ValueError(f"unknown tree spec {tree!r}")

@@ -1,0 +1,65 @@
+"""Custom reduction operators: the ``MPI_Op`` layer over summation
+accumulators.
+
+The paper's Fig. 4 experiment "globally reduce[s] the local sums by using
+MPI_Reduce with custom reduction operators for Kahan, composite precision,
+and prerounded summations".  A :class:`ReductionOp` packages a summation
+algorithm the same way: the *local* phase turns a rank's chunk into an
+accumulator (the custom datatype an MPI op would ship), and the *combine*
+phase merges two accumulators (the op callback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm
+
+__all__ = ["ReductionOp", "make_reduction_op"]
+
+
+@dataclass(frozen=True)
+class ReductionOp:
+    """A summation algorithm packaged as a reduction operator.
+
+    ``context`` carries pre-pass information (the global max magnitude for
+    PR); build it with :meth:`with_context_for` before reducing data the
+    algorithm needs to see globally.
+    """
+
+    algorithm: SummationAlgorithm
+    context: Optional[SumContext] = None
+
+    @property
+    def code(self) -> str:
+        return self.algorithm.code
+
+    def with_context_for(self, global_max_abs: float, n_hint: int | None = None) -> "ReductionOp":
+        """Bind the global-max context (the max-allreduce's result)."""
+        return ReductionOp(
+            self.algorithm, SumContext(max_abs=global_max_abs, n_hint=n_hint)
+        )
+
+    def local(self, chunk: np.ndarray) -> Accumulator:
+        """Rank-local phase: fold a chunk into a fresh accumulator."""
+        acc = self.algorithm.make_accumulator(self.context)
+        acc.add_array(np.asarray(chunk, dtype=np.float64))
+        return acc
+
+    def combine(self, a: Accumulator, b: Accumulator) -> Accumulator:
+        """Op callback: merge ``b`` into ``a`` and return ``a``."""
+        a.merge(b)
+        return a
+
+    def finalize(self, acc: Accumulator) -> float:
+        return acc.result()
+
+
+def make_reduction_op(
+    algorithm: SummationAlgorithm, context: Optional[SumContext] = None
+) -> ReductionOp:
+    """Convenience constructor mirroring ``MPI.Op.Create``."""
+    return ReductionOp(algorithm, context)

@@ -1,0 +1,156 @@
+"""Machine-topology model and topology-aware reduction trees.
+
+Balaji & Kimpe (paper reference [4]) showed that MPI reduction trees which
+conform to the physical topology outperform fixed-order trees, with the gap
+growing with core count — and that conforming trees reduce values "in an
+order based on which core produced them, not necessarily their arithmetical
+properties".  This module provides the machine model that lets us reproduce
+that tension:
+
+* :class:`MachineTopology` — nodes x sockets-per-node x cores-per-socket,
+  with a three-tier link-latency model (intra-socket < intra-node <
+  inter-node).
+* :func:`topology_aware_tree` — hierarchical reduction: serial within a
+  socket, binomial across sockets of a node, binomial across nodes.  This is
+  the "performant" tree whose shape follows hardware, not data.
+* :func:`tree_cost` — critical-path completion time of any reduction tree on
+  the topology, so benches can compare topology-aware vs data-aware orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trees.tree import ReductionTree
+
+__all__ = ["MachineTopology", "topology_aware_tree", "binomial_tree", "tree_cost"]
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A homogeneous cluster: ``nodes`` x ``sockets`` x ``cores``.
+
+    Latencies are per-message costs in arbitrary time units; computation
+    cost per merge is ``compute_cost``.
+    """
+
+    nodes: int = 1
+    sockets_per_node: int = 2
+    cores_per_socket: int = 24
+    latency_socket: float = 1.0
+    latency_node: float = 5.0
+    latency_network: float = 50.0
+    compute_cost: float = 0.5
+
+    def __post_init__(self) -> None:
+        if min(self.nodes, self.sockets_per_node, self.cores_per_socket) < 1:
+            raise ValueError("topology extents must be >= 1")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.nodes * self.sockets_per_node * self.cores_per_socket
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """``(node, socket, core)`` of a rank (block placement)."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        per_node = self.sockets_per_node * self.cores_per_socket
+        node, rem = divmod(rank, per_node)
+        socket, core = divmod(rem, self.cores_per_socket)
+        return node, socket, core
+
+    def link_latency(self, a: int, b: int) -> float:
+        """Latency of one message between two ranks."""
+        na, sa, _ = self.coords(a)
+        nb, sb, _ = self.coords(b)
+        if na != nb:
+            return self.latency_network
+        if sa != sb:
+            return self.latency_node
+        return self.latency_socket
+
+
+def binomial_tree(n: int, offset: int = 0) -> list[tuple[int, int]]:
+    """Merge steps of a binomial reduction over ``n`` items.
+
+    Returns ``(survivor, absorbed)`` pairs in execution order over item ids
+    ``offset .. offset+n-1``; survivor ``offset`` holds the result.
+    """
+    steps: list[tuple[int, int]] = []
+    stride = 1
+    while stride < n:
+        for i in range(0, n - stride, 2 * stride):
+            steps.append((offset + i, offset + i + stride))
+        stride *= 2
+    return steps
+
+
+def topology_aware_tree(topology: MachineTopology) -> ReductionTree:
+    """Hierarchical reduction tree over all ranks of ``topology``.
+
+    Socket-serial, then binomial across sockets, then binomial across nodes
+    — leaves are ranks (leaf ``i`` carries rank ``i``'s value).
+    """
+    n = topology.n_ranks
+    if n == 1:
+        return ReductionTree(n_leaves=1, schedule=np.empty((0, 2), dtype=np.int64), kind="custom")
+    schedule = np.empty((n - 1, 2), dtype=np.int64)
+    t = 0
+    # current slot holding each subgroup's partial (indexed by leader rank)
+    holder = {r: r for r in range(n)}
+
+    def merge(a_rank: int, b_rank: int) -> None:
+        nonlocal t
+        schedule[t] = (holder[a_rank], holder[b_rank])
+        holder[a_rank] = n + t
+        t += 1
+
+    cps = topology.cores_per_socket
+    spn = topology.sockets_per_node
+    # 1) serial within each socket
+    for node in range(topology.nodes):
+        for socket in range(spn):
+            base = (node * spn + socket) * cps
+            for core in range(1, cps):
+                merge(base, base + core)
+    # 2) binomial across sockets within each node
+    for node in range(topology.nodes):
+        leaders = [(node * spn + s) * cps for s in range(spn)]
+        for i, j in binomial_tree(len(leaders)):
+            merge(leaders[i], leaders[j])
+    # 3) binomial across nodes
+    node_leaders = [node * spn * cps for node in range(topology.nodes)]
+    for i, j in binomial_tree(len(node_leaders)):
+        merge(node_leaders[i], node_leaders[j])
+    assert t == n - 1
+    return ReductionTree(n_leaves=n, schedule=schedule, kind="custom")
+
+
+def tree_cost(
+    tree: ReductionTree,
+    topology: MachineTopology,
+    leaf_rank: "np.ndarray | None" = None,
+) -> float:
+    """Critical-path completion time of ``tree`` on ``topology``.
+
+    Each merge finishes when both inputs are ready plus the link latency
+    between the ranks that own them plus the merge compute cost.  Ownership
+    of a partial result follows the left input (the survivor).  ``leaf_rank``
+    maps leaves to ranks (identity by default).
+    """
+    n = tree.n_leaves
+    if leaf_rank is None:
+        leaf_rank = np.arange(n)
+    leaf_rank = np.asarray(leaf_rank, dtype=np.int64)
+    if leaf_rank.size != n:
+        raise ValueError("leaf_rank must map every leaf")
+    ready = np.zeros(tree.n_nodes, dtype=np.float64)
+    owner = np.empty(tree.n_nodes, dtype=np.int64)
+    owner[:n] = leaf_rank
+    for a, b, out in tree.iter_steps():
+        lat = topology.link_latency(int(owner[a]), int(owner[b]))
+        ready[out] = max(ready[a], ready[b]) + lat + topology.compute_cost
+        owner[out] = owner[a]
+    return float(ready[tree.root_slot])

@@ -1,0 +1,149 @@
+"""Reduction tracing and replay: capture the tree that produced a value.
+
+The debugging pain the paper opens with — "variability in floating-point
+error accumulation may become so great that debugging is impaired" — has a
+practical mitigation once reductions are simulated: record the *provenance*
+of a reduced value (tree schedule, leaf-to-rank assignment, algorithm,
+context) and replay it later, bit for bit.  A nondeterministic run that
+produced a suspicious number becomes a deterministic test case.
+
+Traces serialise to JSON (schedules as flat lists), so they can be attached
+to bug reports; :func:`replay` reconstructs the value and raises loudly if
+the recomputation does not match the recorded one — detecting environment
+drift (different libm, different compile flags) as a side effect.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.ops import ReductionOp, make_reduction_op
+from repro.summation.base import SumContext
+from repro.summation.registry import get_algorithm
+from repro.trees.tree import ReductionTree
+
+__all__ = ["ReductionTrace", "record", "replay"]
+
+
+@dataclass(frozen=True)
+class ReductionTrace:
+    """Everything needed to reproduce one global reduction bitwise."""
+
+    algorithm_code: str
+    n_ranks: int
+    schedule: tuple  # ((a, b), ...) merge steps over rank slots
+    chunk_lengths: tuple  # per-rank local data lengths
+    data_hex: tuple  # operands as hex strings (exact, compact)
+    context_max_abs: Optional[float]
+    recorded_value_hex: str
+
+    # -- serialisation ------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "algorithm": self.algorithm_code,
+                "n_ranks": self.n_ranks,
+                "schedule": [list(step) for step in self.schedule],
+                "chunk_lengths": list(self.chunk_lengths),
+                "data_hex": list(self.data_hex),
+                "context_max_abs": self.context_max_abs,
+                "recorded_value_hex": self.recorded_value_hex,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReductionTrace":
+        d = json.loads(text)
+        return cls(
+            algorithm_code=str(d["algorithm"]),
+            n_ranks=int(d["n_ranks"]),
+            schedule=tuple(tuple(int(v) for v in s) for s in d["schedule"]),
+            chunk_lengths=tuple(int(v) for v in d["chunk_lengths"]),
+            data_hex=tuple(str(v) for v in d["data_hex"]),
+            context_max_abs=(
+                None if d["context_max_abs"] is None else float(d["context_max_abs"])
+            ),
+            recorded_value_hex=str(d["recorded_value_hex"]),
+        )
+
+
+def record(
+    chunks: Sequence[np.ndarray],
+    op: ReductionOp,
+    tree: ReductionTree,
+) -> tuple[float, ReductionTrace]:
+    """Execute a reduction and capture its full provenance.
+
+    Returns ``(value, trace)``; the trace embeds the operands in hex so the
+    replay is exact regardless of locale or printing precision.
+    """
+    if tree.n_leaves != len(chunks):
+        raise ValueError("tree leaf count != number of rank chunks")
+    arrays = [np.asarray(c, dtype=np.float64).ravel() for c in chunks]
+    alg = op.algorithm
+    context = op.context
+    if alg.needs_context and context is None:
+        flat = np.concatenate(arrays) if arrays else np.array([])
+        context = SumContext.for_data(flat)
+    accs = []
+    for a in arrays:
+        acc = alg.make_accumulator(context)
+        acc.add_array(a)
+        accs.append(acc)
+    slots: list = accs + [None] * (len(arrays) - 1)
+    for a, b, out in tree.iter_steps():
+        slots[a].merge(slots[b])
+        slots[out] = slots[a]
+    value = slots[tree.root_slot].result()
+    trace = ReductionTrace(
+        algorithm_code=alg.code,
+        n_ranks=len(arrays),
+        schedule=tuple(tuple(int(v) for v in step) for step in tree.schedule),
+        chunk_lengths=tuple(a.size for a in arrays),
+        data_hex=tuple(v.hex() for a in arrays for v in a.tolist()),
+        context_max_abs=None if context is None else context.max_abs,
+        recorded_value_hex=float(value).hex(),
+    )
+    return value, trace
+
+
+def replay(trace: ReductionTrace, *, verify: bool = True) -> float:
+    """Re-execute a recorded reduction bit for bit.
+
+    With ``verify=True`` (default) a mismatch against the recorded value
+    raises ``RuntimeError`` — the signal that the replaying environment
+    rounds differently than the recording one.
+    """
+    data = np.array([float.fromhex(h) for h in trace.data_hex], dtype=np.float64)
+    chunks = []
+    start = 0
+    for length in trace.chunk_lengths:
+        chunks.append(data[start : start + length])
+        start += length
+    if start != data.size:
+        raise ValueError("corrupt trace: chunk lengths do not cover the data")
+    tree = ReductionTree(
+        n_leaves=trace.n_ranks,
+        schedule=np.array(trace.schedule, dtype=np.int64).reshape(-1, 2),
+    )
+    tree.validate()
+    alg = get_algorithm(trace.algorithm_code)
+    context = (
+        SumContext(max_abs=trace.context_max_abs)
+        if trace.context_max_abs is not None
+        else None
+    )
+    op = make_reduction_op(alg, context)
+    value, _ = record(chunks, op, tree)
+    if verify:
+        recorded = float.fromhex(trace.recorded_value_hex)
+        if value != recorded and not (np.isnan(value) and np.isnan(recorded)):
+            raise RuntimeError(
+                f"replay mismatch: recomputed {value!r} != recorded {recorded!r} "
+                "(environment rounds differently?)"
+            )
+    return value

@@ -1,0 +1,17 @@
+"""Precision emulation and tuning (Sec. III.C): p-bit significand
+arithmetic inside binary64 plus a Precimonious-style reduction tuner."""
+
+from repro.precision.emulation import (
+    EmulatedPrecisionSum,
+    round_array_to_precision,
+    round_to_precision,
+)
+from repro.precision.tuning import TuningResult, tune_precision
+
+__all__ = [
+    "EmulatedPrecisionSum",
+    "TuningResult",
+    "round_array_to_precision",
+    "round_to_precision",
+    "tune_precision",
+]

@@ -1,0 +1,120 @@
+"""Reduced/extended-precision emulation (Sec. III.C's substrate).
+
+The paper's third technique family is high-precision arithmetic and its
+automated cousin, precision tuning (Precimonious, ref. [7]): "Precision
+tuning is an attempt to reduce precision where possible while maintaining a
+prescribed degree of accuracy."  To study that tradeoff without hardware
+float16/float128, we emulate *p-bit significand arithmetic inside binary64*:
+
+* :func:`round_to_precision` — correctly rounds a double to a ``p``-bit
+  significand (round-to-nearest-even) via the Dekker-style scaling trick, so
+  ``p = 53`` is the identity and ``p = 24`` models float32's significand.
+* :class:`EmulatedPrecisionSum` — iterative summation in which every partial
+  sum is rounded to ``p`` bits: the arithmetic a ``p``-bit accumulator would
+  perform (exponent range aside, which the tests pin as the documented
+  difference).
+
+Emulated precision composes with everything else in the zoo, which is what
+lets the tuner (:mod:`repro.precision.tuning`) search over ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm
+
+__all__ = ["round_to_precision", "round_array_to_precision", "EmulatedPrecisionSum"]
+
+
+def round_to_precision(x: float, p: int) -> float:
+    """Round ``x`` to a ``p``-bit significand, ties to even.
+
+    Valid for 1 <= p <= 53; p = 53 returns ``x`` unchanged.  Overflow cannot
+    occur (the scaling stays within range for normal inputs); values whose
+    rounded significand carries into the next binade are handled correctly
+    by the add-and-subtract formulation.
+    """
+    if not 1 <= p <= 53:
+        raise ValueError("precision must be in [1, 53]")
+    if p == 53 or x == 0.0 or not math.isfinite(x):
+        return float(x)
+    # Veltkamp split: multiplying by 2**(53-p) + 1 and subtracting back
+    # rounds x to its top p significand bits (ties to even).
+    scale = float((1 << (53 - p)) + 1)
+    c = scale * x
+    # guard against overflow near the top of the range: fall back to frexp
+    if not math.isfinite(c):
+        m, e = math.frexp(x)
+        return math.ldexp(round_to_precision(m, p), e)
+    hi = c - (c - x)
+    return hi
+
+
+def round_array_to_precision(x: np.ndarray, p: int) -> np.ndarray:
+    """Vectorised :func:`round_to_precision`."""
+    if not 1 <= p <= 53:
+        raise ValueError("precision must be in [1, 53]")
+    x = np.asarray(x, dtype=np.float64)
+    if p == 53:
+        return x.copy()
+    scale = float((1 << (53 - p)) + 1)
+    c = scale * x
+    out = c - (c - x)
+    # overflow fallback per element (rare; only near 2**(1023 - (53-p)))
+    bad = ~np.isfinite(c) & np.isfinite(x)
+    if np.any(bad):
+        out[bad] = [round_to_precision(float(v), p) for v in x[bad]]
+    return out
+
+
+class _EmulatedAccumulator(Accumulator):
+    __slots__ = ("s", "p")
+
+    def __init__(self, p: int) -> None:
+        self.s = 0.0
+        self.p = p
+
+    def add(self, x: float) -> None:
+        # operand and every partial sum live on the p-bit grid
+        self.s = round_to_precision(self.s + round_to_precision(x, self.p), self.p)
+
+    def add_array(self, x: np.ndarray) -> None:
+        for v in round_array_to_precision(np.asarray(x, dtype=np.float64), self.p).tolist():
+            self.s = round_to_precision(self.s + v, self.p)
+
+    def merge(self, other: "_EmulatedAccumulator") -> None:  # type: ignore[override]
+        self.s = round_to_precision(self.s + other.s, self.p)
+
+    def result(self) -> float:
+        return self.s
+
+
+class EmulatedPrecisionSum(SummationAlgorithm):
+    """Iterative summation at an emulated ``p``-bit significand.
+
+    Not registered in the main registry (its code depends on ``p``); build
+    instances as needed: ``EmulatedPrecisionSum(24)`` models float32
+    accumulation of double data.
+    """
+
+    cost_rank = 0
+    deterministic = False
+
+    def __init__(self, precision_bits: int) -> None:
+        if not 1 <= precision_bits <= 53:
+            raise ValueError("precision must be in [1, 53]")
+        self.precision_bits = precision_bits
+        self.code = f"P{precision_bits}"
+        self.name = f"emulated-{precision_bits}-bit"
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> _EmulatedAccumulator:
+        return _EmulatedAccumulator(self.precision_bits)
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        acc = _EmulatedAccumulator(self.precision_bits)
+        acc.add_array(x)
+        return acc.result()

@@ -1,0 +1,123 @@
+"""Precision tuning: find the least precision meeting an accuracy target.
+
+A miniature of Precimonious (paper ref. [7]) specialised to reductions:
+given a workload and a relative-error tolerance, find the smallest emulated
+significand width ``p`` whose iterative summation stays within tolerance of
+the exact sum across a validation ensemble of orderings.  The accuracy of a
+``p``-bit sum is monotone in ``p`` only statistically, so the search
+validates each candidate against the full ensemble rather than bisecting
+blindly: it walks down from 53 in decreasing order and returns the smallest
+``p`` whose *worst* ensemble error passes (with the optional early stop when
+a candidate fails, matching the classic tuner's greedy behaviour).
+
+This quantifies Sec. III.C's tradeoff — and its footnote: the paper observes
+the technique "relies on either human experts or other software", which is
+exactly what this module automates for the reduction kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.exact.superacc import exact_sum_fraction
+from repro.precision.emulation import EmulatedPrecisionSum
+from repro.util.rng import SeedLike, permutation_stream, resolve_rng
+
+__all__ = ["TuningResult", "tune_precision"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a precision search."""
+
+    precision_bits: int
+    worst_rel_error: float
+    tolerance: float
+    per_precision: dict  # p -> worst relative error over the ensemble
+    feasible: bool
+
+    @property
+    def memory_saving(self) -> float:
+        """Fractional accumulator-width saving vs binary64's 53 bits."""
+        return 1.0 - self.precision_bits / 53.0
+
+
+def _worst_rel_error(
+    data: np.ndarray, p: int, exact: Fraction, n_orders: int, seed: SeedLike
+) -> float:
+    alg = EmulatedPrecisionSum(p)
+    worst = 0.0
+    abs_exact = abs(exact)
+    for perm in permutation_stream(data.size, n_orders, seed):
+        v = alg.sum_array(data[perm])
+        err = abs(Fraction(v) - exact)
+        rel = float(err / abs_exact) if abs_exact else (math.inf if err else 0.0)
+        worst = max(worst, rel)
+    return worst
+
+
+def tune_precision(
+    data: np.ndarray,
+    tolerance: float,
+    *,
+    candidates: Sequence[int] = tuple(range(53, 10, -3)),
+    n_orders: int = 10,
+    seed: SeedLike = None,
+    greedy: bool = True,
+) -> TuningResult:
+    """Smallest candidate precision whose worst ensemble error <= tolerance.
+
+    Parameters
+    ----------
+    candidates:
+        Precisions to consider, any order (sorted descending internally).
+    n_orders:
+        Validation orderings per candidate (the first is the identity).
+    greedy:
+        Stop at the first failing candidate while walking downward (the
+        Precimonious-style search); with ``False`` every candidate is
+        evaluated and the true minimum feasible one returned.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    data = np.asarray(data, dtype=np.float64).ravel()
+    if data.size == 0:
+        raise ValueError("empty workload")
+    cands = sorted({int(p) for p in candidates}, reverse=True)
+    if not cands or cands[0] > 53 or cands[-1] < 1:
+        raise ValueError("candidates must lie in [1, 53]")
+    rng = resolve_rng(seed)
+    exact = exact_sum_fraction(data)
+
+    per_precision: dict[int, float] = {}
+    best_p: int | None = None
+    best_err = math.nan
+    for p in cands:
+        worst = _worst_rel_error(data, p, exact, n_orders, rng)
+        per_precision[p] = worst
+        if worst <= tolerance:
+            best_p, best_err = p, worst
+        elif greedy and best_p is not None:
+            break
+    if best_p is None:
+        # nothing feasible: report the most precise candidate's error
+        top = cands[0]
+        return TuningResult(
+            precision_bits=top,
+            worst_rel_error=per_precision[top],
+            tolerance=tolerance,
+            per_precision=per_precision,
+            feasible=False,
+        )
+    return TuningResult(
+        precision_bits=best_p,
+        worst_rel_error=best_err,
+        tolerance=tolerance,
+        per_precision=per_precision,
+        feasible=True,
+    )

@@ -1,0 +1,117 @@
+"""``repro-calibrate``: produce this machine's selection calibration.
+
+The selector's quality rests on two machine-specific inputs: the *cost
+model* (how expensive each kernel really is here) and the *variability
+model* / *grid classifier* (how much each algorithm really varies here).
+This CLI measures both and writes them as JSON artifacts an application can
+ship:
+
+    repro-calibrate --out results/ [--n 4096] [--trees 150] [--quick]
+
+Outputs
+-------
+``costs.json``
+    measured relative kernel costs (ST-normalised).
+``variability.json``
+    fitted analytic-model constants plus goodness-of-fit.
+``classifier.json``
+    the measured (k, dr) decision table (a ready-to-load
+    :class:`~repro.selection.classifier.GridClassifier`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.grid import grid_sweep
+from repro.selection.classifier import GridCell, GridClassifier
+from repro.selection.costmodel import CostModel
+from repro.selection.fitting import fit_variability_model
+
+__all__ = ["main"]
+
+_CODES = ("ST", "K", "CP", "PR")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-calibrate",
+        description="Measure this machine's summation costs and variability grids.",
+    )
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--n", type=int, default=4096, help="summands per grid cell")
+    parser.add_argument("--trees", type=int, default=150, help="trees per grid cell")
+    parser.add_argument("--seed", type=int, default=20150908)
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid (4 k-points, 3 dr-points)"
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("measuring kernel costs...", flush=True)
+    cost_model = CostModel().calibrate(list(_CODES), n=1 << 18, repeats=3)
+    (out / "costs.json").write_text(
+        json.dumps({c: cost_model.relative[c] for c in _CODES}, indent=2)
+    )
+    print("  " + ", ".join(f"{c}: x{cost_model.relative[c]:.2f}" for c in _CODES))
+
+    k_decades = (0, 6, 12, 15) if args.quick else (0, 3, 6, 9, 12, 15)
+    dr_values = (0, 16, 32) if args.quick else (0, 8, 16, 24, 32, 40, 48)
+    print(
+        f"sweeping the (k, dr) grid: {len(k_decades)}x{len(dr_values)} cells, "
+        f"n={args.n}, {args.trees} trees/cell ...",
+        flush=True,
+    )
+    cells = grid_sweep(
+        n_values=[args.n],
+        k_values=[10.0**d for d in k_decades],
+        dr_values=list(dr_values),
+        codes=_CODES,
+        n_trees=args.trees,
+        seed=args.seed,
+    )
+
+    report = fit_variability_model(cells)
+    (out / "variability.json").write_text(
+        json.dumps(
+            {
+                "c_st": report.model.c_st,
+                "c_k": report.model.c_k,
+                "c_k2": report.model.c_k2,
+                "c_cp": report.model.c_cp,
+                "rms_decades": {k: v for k, v in report.rms_decades.items()},
+                "n_cells_used": dict(report.n_cells_used),
+            },
+            indent=2,
+            default=str,
+        )
+    )
+    print(
+        "  fitted constants: "
+        f"c_st={report.model.c_st:.3g}, c_k={report.model.c_k:.3g}, "
+        f"c_cp={report.model.c_cp:.3g}"
+    )
+
+    classifier = GridClassifier(
+        [
+            GridCell(
+                n=c.n,
+                condition=c.condition,
+                dynamic_range=c.dynamic_range,
+                stds={code: c.rel_std(code) for code in _CODES},
+            )
+            for c in cells
+        ],
+        cost_model,
+    )
+    (out / "classifier.json").write_text(classifier.to_json())
+    print(f"wrote costs.json, variability.json, classifier.json to {out}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

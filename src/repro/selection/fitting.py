@@ -1,0 +1,94 @@
+"""Fit the analytic variability model's constants from measured grids.
+
+The :class:`~repro.selection.policy.VariabilityModel` ships with default
+leading constants (``c_st``, ``c_k``, ``c_k2``, ``c_cp``); this module
+re-derives them from a grid sweep's measurements by least squares in log
+space — the honest calibration loop: run the Fig. 9/11 methodology once on
+*this* machine's kernels, fit, and the analytic policy then predicts within
+a fraction of a decade instead of "within two decades".
+
+The fit is deliberately simple (each algorithm's model is a single power law
+in the profile quantities, linear in its constant): medians of the measured-
+to-structural ratios are robust to the grid's outlier cells and need no
+optimiser.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.grid import GridCellResult
+from repro.fp.properties import UNIT_ROUNDOFF
+from repro.selection.policy import VariabilityModel
+
+__all__ = ["FitReport", "fit_variability_model"]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Fitted model plus goodness-of-fit per algorithm (decades of rms)."""
+
+    model: VariabilityModel
+    rms_decades: dict
+    n_cells_used: dict
+
+
+def _structural(code: str, n: int, k: float, u: float) -> float:
+    """The model's k/n-dependent factor, with the constant stripped."""
+    if code == "ST":
+        return u * math.sqrt(n) * k
+    if code == "K":
+        return u * k  # first-order floor term (dominant in practice)
+    if code == "CP":
+        return n * u**2 * k
+    raise KeyError(code)
+
+
+def fit_variability_model(
+    cells: Sequence[GridCellResult], u: float = UNIT_ROUNDOFF
+) -> FitReport:
+    """Fit (c_st, c_k, c_cp) to the measured relative stds of a sweep.
+
+    Cells with zero or undefined measurements (deterministic algorithms,
+    exact-zero sums) are skipped for that algorithm.  ``c_k2`` (Kahan's
+    second-order term) is left at its default: it only matters at
+    concurrencies where the first-order floor is swamped, which a single
+    grid rarely constrains.
+    """
+    ratios: dict[str, list[float]] = {"ST": [], "K": [], "CP": []}
+    for cell in cells:
+        if math.isinf(cell.condition):
+            continue
+        for code in ratios:
+            if code not in cell.stats:
+                continue
+            measured = cell.stats[code].rel_std
+            if not (measured and measured > 0.0) or math.isnan(measured):
+                continue
+            base = _structural(code, cell.n, cell.condition, u)
+            if base > 0:
+                ratios[code].append(measured / base)
+
+    defaults = VariabilityModel()
+    fitted = {}
+    rms = {}
+    used = {}
+    for code, rs in ratios.items():
+        used[code] = len(rs)
+        if not rs:
+            fitted[code] = {"ST": defaults.c_st, "K": defaults.c_k, "CP": defaults.c_cp}[code]
+            rms[code] = math.nan
+            continue
+        c = float(np.median(rs))
+        fitted[code] = c
+        rms[code] = float(
+            np.sqrt(np.mean([(math.log10(r / c)) ** 2 for r in rs]))
+        )
+    model = VariabilityModel(
+        c_st=fitted["ST"], c_k=fitted["K"], c_k2=defaults.c_k2, c_cp=fitted["CP"], u=u
+    )
+    return FitReport(model=model, rms_decades=rms, n_cells_used=used)

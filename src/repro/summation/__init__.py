@@ -1,0 +1,106 @@
+"""Summation algorithm zoo: ST, K, CP, PR plus extensions.
+
+Each algorithm exposes an optimised whole-array kernel (``sum_array``), a
+tree-node :class:`~repro.summation.base.Accumulator` (the ``MPI_Op``
+analogue), and — where the state is elementwise-mergeable — vectorised
+:class:`~repro.summation.base.VectorOps` for ensemble tree evaluation.
+"""
+
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
+from repro.summation.blocked import BlockedAccumulator, FABSum
+from repro.summation.composite import CompositeAccumulator, CompositePrecisionSum
+from repro.summation.distillation import (
+    DistillationAccumulator,
+    DistillationSum,
+    accsum,
+)
+from repro.summation.dot import (
+    DOT_ALGORITHMS,
+    dot_composite,
+    dot_exact,
+    dot_kahan,
+    dot_prerounded,
+    dot_standard,
+)
+from repro.summation.highprec import (
+    DoubleDoubleAccumulator,
+    DoubleDoubleSum,
+    ExactOracleSum,
+)
+from repro.summation.moments import (
+    reproducible_mean,
+    reproducible_norm2,
+    reproducible_std,
+    reproducible_sum,
+    reproducible_variance,
+)
+from repro.summation.kahan import (
+    KahanAccumulator,
+    KahanSum,
+    NeumaierAccumulator,
+    NeumaierSum,
+)
+from repro.summation.prerounded import (
+    AutoPreroundedAccumulator,
+    PreroundedAccumulator,
+    PreroundedSum,
+)
+from repro.summation.registry import (
+    PAPER_CODES,
+    all_algorithms,
+    get_algorithm,
+    paper_algorithms,
+    register,
+)
+from repro.summation.sorted_orders import (
+    SortedAccumulator,
+    SortedSum,
+    conventional_wisdom_order,
+)
+from repro.summation.standard import PairwiseSum, StandardAccumulator, StandardSum
+
+__all__ = [
+    "Accumulator",
+    "AutoPreroundedAccumulator",
+    "BlockedAccumulator",
+    "FABSum",
+    "CompositeAccumulator",
+    "CompositePrecisionSum",
+    "DOT_ALGORITHMS",
+    "DistillationAccumulator",
+    "DistillationSum",
+    "accsum",
+    "dot_composite",
+    "dot_exact",
+    "dot_kahan",
+    "dot_prerounded",
+    "dot_standard",
+    "DoubleDoubleAccumulator",
+    "DoubleDoubleSum",
+    "ExactOracleSum",
+    "KahanAccumulator",
+    "KahanSum",
+    "NeumaierAccumulator",
+    "NeumaierSum",
+    "PAPER_CODES",
+    "PairwiseSum",
+    "PreroundedAccumulator",
+    "PreroundedSum",
+    "SortedAccumulator",
+    "SortedSum",
+    "StandardAccumulator",
+    "StandardSum",
+    "SumContext",
+    "SummationAlgorithm",
+    "VectorOps",
+    "all_algorithms",
+    "conventional_wisdom_order",
+    "get_algorithm",
+    "paper_algorithms",
+    "register",
+    "reproducible_mean",
+    "reproducible_norm2",
+    "reproducible_std",
+    "reproducible_sum",
+    "reproducible_variance",
+]

@@ -1,0 +1,136 @@
+"""Distillation summation (Rump-Ogita-Oishi ``AccSum``) — extension.
+
+A third family beyond compensated and prerounded algorithms: *error-free
+vector transformations*.  ``AccSum`` repeatedly extracts the high-order part
+of every summand with respect to a power-of-two extraction unit ``sigma``
+(chosen from ``max|x|`` and ``n`` so the extracted parts sum **without
+rounding error**), accumulates the exact partial, and recurses on the
+residuals until the remaining mass cannot affect the faithfully rounded
+result.  The returned value is a *faithful rounding* of the exact sum —
+stronger than CP (whose last bits remain order-sensitive) and, like PR,
+deterministic given a fixed extraction schedule.
+
+Our implementation fixes the extraction schedule from order-independent
+quantities only (``n`` and ``max|x|``), so the result is bitwise
+reproducible under permutation — verified by tests — though unlike PR its
+*accumulator* form buffers (distillation is inherently a whole-vector
+transformation, not a streaming one), which is why the paper's candidates
+for exascale reductions remain K/CP/PR.  It earns its place here as the
+accuracy ceiling among the non-exact algorithms and as an ablation point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.fp.eft import two_sum
+from repro.fp.properties import MANTISSA_BITS
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm
+
+__all__ = ["accsum", "DistillationSum", "DistillationAccumulator"]
+
+_EPS = 2.0**-53
+
+
+def accsum(x: np.ndarray, max_passes: int = 40) -> float:
+    """Faithfully rounded sum of ``x`` by error-free extraction (AccSum).
+
+    ``max_passes`` bounds the distillation recursion (each pass gains ~M-ish
+    bits; 40 passes cover any double input; hitting the bound raises, which
+    cannot happen for finite inputs but guards the loop).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel().copy()
+    n = x.size
+    if n == 0:
+        return 0.0
+    if not np.all(np.isfinite(x)):
+        raise ValueError("distillation requires finite operands")
+    if n == 1:
+        return float(x[0])
+    mu = float(np.max(np.abs(x)))
+    if mu == 0.0:
+        return 0.0
+    # M = smallest power of two >= n + 2; extraction unit per Rump et al.
+    M = 1 << (int(n + 2) - 1).bit_length()
+    if M * _EPS >= 1.0:
+        raise ValueError("vector too long for binary64 distillation")
+    mu_exp = math.frexp(mu)[1]  # mu < 2**mu_exp <= 2*mu
+    # Guard the top of the exponent range: sigma = M * 2**mu_exp (and the
+    # intermediate sigma + x) must not overflow.  Scaling by a power of two
+    # is exact and preserves faithfulness, so shift huge inputs down first.
+    if mu_exp + (M.bit_length() - 1) > 1020:
+        shift = mu_exp + (M.bit_length() - 1) - 1000
+        scaled = np.ldexp(x, -shift)
+        return math.ldexp(accsum(scaled, max_passes), shift)
+    sigma = float(M) * math.ldexp(1.0, mu_exp)
+    phi = M * _EPS  # per-pass shrink factor of the residual mass
+    factor = 2.0 * M * M * _EPS
+
+    t = 0.0  # exact high-order accumulation (error-free by construction)
+    for _ in range(max_passes):
+        # extract high parts: q = fl((sigma + x) - sigma) is exact and the
+        # extracted parts sum without error at this sigma
+        q = (sigma + x) - sigma
+        x = x - q  # exact residuals
+        tau = float(np.sum(q))  # exact: all q are multiples of sigma*eps*2
+        t_new, err = two_sum(t, tau)
+        # err == 0 in exact theory (t grows by representable amounts); keep
+        # the defensive fold anyway
+        t = t_new + err
+        if sigma <= np.finfo(np.float64).tiny:
+            return t
+        est_residual = phi * sigma
+        if abs(t) >= factor * sigma or est_residual <= _EPS * abs(t):
+            # residual can no longer affect the faithful rounding
+            tau2 = float(np.sum(x))
+            return t + tau2
+        sigma = phi * sigma
+    raise RuntimeError("distillation failed to converge (non-finite input?)")
+
+
+class DistillationAccumulator(Accumulator):
+    """Buffering accumulator: collects operands, distils at ``result``.
+
+    Mirrors the sorted-order accumulator's contract — tree merges
+    concatenate buffers — so AccSum can be compared inside the same
+    ensemble harnesses despite not being a streaming reduction.
+    """
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+
+    def add(self, x: float) -> None:
+        self._chunks.append(np.array([x], dtype=np.float64))
+
+    def add_array(self, x: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size:
+            self._chunks.append(x.copy())
+
+    def merge(self, other: "DistillationAccumulator") -> None:  # type: ignore[override]
+        self._chunks.extend(other._chunks)
+
+    def result(self) -> float:
+        if not self._chunks:
+            return 0.0
+        return accsum(np.concatenate(self._chunks))
+
+
+class DistillationSum(SummationAlgorithm):
+    """AS: AccSum error-free distillation (faithful rounding)."""
+
+    code = "AS"
+    name = "accsum-distillation"
+    cost_rank = 3  # comparable to PR: a few full passes over the data
+    deterministic = True  # fixed extraction schedule from (n, max|x|)
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> DistillationAccumulator:
+        return DistillationAccumulator()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        return accsum(np.asarray(x, dtype=np.float64))

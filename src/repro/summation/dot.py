@@ -1,0 +1,127 @@
+"""Reproducible dot products (extension: the other half of ReproBLAS).
+
+The paper's reduction study is about sums, but its PR reference — ReproBLAS
+[14] — ships dot products built on the same machinery: TwoProd converts each
+elementwise product into an exact pair ``x_i * y_i = p_i + e_i``, after which
+a dot product *is* a summation of ``2n`` values and every algorithm in the
+zoo applies.  This module provides the four paper-aligned variants plus the
+exact oracle:
+
+========  =====================================================+
+``ST``    products rounded individually, standard running sum
+``K``     rounded products, Kahan accumulation
+``CP``    Dot2 (Ogita-Rump-Oishi): TwoProd + composite-precision
+          accumulation of both products and product errors
+``PR``    TwoProd pairs fed to prerounded summation — bitwise
+          reproducible for any order/tree/chunking
+``EX``    exact superaccumulator over the TwoProd pairs
+========  =====================================================+
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exact.superacc import ExactSum
+from repro.fp.eft import two_prod_array, two_sum
+from repro.summation.base import SumContext
+from repro.summation.composite import CompositeAccumulator
+from repro.summation.kahan import KahanAccumulator
+from repro.summation.prerounded import PreroundedSum
+from repro.summation.standard import StandardAccumulator
+
+__all__ = [
+    "dot_standard",
+    "dot_kahan",
+    "dot_composite",
+    "dot_prerounded",
+    "dot_exact",
+    "DOT_ALGORITHMS",
+]
+
+
+def _check(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    return x, y
+
+
+def dot_standard(x: np.ndarray, y: np.ndarray) -> float:
+    """Rounded products, strict left-to-right accumulation."""
+    x, y = _check(x, y)
+    if x.size == 0:
+        return 0.0
+    acc = StandardAccumulator()
+    acc.add_array(x * y)
+    return acc.result()
+
+
+def dot_kahan(x: np.ndarray, y: np.ndarray) -> float:
+    """Rounded products, Kahan-compensated accumulation."""
+    x, y = _check(x, y)
+    if x.size == 0:
+        return 0.0
+    acc = KahanAccumulator()
+    acc.add_array(x * y)
+    return acc.result()
+
+
+def dot_composite(x: np.ndarray, y: np.ndarray) -> float:
+    """Dot2: TwoProd pairs accumulated in composite precision.
+
+    Accuracy as if computed in twice the working precision (Ogita, Rump &
+    Oishi 2005), but still order-sensitive in the last bits.
+    """
+    x, y = _check(x, y)
+    if x.size == 0:
+        return 0.0
+    p, e = two_prod_array(x, y)
+    acc = CompositeAccumulator()
+    acc.add_array(p)
+    # the product errors join the error mass exactly as Dot2 prescribes
+    err_acc = CompositeAccumulator()
+    err_acc.add_array(e)
+    acc.s, delta = two_sum(acc.s, err_acc.s)
+    acc.e += err_acc.e + delta
+    return acc.result()
+
+
+def dot_prerounded(x: np.ndarray, y: np.ndarray, folds: int = 3, fold_width: int = 40) -> float:
+    """Bitwise-reproducible dot product: TwoProd pairs -> PR summation.
+
+    The 2n exact components are summed by the prerounded algorithm with a
+    bin set from their global max, so the result is independent of element
+    order, chunking, and reduction tree.
+    """
+    x, y = _check(x, y)
+    if x.size == 0:
+        return 0.0
+    p, e = two_prod_array(x, y)
+    terms = np.concatenate([p, e])
+    alg = PreroundedSum(folds=folds, fold_width=fold_width)
+    return alg.sum_array(terms, SumContext.for_data(terms))
+
+
+def dot_exact(x: np.ndarray, y: np.ndarray) -> float:
+    """Correctly rounded dot product via the superaccumulator."""
+    x, y = _check(x, y)
+    if x.size == 0:
+        return 0.0
+    p, e = two_prod_array(x, y)
+    acc = ExactSum()
+    acc.add_array(p)
+    acc.add_array(e)
+    return acc.to_float()
+
+
+DOT_ALGORITHMS: Mapping[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "ST": dot_standard,
+    "K": dot_kahan,
+    "CP": dot_composite,
+    "PR": dot_prerounded,
+    "EX": dot_exact,
+}

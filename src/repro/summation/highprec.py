@@ -1,0 +1,125 @@
+"""High-precision and exact summation algorithms (Sec. III.C extensions).
+
+* :class:`DoubleDoubleSum` — He & Ding's approach (paper ref. [6]): carry the
+  global sum in double-double.  ~106-bit accumulation; far less sensitive to
+  reduction order but not bitwise reproducible in principle.
+* :class:`ExactOracleSum` — the superaccumulator wrapped as an algorithm, so
+  the oracle can be dropped into any tree/experiment slot (always bitwise
+  reproducible; used for cross-checks and as an upper bound on cost).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exact.superacc import ExactSum
+from repro.fp.double_double import dd_add_array, dd_sum
+from repro.fp.eft import fast_two_sum, two_sum
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
+
+__all__ = ["DoubleDoubleAccumulator", "DoubleDoubleSum", "ExactOracleSum"]
+
+
+class DoubleDoubleAccumulator(Accumulator):
+    """State ``(hi, lo)`` kept normalised after every operation."""
+
+    __slots__ = ("hi", "lo")
+
+    def __init__(self) -> None:
+        self.hi = 0.0
+        self.lo = 0.0
+
+    def add(self, x: float) -> None:
+        s, e = two_sum(self.hi, x)
+        e += self.lo
+        self.hi, self.lo = fast_two_sum(s, e)
+
+    def add_array(self, x: np.ndarray) -> None:
+        dd = dd_sum(np.asarray(x, dtype=np.float64))
+        self.merge_parts(dd.hi, dd.lo)
+
+    def merge_parts(self, hi: float, lo: float) -> None:
+        s, e = two_sum(self.hi, hi)
+        e += self.lo + lo
+        self.hi, self.lo = fast_two_sum(s, e)
+
+    def merge(self, other: "DoubleDoubleAccumulator") -> None:  # type: ignore[override]
+        self.merge_parts(other.hi, other.lo)
+
+    def result(self) -> float:
+        return self.hi + self.lo
+
+
+class _DDVectorOps(VectorOps):
+    n_components = 2
+
+    def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
+        v = np.asarray(values, dtype=np.float64)
+        return (v.copy(), np.zeros_like(v))
+
+    def merge(self, a, b):
+        return dd_add_array(a[0], a[1], b[0], b[1])
+
+    def result(self, state):
+        return state[0] + state[1]
+
+
+class DoubleDoubleSum(SummationAlgorithm):
+    """DD: double-double ("native" composite precision) accumulation."""
+
+    code = "DD"
+    name = "double-double"
+    cost_rank = 2
+    deterministic = False
+
+    _vops = _DDVectorOps()
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> DoubleDoubleAccumulator:
+        return DoubleDoubleAccumulator()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        return dd_sum(np.asarray(x, dtype=np.float64)).to_float()
+
+    @property
+    def vector_ops(self) -> VectorOps:
+        return self._vops
+
+
+class _ExactAccumulatorAdapter(Accumulator):
+    """Adapter giving :class:`ExactSum` the Accumulator interface."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self) -> None:
+        self.inner = ExactSum()
+
+    def add(self, x: float) -> None:
+        self.inner.add(x)
+
+    def add_array(self, x: np.ndarray) -> None:
+        self.inner.add_array(np.asarray(x, dtype=np.float64))
+
+    def merge(self, other: "_ExactAccumulatorAdapter") -> None:  # type: ignore[override]
+        self.inner.merge(other.inner)
+
+    def result(self) -> float:
+        return self.inner.to_float()
+
+
+class ExactOracleSum(SummationAlgorithm):
+    """EX: the exact superaccumulator as a (costly) reduction algorithm."""
+
+    code = "EX"
+    name = "exact"
+    cost_rank = 4
+    deterministic = True
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> _ExactAccumulatorAdapter:
+        return _ExactAccumulatorAdapter()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        acc = ExactSum()
+        acc.add_array(np.asarray(x, dtype=np.float64))
+        return acc.to_float()

@@ -1,0 +1,200 @@
+"""Kahan compensated summation (K) and the Neumaier variant.
+
+Kahan's 1965 algorithm keeps a running compensation ``c`` estimating the
+error of the last rounded add and folds it back into the *next* add.  As the
+paper puts it: "In Kahan's algorithm the estimated error is added back into
+the sum at each step" — in contrast to composite precision, which carries the
+error to the very end.  That per-step folding is why K is cheaper but weaker
+than CP in the sensitivity figures.
+
+Merge semantics (the custom ``MPI_Op`` analogue, after Robey et al. [13]):
+each side first applies its own pending compensation, the two corrected
+partial sums are combined with TwoSum, and the rounding error of that combine
+becomes the new pending compensation.  ``result`` returns the running sum
+``s`` alone — the classic Kahan contract — so the final pending compensation
+is dropped, exactly the behaviour that separates K from CP at the root.
+
+Neumaier's variant (improved Kahan–Babuška) is included as an extension; it
+also guards the case ``|x| > |s|`` which classic Kahan mishandles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fp.eft import two_sum, two_sum_array
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
+
+__all__ = ["KahanAccumulator", "KahanSum", "NeumaierAccumulator", "NeumaierSum"]
+
+
+class KahanAccumulator(Accumulator):
+    """State ``(s, c)``: running sum and pending compensation (to subtract).
+
+    Invariant (to first order): true partial sum ≈ ``s - c``.
+    """
+
+    __slots__ = ("s", "c")
+
+    def __init__(self) -> None:
+        self.s = 0.0
+        self.c = 0.0
+
+    def add(self, x: float) -> None:
+        y = x - self.c
+        t = self.s + y
+        self.c = (t - self.s) - y
+        self.s = t
+
+    def add_array(self, x: np.ndarray) -> None:
+        """Vectorised kernel: TwoSum pairwise fold with the per-level error
+        masses compensated back in scalar form — the "fold the estimate back
+        at each step" structure of Kahan, at NumPy speed (~8 flops/element).
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return
+        s, e = _block_twosum_fold(x)
+        self.add(s)
+        self.add(e)
+
+    def merge(self, other: "KahanAccumulator") -> None:  # type: ignore[override]
+        # Combine both pending compensations with the *incoming* partial sum
+        # (the small operand) — folding them into the running sum directly
+        # would round them away, since |c| < ulp(s)/2 after an add.  With a
+        # singleton right child (c == 0) this is exactly the classic Kahan
+        # recurrence, so serial trees reproduce scalar Kahan bit-for-bit.
+        y = other.s - (self.c + other.c)
+        t = self.s + y
+        self.c = (t - self.s) - y
+        self.s = t
+
+    def result(self) -> float:
+        return self.s
+
+
+def _pad_pow2(x: np.ndarray) -> np.ndarray:
+    """Copy ``x`` padded with zeros to the next power of two.
+
+    Zeros are exact under TwoSum (zero result error), so padding changes
+    neither the fold's value nor its error mass.
+    """
+    n = x.size
+    if n == 0:
+        return np.zeros(1, dtype=np.float64)
+    size = 1 << (n - 1).bit_length()
+    if size == n:
+        return x.copy()
+    out = np.zeros(size, dtype=np.float64)
+    out[:n] = x
+    return out
+
+
+def _block_twosum_fold(x: np.ndarray) -> Tuple[float, float]:
+    """Pairwise-reduce with TwoSum, returning (sum, total error mass)."""
+    s = _pad_pow2(x)
+    err_total = 0.0
+    while s.size > 1:
+        s, e = two_sum_array(s[0::2], s[1::2])
+        err_total += float(np.sum(e))
+    return float(s[0]), err_total
+
+
+class _KahanVectorOps(VectorOps):
+    n_components = 2
+
+    def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
+        v = np.asarray(values, dtype=np.float64)
+        return (v.copy(), np.zeros_like(v))
+
+    def merge(self, a, b):
+        y = b[0] - (a[1] + b[1])
+        t = a[0] + y
+        c = (t - a[0]) - y
+        return (t, c)
+
+    def result(self, state):
+        return state[0]
+
+
+class KahanSum(SummationAlgorithm):
+    """K: Kahan's compensated summation."""
+
+    code = "K"
+    name = "kahan"
+    cost_rank = 1
+    deterministic = False
+
+    _vops = _KahanVectorOps()
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> KahanAccumulator:
+        return KahanAccumulator()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        acc = KahanAccumulator()
+        acc.add_array(x)
+        return acc.result()
+
+    @property
+    def vector_ops(self) -> VectorOps:
+        return self._vops
+
+
+class NeumaierAccumulator(Accumulator):
+    """Kahan–Babuška–Neumaier: compensation accumulates separately and is
+    added at the end; robust when ``|x| > |s|``."""
+
+    __slots__ = ("s", "c")
+
+    def __init__(self) -> None:
+        self.s = 0.0
+        self.c = 0.0
+
+    def add(self, x: float) -> None:
+        t = self.s + x
+        if abs(self.s) >= abs(x):
+            self.c += (self.s - t) + x
+        else:
+            self.c += (x - t) + self.s
+        self.s = t
+
+    def add_array(self, x: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return
+        s = _pad_pow2(x)
+        c = np.zeros_like(s)
+        while s.size > 1:
+            t, e = two_sum_array(s[0::2], s[1::2])
+            c = c[0::2] + c[1::2] + e
+            s = t
+        bc = float(c[0])
+        self.add(float(s[0]))
+        self.c += bc
+
+    def merge(self, other: "NeumaierAccumulator") -> None:  # type: ignore[override]
+        c_other = other.c
+        self.add(other.s)
+        self.c += c_other
+
+    def result(self) -> float:
+        return self.s + self.c
+
+
+class NeumaierSum(SummationAlgorithm):
+    """Kahan–Babuška–Neumaier summation (extension beyond the paper's four)."""
+
+    code = "KBN"
+    name = "neumaier"
+    cost_rank = 1
+    deterministic = False
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> NeumaierAccumulator:
+        return NeumaierAccumulator()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        acc = NeumaierAccumulator()
+        acc.add_array(x)
+        return acc.result()

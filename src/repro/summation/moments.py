@@ -1,0 +1,89 @@
+"""Reproducible descriptive statistics built on reproducible reductions.
+
+Once sums and dot products are bitwise order-independent, the statistics a
+simulation logs every step — means, variances, norms — inherit the property
+for free.  These are the quantities whose run-to-run wobble actually gets
+*noticed* (regression dashboards diff them), so they make the selector's
+guarantee tangible to downstream users.
+
+All functions accept the data in one array or pre-chunked (rank) form and
+are bitwise invariant to element order and chunking; variance uses the
+two-pass textbook formula with both passes reproducible (the shifted-data
+second pass keeps it numerically safe even for large means).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.summation.base import SumContext
+from repro.summation.dot import dot_prerounded
+from repro.summation.prerounded import PreroundedSum
+
+__all__ = [
+    "reproducible_sum",
+    "reproducible_mean",
+    "reproducible_variance",
+    "reproducible_std",
+    "reproducible_norm2",
+]
+
+
+def _flatten(data: "np.ndarray | Sequence[np.ndarray]") -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        return np.asarray(data, dtype=np.float64).ravel()
+    parts = [np.asarray(c, dtype=np.float64).ravel() for c in data]
+    return np.concatenate(parts) if parts else np.array([], dtype=np.float64)
+
+
+def reproducible_sum(data: "np.ndarray | Sequence[np.ndarray]") -> float:
+    """Order- and chunking-invariant sum (prerounded, two-pass)."""
+    x = _flatten(data)
+    alg = PreroundedSum()
+    return alg.sum_array(x, SumContext.for_data(x))
+
+
+def reproducible_mean(data: "np.ndarray | Sequence[np.ndarray]") -> float:
+    """Bitwise order-invariant mean."""
+    x = _flatten(data)
+    if x.size == 0:
+        raise ValueError("mean of empty data")
+    return reproducible_sum(x) / x.size
+
+
+def reproducible_variance(
+    data: "np.ndarray | Sequence[np.ndarray]", *, ddof: int = 0
+) -> float:
+    """Bitwise order-invariant variance (two reproducible passes).
+
+    Pass 1 fixes the mean; pass 2 sums squared deviations with the
+    prerounded dot.  Because both passes are order-invariant functions of
+    the multiset, so is the result.  Clamped at zero against the final
+    rounding (the exact value is non-negative).
+    """
+    x = _flatten(data)
+    if x.size <= ddof:
+        raise ValueError("not enough data for the requested ddof")
+    mu = reproducible_mean(x)
+    d = x - mu  # elementwise: order-invariant per element
+    ss = dot_prerounded(d, d)
+    return max(ss / (x.size - ddof), 0.0)
+
+
+def reproducible_std(
+    data: "np.ndarray | Sequence[np.ndarray]", *, ddof: int = 0
+) -> float:
+    """Bitwise order-invariant standard deviation."""
+    import math
+
+    return math.sqrt(reproducible_variance(data, ddof=ddof))
+
+
+def reproducible_norm2(data: "np.ndarray | Sequence[np.ndarray]") -> float:
+    """Bitwise order-invariant Euclidean norm."""
+    import math
+
+    x = _flatten(data)
+    return math.sqrt(dot_prerounded(x, x))

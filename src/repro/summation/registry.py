@@ -1,0 +1,77 @@
+"""Registry of summation algorithms, keyed by the paper's codes.
+
+The four headline algorithms are ``ST``, ``K``, ``CP`` and ``PR``; the rest
+are extensions used in ablations and tests.  The registry is what the runtime
+selector iterates over in cost order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.summation.base import SummationAlgorithm
+from repro.summation.blocked import FABSum
+from repro.summation.composite import CompositePrecisionSum
+from repro.summation.distillation import DistillationSum
+from repro.summation.highprec import DoubleDoubleSum, ExactOracleSum
+from repro.summation.kahan import KahanSum, NeumaierSum
+from repro.summation.prerounded import PreroundedSum
+from repro.summation.sorted_orders import SortedSum
+from repro.summation.standard import PairwiseSum, StandardSum
+
+__all__ = [
+    "PAPER_CODES",
+    "get_algorithm",
+    "paper_algorithms",
+    "all_algorithms",
+    "register",
+]
+
+#: Codes of the four algorithms the paper evaluates, in cost order.
+PAPER_CODES: tuple[str, ...] = ("ST", "K", "CP", "PR")
+
+_REGISTRY: Dict[str, SummationAlgorithm] = {}
+
+
+def register(alg: SummationAlgorithm) -> SummationAlgorithm:
+    """Add an algorithm instance to the registry (last write wins)."""
+    _REGISTRY[alg.code] = alg
+    return alg
+
+
+for _alg in (
+    StandardSum(),
+    PairwiseSum(),
+    KahanSum(),
+    NeumaierSum(),
+    CompositePrecisionSum(),
+    DoubleDoubleSum(),
+    PreroundedSum(),
+    DistillationSum(),
+    FABSum(),
+    SortedSum("conventional"),
+    SortedSum("ascending_magnitude"),
+    SortedSum("descending_magnitude"),
+    ExactOracleSum(),
+):
+    register(_alg)
+
+
+def get_algorithm(code: str) -> SummationAlgorithm:
+    """Look up an algorithm by its code (``"ST"``, ``"K"``, ``"CP"``, ``"PR"``, ...)."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown summation algorithm {code!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def paper_algorithms() -> List[SummationAlgorithm]:
+    """The paper's four algorithms in cost order ST < K < CP < PR."""
+    return [get_algorithm(c) for c in PAPER_CODES]
+
+
+def all_algorithms() -> List[SummationAlgorithm]:
+    """Every registered algorithm, sorted by (cost_rank, code)."""
+    return sorted(_REGISTRY.values(), key=lambda a: (a.cost_rank, a.code))

@@ -1,0 +1,125 @@
+"""Fixed-reduction-order summation (Sec. III.A's "conventional wisdom").
+
+The paper dismisses fixed reduction orders as infeasible at exascale but uses
+them to frame the discussion: "Conventional wisdom suggests summing the
+values in ascending order if they all have the same sign, and in descending
+order of magnitude if they are not."  This module implements those orders so
+the Fig. 2/3 experiments (and the tests refuting conventional wisdom) can
+compare against them.
+
+Because an order-imposing algorithm cannot honour an externally imposed
+reduction tree, its accumulator *buffers* operands and sorts at ``result``
+time — semantically faithful, deliberately expensive, and flagged
+``deterministic = True`` with respect to input ordering (same multiset in →
+same bits out) though not with respect to value ties with unstable upstream
+permutations of equal values (sums of equal values are order-insensitive, so
+this does not matter).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm
+
+__all__ = ["SortedSum", "SortedAccumulator", "conventional_wisdom_order"]
+
+OrderName = Literal[
+    "ascending_magnitude",
+    "descending_magnitude",
+    "ascending_value",
+    "conventional",
+]
+
+
+def _magnitude_order(x: np.ndarray) -> np.ndarray:
+    """Total ascending-magnitude order: ties in |x| break on the value.
+
+    A *stable* magnitude argsort would leave tied magnitudes in input order,
+    so e.g. ``+1e10`` and ``-1e10`` would be summed in permutation-dependent
+    order — silently breaking the determinism contract of the sorted
+    algorithms (hypothesis found this).  The (|x|, x) key is a total order
+    on value multisets: elements equal under it are identical doubles, which
+    are interchangeable.
+    """
+    return np.lexsort((x, np.abs(x)))
+
+
+def conventional_wisdom_order(x: np.ndarray) -> np.ndarray:
+    """Order the paper attributes to conventional wisdom.
+
+    Same-sign data: ascending (magnitude) order; mixed signs: descending
+    magnitude.  Returns the reordered copy.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        return x.copy()
+    same_sign = bool(np.all(x >= 0.0)) or bool(np.all(x <= 0.0))
+    idx = _magnitude_order(x)
+    return x[idx] if same_sign else x[idx[::-1]]
+
+
+def _apply_order(x: np.ndarray, order: OrderName) -> np.ndarray:
+    if order == "conventional":
+        return conventional_wisdom_order(x)
+    if order == "ascending_magnitude":
+        return x[_magnitude_order(x)]
+    if order == "descending_magnitude":
+        return x[_magnitude_order(x)[::-1]]
+    if order == "ascending_value":
+        return np.sort(x, kind="stable")
+    raise ValueError(f"unknown order {order!r}")
+
+
+class SortedAccumulator(Accumulator):
+    """Buffers operands; sorts and sums sequentially at ``result`` time."""
+
+    __slots__ = ("_chunks", "order")
+
+    def __init__(self, order: OrderName) -> None:
+        self._chunks: list[np.ndarray] = []
+        self.order = order
+
+    def add(self, x: float) -> None:
+        self._chunks.append(np.array([x], dtype=np.float64))
+
+    def add_array(self, x: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size:
+            self._chunks.append(x.copy())
+
+    def merge(self, other: "SortedAccumulator") -> None:  # type: ignore[override]
+        self._chunks.extend(other._chunks)
+
+    def result(self) -> float:
+        if not self._chunks:
+            return 0.0
+        data = np.concatenate(self._chunks)
+        ordered = _apply_order(data, self.order)
+        return float(np.cumsum(ordered)[-1])
+
+
+class SortedSum(SummationAlgorithm):
+    """Fixed-order iterative summation over a chosen sort key."""
+
+    code = "SO"
+    name = "sorted"
+    cost_rank = 1  # a sort, then ST
+    deterministic = True  # w.r.t. input permutation, by construction
+
+    def __init__(self, order: OrderName = "conventional") -> None:
+        self.order: OrderName = order
+        self.code = {"conventional": "SO", "ascending_magnitude": "SO+",
+                     "descending_magnitude": "SO-", "ascending_value": "SOv"}[order]
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> SortedAccumulator:
+        return SortedAccumulator(self.order)
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return 0.0
+        ordered = _apply_order(x, self.order)
+        return float(np.cumsum(ordered)[-1])

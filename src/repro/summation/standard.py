@@ -1,0 +1,123 @@
+"""Standard (ST) and pairwise summation.
+
+Standard iterative summation is the paper's baseline: cheapest, least
+complex, and the most sensitive to reduction-tree variability.  Its
+accumulator is a single running double; its ``merge`` is one rounded add, so
+evaluating a reduction tree with it reproduces exactly the floating-point
+value that tree would compute on real hardware.
+
+Pairwise summation is included as the shape-fixed balanced-tree special case
+(it is what ``numpy.sum`` approximates); it is *not* one of the paper's four
+algorithms but serves as a baseline in ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
+
+__all__ = ["StandardAccumulator", "StandardSum", "PairwiseSum"]
+
+
+class StandardAccumulator(Accumulator):
+    """Running double ``s``; every add and merge rounds once."""
+
+    __slots__ = ("s",)
+
+    def __init__(self) -> None:
+        self.s = 0.0
+
+    def add(self, x: float) -> None:
+        self.s += x
+
+    def add_array(self, x: np.ndarray) -> None:
+        # Sequential semantics: cumulative sum is a true left-to-right
+        # recurrence in NumPy, so the final prefix equals the scalar loop.
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return
+        self.s = float(np.cumsum(np.concatenate(([self.s], x)))[-1])
+
+    def merge(self, other: "StandardAccumulator") -> None:  # type: ignore[override]
+        self.s += other.s
+
+    def result(self) -> float:
+        return self.s
+
+
+class _StandardVectorOps(VectorOps):
+    n_components = 1
+
+    def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
+        return (np.asarray(values, dtype=np.float64).copy(),)
+
+    def merge(self, a, b):
+        return (a[0] + b[0],)
+
+    def result(self, state):
+        return state[0]
+
+
+class StandardSum(SummationAlgorithm):
+    """ST: plain recursive/iterative floating-point summation."""
+
+    code = "ST"
+    name = "standard"
+    cost_rank = 0
+    deterministic = False
+
+    _vops = _StandardVectorOps()
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> StandardAccumulator:
+        return StandardAccumulator()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        """Strict left-to-right iterative sum (the ST of the paper)."""
+        acc = StandardAccumulator()
+        acc.add_array(x)
+        return acc.result()
+
+    @property
+    def vector_ops(self) -> VectorOps:
+        return self._vops
+
+
+class PairwiseSum(SummationAlgorithm):
+    """Balanced-tree summation with a *fixed* shape (numpy-style pairwise).
+
+    Deterministic in shape but still sensitive to operand order, hence
+    ``deterministic = False``.
+    """
+
+    code = "PW"
+    name = "pairwise"
+    cost_rank = 0
+    deterministic = False
+
+    _vops = _StandardVectorOps()
+
+    def make_accumulator(self, context: Optional[SumContext] = None) -> StandardAccumulator:
+        return StandardAccumulator()
+
+    def sum_array(self, x: np.ndarray, context: Optional[SumContext] = None) -> float:
+        x = np.asarray(x, dtype=np.float64).ravel().copy()
+        if x.size == 0:
+            return 0.0
+        while x.size > 1:
+            if x.size % 2:
+                # Fold the odd trailing element into the last pair result so
+                # the shape is the canonical left-packed balanced tree.
+                head = x[:-1]
+                pair = head[0::2] + head[1::2]
+                pair[-1] += x[-1]
+                x = pair
+            else:
+                x = x[0::2] + x[1::2]
+        return float(x[0])
+
+    @property
+    def vector_ops(self) -> VectorOps:
+        return self._vops

@@ -1,0 +1,38 @@
+"""Reduction-tree model: shapes, leaf assignments, evaluation strategies."""
+
+from repro.trees.enumeration import (
+    ValueSpace,
+    achievable_values,
+    catalan,
+    enumerate_shapes,
+    n_shapes,
+)
+from repro.trees.evaluate import (
+    evaluate_balanced_vectorized,
+    evaluate_ensemble,
+    evaluate_tree,
+    evaluate_tree_generic,
+)
+from repro.trees.serial_batch import serial_ensemble_standard, serial_ensemble_vops
+from repro.trees.shapes import balanced, from_parent_array, random_shape, serial, skewed
+from repro.trees.tree import ReductionTree
+
+__all__ = [
+    "ReductionTree",
+    "ValueSpace",
+    "achievable_values",
+    "catalan",
+    "enumerate_shapes",
+    "n_shapes",
+    "balanced",
+    "evaluate_balanced_vectorized",
+    "evaluate_ensemble",
+    "evaluate_tree",
+    "evaluate_tree_generic",
+    "from_parent_array",
+    "random_shape",
+    "serial",
+    "serial_ensemble_standard",
+    "serial_ensemble_vops",
+    "skewed",
+]

@@ -1,0 +1,150 @@
+"""Exhaustive enumeration of reduction trees for small n (the WoDet study).
+
+The paper builds on Chiang et al. [3], where "a set of eight identical
+floating-point values is summed via three differently shaped reduction
+trees, yielding in each case a different value", and eight values summed via
+same-shape trees with different leaf assignments also all disagree.  For
+small n we can do better than three examples: enumerate *every* full binary
+tree shape (there are Catalan(n-1) of them) and map the complete set of
+achievable floating-point values — the exact space over which an exascale
+run nondeterministically samples.
+
+Used by the ``extenum`` extension experiment and the structural tests; the
+shape count grows as ~4^n so this is strictly a small-n microscope
+(n <= 14 keeps things interactive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.summation.base import SumContext, SummationAlgorithm
+from repro.trees.evaluate import evaluate_tree_generic
+from repro.trees.tree import ReductionTree
+from repro.util.rng import SeedLike, permutation_stream
+
+__all__ = [
+    "catalan",
+    "n_shapes",
+    "enumerate_shapes",
+    "achievable_values",
+    "ValueSpace",
+]
+
+
+def catalan(n: int) -> int:
+    """The n-th Catalan number."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def n_shapes(n_leaves: int) -> int:
+    """Number of full binary tree shapes over an ordered leaf sequence."""
+    if n_leaves < 1:
+        raise ValueError("need >= 1 leaf")
+    return catalan(n_leaves - 1)
+
+
+def _structures(lo: int, hi: int):
+    """All binary bracketings of leaves [lo, hi): nested (left, right) pairs."""
+    if hi - lo == 1:
+        yield lo
+        return
+    for mid in range(lo + 1, hi):
+        for left in _structures(lo, mid):
+            for right in _structures(mid, hi):
+                yield (left, right)
+
+
+def _to_tree(structure, n: int) -> ReductionTree:
+    schedule = np.empty((n - 1, 2), dtype=np.int64)
+    t = 0
+
+    def build(node) -> int:
+        nonlocal t
+        if isinstance(node, int):
+            return node
+        a = build(node[0])
+        b = build(node[1])
+        schedule[t] = (a, b)
+        t += 1
+        return n + t - 1
+
+    build(structure)
+    assert t == n - 1
+    return ReductionTree(n_leaves=n, schedule=schedule, kind="custom")
+
+
+def enumerate_shapes(n_leaves: int, limit: Optional[int] = None) -> Iterator[ReductionTree]:
+    """Yield every full binary tree shape over ``n_leaves`` ordered leaves.
+
+    ``limit`` truncates the enumeration (useful above n ~ 14, where
+    Catalan(n-1) explodes).
+    """
+    if n_leaves < 1:
+        raise ValueError("need >= 1 leaf")
+    if n_leaves == 1:
+        yield ReductionTree(
+            n_leaves=1, schedule=np.empty((0, 2), dtype=np.int64), kind="custom"
+        )
+        return
+    count = 0
+    for structure in _structures(0, n_leaves):
+        yield _to_tree(structure, n_leaves)
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+@dataclass(frozen=True)
+class ValueSpace:
+    """The complete set of achievable values for (data, algorithm)."""
+
+    values: tuple[float, ...]  # distinct, sorted
+    n_shapes: int
+    n_assignments: int
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.values)
+
+    @property
+    def spread(self) -> float:
+        return self.values[-1] - self.values[0] if self.values else 0.0
+
+
+def achievable_values(
+    data: np.ndarray,
+    algorithm: SummationAlgorithm,
+    *,
+    n_assignments: int = 1,
+    seed: SeedLike = None,
+    shape_limit: Optional[int] = None,
+) -> ValueSpace:
+    """Every value the reduction can produce over all shapes (and sampled
+    leaf assignments).
+
+    ``n_assignments = 1`` uses only the identity assignment (pure shape
+    study, the first half of [3]); larger values add random permutations
+    (the assignment study, its second half).
+    """
+    data = np.asarray(data, dtype=np.float64).ravel()
+    n = data.size
+    if n < 1:
+        raise ValueError("empty data")
+    context = SumContext.for_data(data) if algorithm.needs_context else None
+    perms = list(permutation_stream(n, n_assignments, seed))
+    values: set[float] = set()
+    shapes = 0
+    for tree in enumerate_shapes(n, limit=shape_limit):
+        shapes += 1
+        for p in perms:
+            values.add(evaluate_tree_generic(tree, data[p], algorithm, context))
+    return ValueSpace(
+        values=tuple(sorted(values)), n_shapes=shapes, n_assignments=len(perms)
+    )

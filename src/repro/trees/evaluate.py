@@ -1,0 +1,224 @@
+"""Tree evaluation: compute the floating-point value a reduction tree yields.
+
+Semantics
+---------
+Every leaf is a *singleton accumulator* holding one operand (the local value
+a rank contributes), and every internal node is an accumulator ``merge`` —
+exactly the custom-``MPI_Op`` view of a parallel reduction.  The root's
+``result()`` is the value of the tree.
+
+Three execution strategies produce identical semantics:
+
+* :func:`evaluate_tree_generic` — literal node-walk over the merge schedule.
+  Works for any shape and any algorithm; O(n) Python-level merges.
+* level-wise vectorised evaluation for **balanced** trees of algorithms with
+  :class:`~repro.summation.base.VectorOps` (each tree level is one batch of
+  elementwise merges);
+* position-stepped vectorised evaluation for **serial** trees across a whole
+  *ensemble* of leaf permutations at once (see
+  :mod:`repro.trees.serial_batch`).
+
+:func:`evaluate_tree` picks the fastest valid strategy; tests pin the
+strategies against the generic walk so the fast paths cannot silently
+diverge.
+
+Deterministic algorithms (PR, EX) are evaluated through their real
+accumulators in the generic path, but :func:`evaluate_ensemble` exploits
+``algorithm.deterministic`` to compute once and tile — after the test suite
+has proven bitwise tree-independence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.summation.base import SumContext, SummationAlgorithm
+from repro.trees.serial_batch import serial_ensemble_standard, serial_ensemble_vops
+from repro.trees.tree import ReductionTree
+from repro.util.rng import SeedLike, permutation_stream
+
+__all__ = [
+    "evaluate_tree",
+    "evaluate_tree_generic",
+    "evaluate_balanced_vectorized",
+    "evaluate_ensemble",
+]
+
+
+def evaluate_tree_generic(
+    tree: ReductionTree,
+    data: np.ndarray,
+    algorithm: SummationAlgorithm,
+    context: Optional[SumContext] = None,
+) -> float:
+    """Literal node-walk: every internal node is one accumulator merge."""
+    data = np.asarray(data, dtype=np.float64).ravel()
+    if data.size != tree.n_leaves:
+        raise ValueError(f"{data.size} operands for a {tree.n_leaves}-leaf tree")
+    if context is None and algorithm.needs_context:
+        context = SumContext.for_data(data)
+    if tree.n_leaves == 1:
+        acc = algorithm.make_accumulator(context)
+        acc.add(float(data[0]))
+        return acc.result()
+    slots: list = [None] * tree.n_nodes
+    for i, v in enumerate(data.tolist()):
+        acc = algorithm.make_accumulator(context)
+        acc.add(v)
+        slots[i] = acc
+    for a, b, out in tree.iter_steps():
+        left, right = slots[a], slots[b]
+        left.merge(right)
+        slots[out] = left
+        slots[a] = slots[b] = None  # free promptly; each slot is read once
+    return slots[tree.root_slot].result()
+
+
+def evaluate_balanced_vectorized(
+    data: np.ndarray,
+    algorithm: SummationAlgorithm,
+    context: Optional[SumContext] = None,
+) -> float:
+    """Level-wise evaluation of the canonical balanced tree via VectorOps.
+
+    Matches :func:`shapes.balanced`'s schedule: nodes are paired in order at
+    each level and an odd trailing node is carried up unchanged.
+    """
+    vops = algorithm.vector_ops
+    if vops is None:
+        raise TypeError(f"{algorithm.code} has no vectorised state ops")
+    data = np.asarray(data, dtype=np.float64).ravel()
+    if data.size == 0:
+        raise ValueError("empty data")
+    state = vops.init(data)
+    width = data.size
+    while width > 1:
+        even = width - (width % 2)
+        heads = tuple(c[:even:2] for c in state)
+        tails = tuple(c[1:even:2] for c in state)
+        merged = vops.merge(heads, tails)
+        if width % 2:
+            carry = tuple(c[width - 1 : width] for c in state)
+            merged = tuple(
+                np.concatenate((m, c)) for m, c in zip(merged, carry)
+            )
+        state = merged
+        width = state[0].size
+    return float(vops.result(state)[0])
+
+
+def evaluate_tree(
+    tree: ReductionTree,
+    data: np.ndarray,
+    algorithm: SummationAlgorithm,
+    context: Optional[SumContext] = None,
+    *,
+    force_generic: bool = False,
+) -> float:
+    """Value of ``tree`` applied to ``data`` under ``algorithm``.
+
+    Dispatches to the fastest strategy whose semantics match the generic
+    node-walk; pass ``force_generic=True`` to pin the literal walk (used by
+    the equivalence tests).
+    """
+    data = np.asarray(data, dtype=np.float64).ravel()
+    if context is None and algorithm.needs_context:
+        context = SumContext.for_data(data)
+    if force_generic:
+        return evaluate_tree_generic(tree, data, algorithm, context)
+    if tree.kind == "balanced" and algorithm.vector_ops is not None:
+        return evaluate_balanced_vectorized(data, algorithm, context)
+    if tree.kind == "serial" and algorithm.vector_ops is not None:
+        vops = algorithm.vector_ops
+        out = serial_ensemble_vops(data[np.newaxis, :], vops)
+        return float(out[0])
+    return evaluate_tree_generic(tree, data, algorithm, context)
+
+
+def evaluate_ensemble(
+    data: np.ndarray,
+    shape: str,
+    algorithm: SummationAlgorithm,
+    n_trees: int,
+    seed: SeedLike = None,
+    context: Optional[SumContext] = None,
+    *,
+    batch_elems: int = 1 << 24,
+) -> np.ndarray:
+    """Values of ``n_trees`` same-shape trees with permuted leaf assignments.
+
+    This is the paper's core measurement: "we generate distinct reduction
+    trees by randomly assigning operands to leaves" and study the spread of
+    the computed sums.  ``shape`` is ``"balanced"`` or ``"serial"``.
+
+    The first tree always uses the identity assignment.  Deterministic
+    algorithms are computed once and tiled (their tree-independence is
+    established by the property-test suite).
+    """
+    data = np.asarray(data, dtype=np.float64).ravel()
+    n = data.size
+    if n == 0:
+        raise ValueError("empty data")
+    if shape not in ("balanced", "serial"):
+        raise ValueError(f"shape must be 'balanced' or 'serial', got {shape!r}")
+    if context is None and algorithm.needs_context:
+        context = SumContext.for_data(data)
+
+    if algorithm.deterministic:
+        value = algorithm.sum_array(data, context)
+        return np.full(n_trees, value, dtype=np.float64)
+
+    vops = algorithm.vector_ops
+    perms = permutation_stream(n, n_trees, seed)
+
+    if shape == "balanced":
+        if vops is None:
+            from repro.trees.shapes import balanced as balanced_shape
+
+            tree = balanced_shape(n)
+            return np.array(
+                [
+                    evaluate_tree_generic(tree, data[p], algorithm, context)
+                    for p in perms
+                ]
+            )
+        return np.array(
+            [
+                evaluate_balanced_vectorized(data[p], algorithm, context)
+                for p in perms
+            ]
+        )
+
+    # serial shape
+    if algorithm.code == "ST":
+        return _batched_serial(data, perms, n_trees, serial_ensemble_standard, batch_elems)
+    if vops is not None:
+        return _batched_serial(
+            data, perms, n_trees, lambda mat: serial_ensemble_vops(mat, vops), batch_elems
+        )
+    from repro.trees.shapes import serial as serial_shape
+
+    tree = serial_shape(n)
+    return np.array(
+        [evaluate_tree_generic(tree, data[p], algorithm, context) for p in perms]
+    )
+
+
+def _batched_serial(data, perms, n_trees, kernel, batch_elems) -> np.ndarray:
+    """Run a serial-ensemble kernel over permutation batches bounded in memory."""
+    n = data.size
+    per_batch = max(1, batch_elems // max(n, 1))
+    out = np.empty(n_trees, dtype=np.float64)
+    buf: list[np.ndarray] = []
+    start = 0
+    for p in perms:
+        buf.append(data[p])
+        if len(buf) == per_batch:
+            out[start : start + len(buf)] = kernel(np.vstack(buf))
+            start += len(buf)
+            buf = []
+    if buf:
+        out[start : start + len(buf)] = kernel(np.vstack(buf))
+    return out

@@ -1,0 +1,176 @@
+"""Constructors for reduction-tree shapes.
+
+The paper's experiments use the two extremes of Fig. 1 — completely balanced
+(parallel) and completely unbalanced (serial) — plus, in the discussion of
+exascale behaviour, trees whose shape fluctuates due to faults and resource
+availability.  This module builds all of them as merge schedules:
+
+* :func:`balanced` — level-wise pairing; an odd node at a level is carried
+  up unchanged.  Depth ``ceil(log2 n)``.
+* :func:`serial` — left comb: ``((x0 + x1) + x2) + ...``.  Depth ``n-1``.
+* :func:`random_shape` — uniform-ish random full binary tree via random
+  pairwise coalescence (the "Huffman on random pairs" process), modelling
+  reductions that combine whichever partial results are available first.
+* :func:`skewed` — interpolates between serial and balanced via a skew
+  parameter, for ablation sweeps over tree depth.
+* :func:`from_parent_array` — import any externally described full binary
+  tree (used by the topology-aware builder in :mod:`repro.mpi.topology`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.trees.tree import ReductionTree
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["balanced", "serial", "random_shape", "skewed", "from_parent_array"]
+
+
+def balanced(n: int) -> ReductionTree:
+    """Completely balanced (parallel) reduction tree over ``n`` leaves."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    schedule = np.empty((max(n - 1, 0), 2), dtype=np.int64)
+    level = list(range(n))
+    next_slot = n
+    t = 0
+    while len(level) > 1:
+        nxt: list[int] = []
+        for i in range(0, len(level) - 1, 2):
+            schedule[t, 0] = level[i]
+            schedule[t, 1] = level[i + 1]
+            nxt.append(next_slot)
+            next_slot += 1
+            t += 1
+        if len(level) % 2:
+            nxt.append(level[-1])  # odd node rides up to the next level
+        level = nxt
+    return ReductionTree(n_leaves=n, schedule=schedule, kind="balanced")
+
+
+def serial(n: int) -> ReductionTree:
+    """Completely unbalanced (serial) left-comb tree over ``n`` leaves."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    schedule = np.empty((max(n - 1, 0), 2), dtype=np.int64)
+    if n > 1:
+        schedule[0] = (0, 1)
+        for t in range(1, n - 1):
+            schedule[t] = (n + t - 1, t + 1)
+    return ReductionTree(n_leaves=n, schedule=schedule, kind="serial")
+
+
+def random_shape(n: int, seed: SeedLike = None) -> ReductionTree:
+    """Random full binary tree by repeated coalescence of random pairs.
+
+    Models a reduction that greedily combines whichever two partial results
+    happen to be ready, as on a machine with jittered completion times.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = resolve_rng(seed)
+    active = list(range(n))
+    schedule = np.empty((max(n - 1, 0), 2), dtype=np.int64)
+    next_slot = n
+    for t in range(n - 1):
+        i, j = rng.choice(len(active), size=2, replace=False)
+        i, j = (int(i), int(j)) if i < j else (int(j), int(i))
+        schedule[t, 0] = active[i]
+        schedule[t, 1] = active[j]
+        # remove j first (higher index), then i
+        active.pop(j)
+        active.pop(i)
+        active.append(next_slot)
+        next_slot += 1
+    return ReductionTree(n_leaves=n, schedule=schedule, kind="custom")
+
+
+def skewed(n: int, skew: float) -> ReductionTree:
+    """Interpolate between balanced (``skew=0``) and serial (``skew=1``).
+
+    At each level the first ``round(skew * width)`` elements are folded
+    serially into a single running node; the remainder are paired.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError("skew must be in [0, 1]")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if skew == 0.0:
+        return balanced(n)
+    if skew == 1.0:
+        return serial(n)
+    schedule = np.empty((max(n - 1, 0), 2), dtype=np.int64)
+    level = list(range(n))
+    next_slot = n
+    t = 0
+    while len(level) > 1:
+        serial_count = min(len(level), max(2, round(skew * len(level))))
+        run = level[0]
+        for i in range(1, serial_count):
+            schedule[t] = (run, level[i])
+            run = next_slot
+            next_slot += 1
+            t += 1
+        rest = level[serial_count:]
+        nxt = [run]
+        for i in range(0, len(rest) - 1, 2):
+            schedule[t] = (rest[i], rest[i + 1])
+            nxt.append(next_slot)
+            next_slot += 1
+            t += 1
+        if len(rest) % 2:
+            nxt.append(rest[-1])
+        level = nxt
+    assert t == n - 1, "every merge reduces the node count by one"
+    return ReductionTree(n_leaves=n, schedule=schedule, kind="custom")
+
+
+def from_parent_array(parent: Sequence[int], n_leaves: int) -> ReductionTree:
+    """Build a tree from a parent array over nodes ``0..2n-2``.
+
+    ``parent[i]`` is the parent node id of node ``i`` (root has parent
+    ``-1``); leaves must be nodes ``0..n_leaves-1``.  Internal node ids are
+    re-labelled into schedule order (children before parents).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n_nodes = parent.size
+    if n_nodes != 2 * n_leaves - 1:
+        raise ValueError("parent array must cover 2*n_leaves - 1 nodes")
+    children: dict[int, list[int]] = {}
+    root = -1
+    for child, par in enumerate(parent.tolist()):
+        if par == -1:
+            if root != -1:
+                raise ValueError("multiple roots")
+            root = child
+        else:
+            children.setdefault(par, []).append(child)
+    if root == -1:
+        raise ValueError("no root found")
+    for node, kids in children.items():
+        if len(kids) != 2:
+            raise ValueError(f"node {node} has {len(kids)} children; tree not full")
+    # post-order walk assigning new slot ids to internal nodes
+    schedule = np.empty((max(n_leaves - 1, 0), 2), dtype=np.int64)
+    new_id: dict[int, int] = {i: i for i in range(n_leaves)}
+    t = 0
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node < n_leaves:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for kid in children[node]:
+                stack.append((kid, False))
+        else:
+            a, b = children[node]
+            schedule[t] = (new_id[a], new_id[b])
+            new_id[node] = n_leaves + t
+            t += 1
+    if t != n_leaves - 1:
+        raise ValueError("tree is disconnected or malformed")
+    return ReductionTree(n_leaves=n_leaves, schedule=schedule, kind="custom")

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG plumbing, timing, chunking, process pools."""
+
+from repro.util.chunking import iter_chunks, safe_block_len, split_indices
+from repro.util.parallel import default_workers, map_parallel
+from repro.util.rng import SeedLike, derive_seed, permutation_stream, resolve_rng, spawn
+from repro.util.timing import Stopwatch, TimingResult, time_callable
+
+__all__ = [
+    "SeedLike",
+    "Stopwatch",
+    "TimingResult",
+    "default_workers",
+    "derive_seed",
+    "iter_chunks",
+    "map_parallel",
+    "permutation_stream",
+    "resolve_rng",
+    "safe_block_len",
+    "spawn",
+    "split_indices",
+    "time_callable",
+]

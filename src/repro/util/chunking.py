@@ -1,0 +1,52 @@
+"""Array chunking helpers.
+
+The exact superaccumulator and the binned (prerounded) summation both
+accumulate 53-bit integer mantissas in 64-bit lanes; to keep those partial
+sums overflow-free we bound the number of terms per vectorised reduction.
+These helpers centralise that arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["iter_chunks", "safe_block_len", "split_indices"]
+
+#: Mantissa width of IEEE binary64 (including the implicit bit).
+_MANTISSA_BITS = 53
+
+
+def safe_block_len(value_bits: int = _MANTISSA_BITS, lane_bits: int = 63) -> int:
+    """Largest block length such that summing that many ``value_bits``-wide
+    non-negative integers cannot overflow a signed ``lane_bits``-bit lane."""
+    if value_bits >= lane_bits:
+        raise ValueError("value width must be smaller than lane width")
+    return 1 << (lane_bits - value_bits)
+
+
+def iter_chunks(n: int, block: int) -> Iterator[slice]:
+    """Yield slices covering ``range(n)`` in blocks of at most ``block``."""
+    if block <= 0:
+        raise ValueError("block must be positive")
+    for start in range(0, n, block):
+        yield slice(start, min(start + block, n))
+
+
+def split_indices(n: int, parts: int) -> list[slice]:
+    """Split ``range(n)`` into ``parts`` nearly equal contiguous slices.
+
+    Used to shard a global vector across simulated MPI ranks; mirrors the
+    block distribution of an ``MPI_Scatterv`` with balanced counts.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(n, parts)
+    out: list[slice] = []
+    start = 0
+    for p in range(parts):
+        length = base + (1 if p < extra else 0)
+        out.append(slice(start, start + length))
+        start += length
+    return out

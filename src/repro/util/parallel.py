@@ -1,0 +1,46 @@
+"""Host-side parallelism for grid sweeps.
+
+The (k, dr) / (n, dr) / (n, k) grid experiments of Sec. V.C evaluate hundreds
+of cells, each of which sums a set over ~1000 permuted reduction trees.  Cells
+are independent, so we fan them out over a process pool.  Workers receive
+plain picklable payloads (integer seeds, parameter tuples) — never live
+generators — so results are bitwise identical regardless of pool size.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["default_workers", "map_parallel"]
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env var, else cpu_count − 1 (min 1)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def map_parallel(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items``, in-process when small or when ``workers<=1``.
+
+    Falls back to a serial loop for short item lists where pool startup would
+    dominate, and always preserves input order in the result list.
+    """
+    workers = default_workers() if workers is None else workers
+    if workers <= 1 or len(items) <= 2:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

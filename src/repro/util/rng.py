@@ -1,0 +1,98 @@
+"""Centralised random-number-generation utilities.
+
+Every stochastic component of :mod:`repro` — workload generators, leaf
+permutations, nondeterministic message-arrival simulation, CESTAC random
+rounding — draws randomness through this module so that experiments are
+themselves reproducible end to end.  The convention throughout the package is
+that public functions accept a ``seed`` argument that may be
+
+* ``None`` — fresh OS entropy (non-reproducible, for interactive use),
+* an ``int`` — deterministic stream derived from that integer, or
+* an existing :class:`numpy.random.Generator` — used as-is (the caller owns
+  the stream and may thread it through several calls).
+
+Independent child streams are derived with :func:`spawn`, which uses NumPy's
+``SeedSequence.spawn`` so that children are statistically independent no
+matter how many are created.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["SeedLike", "resolve_rng", "spawn", "derive_seed", "permutation_stream"]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None``, an integer, a ``SeedSequence``, or an existing
+        ``Generator``.  Generators are returned unchanged so callers can
+        thread one stream through a multi-step pipeline.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    When ``seed`` is already a ``Generator`` the children are spawned from its
+    internal bit generator's seed sequence, so repeated calls advance the
+    parent deterministically.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, *tokens: Union[int, str]) -> int:
+    """Derive a stable 63-bit integer seed from a base seed and context tokens.
+
+    Used where a plain integer must be shipped across a process boundary
+    (e.g. multiprocessing workers in grid sweeps).  Token order matters.
+    """
+    base = 0 if seed is None else (seed if isinstance(seed, int) else 0)
+    entropy: list[int] = [base & 0x7FFFFFFFFFFFFFFF]
+    for tok in tokens:
+        if isinstance(tok, str):
+            # Stable across processes (unlike hash()): fold bytes into an int.
+            acc = 1469598103934665603  # FNV offset basis
+            for b in tok.encode():
+                acc = ((acc ^ b) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+            entropy.append(acc)
+        else:
+            entropy.append(int(tok) & 0xFFFFFFFFFFFFFFFF)
+    seq = np.random.SeedSequence(entropy)
+    return int(seq.generate_state(1, np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
+
+
+def permutation_stream(
+    n: int, count: int, seed: SeedLike = None
+) -> Iterable[np.ndarray]:
+    """Yield ``count`` independent permutations of ``range(n)``.
+
+    The first permutation is always the identity so that ensembles include
+    the "canonical" assignment the paper's figures implicitly contain.
+    """
+    if n < 0 or count < 0:
+        raise ValueError("n and count must be non-negative")
+    rng = resolve_rng(seed)
+    for i in range(count):
+        if i == 0:
+            yield np.arange(n, dtype=np.intp)
+        else:
+            yield rng.permutation(n)

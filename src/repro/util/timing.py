@@ -1,0 +1,79 @@
+"""Lightweight timing helpers used by the Fig. 4/5 experiments.
+
+pytest-benchmark drives the headline timing benches; these helpers exist for
+the in-library experiment harness (``repro.experiments.fig4_timing``) which
+reports mean/min wall times over repeated runs with a warmed cache, matching
+the paper's methodology ("Each test is repeated 20 times with a warmed
+cache").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["TimingResult", "time_callable", "Stopwatch"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock statistics for a repeated measurement."""
+
+    label: str
+    samples: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def worst(self) -> float:
+        return max(self.samples)
+
+    def penalty_vs(self, baseline: "TimingResult") -> float:
+        """Slowdown factor relative to ``baseline`` (paper Fig. 5)."""
+        if baseline.mean == 0:
+            raise ZeroDivisionError("baseline mean time is zero")
+        return self.mean / baseline.mean
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    label: str = "",
+    repeats: int = 20,
+    warmup: int = 2,
+) -> TimingResult:
+    """Time ``fn`` with ``warmup`` discarded runs then ``repeats`` samples."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return TimingResult(label=label, samples=tuple(samples))
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch for instrumenting phases inside the selector."""
+
+    elapsed: float = 0.0
+    _t0: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None

@@ -1,0 +1,14 @@
+"""Text renderers: decade-shaded heatmaps, log-axis boxplots, tables."""
+
+from repro.viz.boxplot import render_boxplot_panel, render_boxplot_row
+from repro.viz.heatmap import render_category_grid, render_value_grid, shade_char
+from repro.viz.tables import render_table
+
+__all__ = [
+    "render_boxplot_panel",
+    "render_boxplot_row",
+    "render_category_grid",
+    "render_table",
+    "render_value_grid",
+    "shade_char",
+]

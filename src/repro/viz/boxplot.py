@@ -1,0 +1,68 @@
+"""Text boxplots for the Fig. 6/7 error-distribution panels."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.metrics.errors import BoxplotSummary
+
+__all__ = ["render_boxplot_row", "render_boxplot_panel"]
+
+
+def render_boxplot_row(
+    label: str,
+    summary: BoxplotSummary,
+    *,
+    lo: float,
+    hi: float,
+    width: int = 52,
+) -> str:
+    """One horizontal boxplot over a log10 axis from ``lo`` to ``hi``.
+
+    Zero-valued statistics (bitwise-reproducible algorithms) are clamped to
+    the left edge and annotated, since log axes cannot show zero.
+    """
+
+    def pos(v: float) -> int:
+        if v <= 0.0:
+            return 0
+        d = math.log10(v)
+        frac = (d - lo) / (hi - lo)
+        return max(0, min(width - 1, int(frac * (width - 1))))
+
+    line = [" "] * width
+    w_lo, w_hi = pos(summary.whisker_low), pos(summary.whisker_high)
+    for i in range(w_lo, w_hi + 1):
+        line[i] = "-"
+    q1, q3 = pos(summary.q1), pos(summary.q3)
+    for i in range(q1, q3 + 1):
+        line[i] = "="
+    line[pos(summary.median)] = "M"
+    for o in summary.outliers:
+        line[pos(o)] = "o"
+    note = " (all zero)" if summary.whisker_high == 0.0 else ""
+    return f"{label:>14} |{''.join(line)}|{note}"
+
+
+def render_boxplot_panel(
+    title: str,
+    entries: "Sequence[tuple[str, BoxplotSummary]]",
+    *,
+    width: int = 52,
+) -> str:
+    """A labelled panel of boxplots on a shared log10 |error| axis."""
+    positive = [
+        v
+        for _, s in entries
+        for v in (s.whisker_low, s.whisker_high, s.median, *s.outliers)
+        if v > 0.0
+    ]
+    if positive:
+        lo = math.floor(math.log10(min(positive))) - 0.5
+        hi = math.ceil(math.log10(max(positive))) + 0.5
+    else:
+        lo, hi = -18.0, 0.0
+    header = f"{title}\n{'':>14} |{'|error| in 1e%+.0f .. 1e%+.0f (log scale)' % (lo, hi):^{width}}|"
+    rows = [render_boxplot_row(lbl, s, lo=lo, hi=hi, width=width) for lbl, s in entries]
+    return "\n".join([header, *rows])

@@ -1,0 +1,106 @@
+"""ASCII heatmaps for the grid figures (9-12).
+
+matplotlib is not part of the offline dependency set, so the experiment
+harness renders grids as text: each cell is shaded by the decade of its
+value, reproducing the paper's "shade the cell according to the standard
+deviation" visual as a character ramp.  The same renderer draws Fig. 12's
+categorical algorithm grids with one letter per algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["shade_char", "render_value_grid", "render_category_grid"]
+
+#: dark-to-light character ramp (index 0 = smallest values)
+_RAMP = " .:-=+*#%@"
+
+
+def shade_char(value: float, lo_decade: float, hi_decade: float) -> str:
+    """Map a non-negative value onto the ramp by its decade.
+
+    Values at or below ``10**lo_decade`` map to ' ', at or above
+    ``10**hi_decade`` to '@'; zero always maps to ' '.
+    """
+    if value < 0:
+        raise ValueError("heatmap values must be non-negative")
+    if value == 0.0:
+        return _RAMP[0]
+    d = math.log10(value)
+    if hi_decade <= lo_decade:
+        raise ValueError("hi_decade must exceed lo_decade")
+    frac = (d - lo_decade) / (hi_decade - lo_decade)
+    idx = int(frac * (len(_RAMP) - 1))
+    return _RAMP[max(0, min(len(_RAMP) - 1, idx))]
+
+
+def render_value_grid(
+    rows: Sequence[str],
+    cols: Sequence[str],
+    values: Mapping[tuple[str, str], float],
+    *,
+    title: str = "",
+    lo_decade: float | None = None,
+    hi_decade: float | None = None,
+    cell_width: int = 9,
+) -> str:
+    """Render a labelled grid of non-negative values with decade shading.
+
+    ``values[(row, col)]`` may be missing (rendered as '?'); NaN renders as
+    'n/a'.  Each cell shows the shade character and the value in %.1e.
+    """
+    finite = [
+        v
+        for v in values.values()
+        if v is not None and not math.isnan(v) and v > 0.0
+    ]
+    if lo_decade is None:
+        lo_decade = math.floor(math.log10(min(finite))) if finite else -18.0
+    if hi_decade is None:
+        hi_decade = math.ceil(math.log10(max(finite))) if finite else 0.0
+    if hi_decade <= lo_decade:
+        hi_decade = lo_decade + 1.0
+    out: list[str] = []
+    if title:
+        out.append(title)
+    header = " " * 10 + "".join(f"{c:>{cell_width}}" for c in cols)
+    out.append(header)
+    for r in rows:
+        cells = []
+        for c in cols:
+            v = values.get((r, c))
+            if v is None:
+                cells.append(f"{'?':>{cell_width}}")
+            elif math.isnan(v):
+                cells.append(f"{'n/a':>{cell_width}}")
+            else:
+                ch = shade_char(v, lo_decade, hi_decade)
+                cells.append(f"{ch} {v:.1e}".rjust(cell_width))
+        out.append(f"{r:>10}" + "".join(cells))
+    out.append(
+        f"{'':>10}(shade: ' '<=1e{lo_decade:+.0f} ... '@'>=1e{hi_decade:+.0f})"
+    )
+    return "\n".join(out)
+
+
+def render_category_grid(
+    rows: Sequence[str],
+    cols: Sequence[str],
+    labels: Mapping[tuple[str, str], str],
+    *,
+    title: str = "",
+    cell_width: int = 6,
+) -> str:
+    """Render a categorical grid (Fig. 12: algorithm code per cell)."""
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(" " * 10 + "".join(f"{c:>{cell_width}}" for c in cols))
+    for r in rows:
+        line = f"{r:>10}"
+        for c in cols:
+            line += f"{labels.get((r, c), '?'):>{cell_width}}"
+        out.append(line)
+    return "\n".join(out)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.conditioned import generate_sum_set, zero_sum_set
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def nasty_set() -> np.ndarray:
+    """Exact-zero-sum, wide-dynamic-range set: the hardest common workload."""
+    return zero_sum_set(2048, dr=32, seed=7)
+
+
+@pytest.fixture
+def conditioned_set() -> np.ndarray:
+    """Finite-k ill-conditioned set (k = 1e9, dr = 16)."""
+    return generate_sum_set(2048, 1e9, 16, seed=11).values
+
+
+@pytest.fixture
+def benign_set(rng) -> np.ndarray:
+    """Well-conditioned positive values."""
+    return rng.uniform(1.0, 2.0, size=1024)

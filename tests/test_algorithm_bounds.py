@@ -1,0 +1,86 @@
+"""Per-algorithm worst-case bounds: every bound must actually bound."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exact import exact_sum_fraction
+from repro.metrics.bounds import (
+    analytical_bound,
+    compensated_bound,
+    kahan_bound,
+    pairwise_bound,
+    prerounded_bound,
+)
+from repro.summation import SumContext, get_algorithm
+
+
+def _err(code: str, x: np.ndarray) -> float:
+    alg = get_algorithm(code)
+    v = alg.sum_array(x, SumContext.for_data(x))
+    return abs(float(Fraction(v) - exact_sum_fraction(x)))
+
+
+@pytest.fixture(params=range(4), ids=lambda i: f"workload{i}")
+def workload(request):
+    rng = np.random.default_rng(request.param)
+    kind = request.param
+    if kind == 0:
+        return rng.uniform(-1000, 1000, 3000)
+    if kind == 1:
+        return rng.uniform(1, 2, 3000) * 2.0 ** rng.integers(-20, 21, 3000)
+    if kind == 2:
+        base = rng.uniform(1, 2, 1500) * 2.0 ** rng.integers(0, 30, 1500)
+        x = np.concatenate([base, -base])
+        rng.shuffle(x)
+        return x
+    return rng.uniform(-1e-3, 1e9, 3000)
+
+
+class TestBoundsHold:
+    def test_pairwise(self, workload):
+        assert _err("PW", workload) <= pairwise_bound(workload)
+
+    def test_kahan(self, workload):
+        assert _err("K", workload) <= kahan_bound(workload)
+
+    def test_composite(self, workload):
+        assert _err("CP", workload) <= compensated_bound(workload)
+
+    def test_prerounded(self, workload):
+        assert _err("PR", workload) <= prerounded_bound(workload)
+
+    def test_standard_within_higham(self, workload):
+        assert _err("ST", workload) <= analytical_bound(workload)
+
+
+class TestBoundsOrdering:
+    def test_hierarchy_on_large_n(self):
+        """For large n the bounds reproduce the paper's quality ladder."""
+        rng = np.random.default_rng(9)
+        x = rng.uniform(-1, 1, 100_000)
+        assert (
+            prerounded_bound(x)
+            < compensated_bound(x)
+            < kahan_bound(x)
+            < pairwise_bound(x)
+            < analytical_bound(x)
+        )
+
+    def test_kahan_bound_n_independent_first_order(self):
+        x1 = np.ones(1000)
+        x2 = np.ones(100_000)
+        # per unit of mass, the first-order term does not grow with n
+        r1 = kahan_bound(x1) / float(np.sum(np.abs(x1)))
+        r2 = kahan_bound(x2) / float(np.sum(np.abs(x2)))
+        assert r2 < 2 * r1
+
+    def test_trivial_sizes(self):
+        for fn in (pairwise_bound, kahan_bound, compensated_bound):
+            assert fn(np.array([])) == 0.0
+            assert fn(np.array([3.0])) == 0.0
+        assert prerounded_bound(np.array([])) == 0.0
+        assert prerounded_bound(np.zeros(4)) == 0.0

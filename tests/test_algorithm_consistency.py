@@ -1,0 +1,121 @@
+"""Cross-cutting consistency properties over the whole algorithm zoo.
+
+These are the invariants that keep the three execution forms (scalar
+accumulator, vectorised state ops, whole-array kernel) from silently
+diverging as the zoo grows — every algorithm that advertises a capability
+is held to it here, including ones added later (the tests enumerate the
+registry, not a hand-written list).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import exact_sum_fraction
+from repro.fp.properties import UNIT_ROUNDOFF
+from repro.summation import SumContext, all_algorithms, get_algorithm
+
+ALL = all_algorithms()
+VOPS_ALGS = [a for a in ALL if a.vector_ops is not None]
+DET_ALGS = [a for a in ALL if a.deterministic]
+
+values_lists = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e10, max_value=1e10),
+    min_size=2,
+    max_size=24,
+)
+
+
+@pytest.mark.parametrize("alg", VOPS_ALGS, ids=lambda a: a.code)
+class TestVectorOpsMatchAccumulators:
+    """VectorOps merges must be bitwise the accumulator merges."""
+
+    @given(values_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_pairwise_merge_bitwise(self, alg, xs):
+        x = np.array(xs, dtype=np.float64)
+        n = (x.size // 2) * 2
+        a, b = x[:n:2], x[1:n:2]
+        vops = alg.vector_ops
+        state = vops.merge(vops.init(a), vops.init(b))
+        out = vops.result(state)
+        ctx = SumContext.for_data(x)
+        for i in range(a.size):
+            acc1 = alg.make_accumulator(ctx)
+            acc1.add(float(a[i]))
+            acc2 = alg.make_accumulator(ctx)
+            acc2.add(float(b[i]))
+            acc1.merge(acc2)
+            assert acc1.result() == out[i]
+
+    def test_three_level_chain_bitwise(self, alg):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1e5, 1e5, 8)
+        vops = alg.vector_ops
+        s = vops.init(x)
+        while s[0].size > 1:
+            s = vops.merge(
+                tuple(c[0::2] for c in s), tuple(c[1::2] for c in s)
+            )
+        from repro.trees import balanced, evaluate_tree_generic
+
+        assert float(vops.result(s)[0]) == evaluate_tree_generic(
+            balanced(8), x, alg, SumContext.for_data(x)
+        )
+
+
+@pytest.mark.parametrize("alg", DET_ALGS, ids=lambda a: a.code)
+class TestDeterministicContract:
+    """`deterministic=True` is a bitwise promise; hold every claimant to it."""
+
+    @given(values_lists, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_invariance(self, alg, xs, seed):
+        x = np.array(xs, dtype=np.float64)
+        ctx = SumContext.for_data(x)
+        ref = alg.sum_array(x, ctx)
+        perm = np.random.default_rng(seed).permutation(x.size)
+        assert alg.sum_array(x[perm], ctx) == ref
+
+    def test_chunking_invariance(self, alg):
+        rng = np.random.default_rng(11)
+        x = rng.uniform(-1e8, 1e8, 257)
+        ctx = SumContext.for_data(x)
+        ref = alg.sum_array(x, ctx)
+        for cut in (1, 64, 200):
+            a = alg.make_accumulator(ctx)
+            a.add_array(x[:cut])
+            b = alg.make_accumulator(ctx)
+            b.add_array(x[cut:])
+            a.merge(b)
+            assert a.result() == ref
+
+
+@pytest.mark.parametrize("alg", ALL, ids=lambda a: a.code)
+class TestUniversalSanity:
+    def test_negation_antisymmetry_on_magnitude(self, alg):
+        """|sum(-x)| == |sum(x)| for every algorithm (rounding is sign-
+        symmetric in round-to-nearest-even)."""
+        rng = np.random.default_rng(13)
+        x = rng.uniform(-1e3, 1e3, 100)
+        ctx_pos = SumContext.for_data(x)
+        ctx_neg = SumContext.for_data(-x)
+        assert alg.sum_array(-x, ctx_neg) == -alg.sum_array(x, ctx_pos)
+
+    def test_error_within_generic_bound(self, alg):
+        rng = np.random.default_rng(17)
+        x = rng.uniform(-1e6, 1e6, 500)
+        ctx = SumContext.for_data(x)
+        v = alg.sum_array(x, ctx)
+        exact = exact_sum_fraction(x)
+        bound = 2 * 500 * UNIT_ROUNDOFF * float(np.sum(np.abs(x)))
+        assert abs(float(Fraction(v) - exact)) <= bound
+
+    def test_repr_mentions_code(self, alg):
+        assert alg.code in repr(alg)

@@ -1,0 +1,103 @@
+"""Allreduce strategies: the collective-algorithm choice changes bits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import exact_sum
+from repro.generators import zero_sum_set
+from repro.mpi import (
+    SimComm,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    make_reduction_op,
+)
+from repro.summation import get_algorithm
+
+
+@pytest.fixture(scope="module")
+def hostile_chunks():
+    data = zero_sum_set(16_000, dr=32, seed=0)
+    return SimComm(10).scatter_array(data), data
+
+
+@pytest.fixture(scope="module")
+def benign_chunks():
+    rng = np.random.default_rng(1)
+    data = rng.uniform(1.0, 2.0, 8000)
+    return SimComm(8).scatter_array(data), data
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("code", ["ST", "K", "CP", "PR"])
+    def test_both_strategies_near_exact_on_benign(self, benign_chunks, code):
+        chunks, data = benign_chunks
+        op = make_reduction_op(get_algorithm(code))
+        exact = exact_sum(data)
+        for strat in (allreduce_recursive_doubling, allreduce_ring):
+            vals = strat(chunks, op)
+            assert len(vals) == len(chunks)
+            for v in vals:
+                assert v == pytest.approx(exact, rel=1e-10)
+
+    def test_non_power_of_two_prefold(self):
+        comm = SimComm(6)
+        chunks = comm.scatter_array(np.ones(60))
+        op = make_reduction_op(get_algorithm("ST"))
+        assert allreduce_recursive_doubling(chunks, op) == [60.0] * 6
+
+    def test_single_rank(self):
+        op = make_reduction_op(get_algorithm("CP"))
+        assert allreduce_recursive_doubling([np.array([1.0, 2.0])], op) == [3.0]
+        assert allreduce_ring([np.array([1.0, 2.0])], op) == [3.0]
+
+    def test_empty_rejected(self):
+        op = make_reduction_op(get_algorithm("ST"))
+        with pytest.raises(ValueError):
+            allreduce_recursive_doubling([], op)
+        with pytest.raises(ValueError):
+            allreduce_ring([], op)
+        with pytest.raises(ValueError):
+            allreduce_ring([np.ones(2)], op, segments=0)
+
+
+class TestConsistencyHazards:
+    def test_strategies_disagree_for_st_on_hostile_data(self, hostile_chunks):
+        chunks, _ = hostile_chunks
+        op = make_reduction_op(get_algorithm("ST"))
+        bf = allreduce_recursive_doubling(chunks, op)
+        ring = allreduce_ring(chunks, op)
+        assert bf[0] != ring[0]
+
+    def test_kahan_butterfly_ranks_can_disagree(self, hostile_chunks):
+        """The classic hazard: an asymmetric op leaves different ranks
+        holding different 'all-reduced' values."""
+        chunks, _ = hostile_chunks
+        op = make_reduction_op(get_algorithm("K"))
+        bf = allreduce_recursive_doubling(chunks, op)
+        assert len(set(bf)) > 1
+
+    def test_ring_ranks_always_agree(self, hostile_chunks):
+        chunks, _ = hostile_chunks
+        for code in ("ST", "K", "CP", "PR"):
+            vals = allreduce_ring(chunks, make_reduction_op(get_algorithm(code)))
+            assert len(set(vals)) == 1
+
+    def test_pr_identical_across_everything(self, hostile_chunks):
+        """The selector's guarantee extends across collective algorithms:
+        strategy, segmentation, and rank all agree bitwise under PR."""
+        chunks, _ = hostile_chunks
+        op = make_reduction_op(get_algorithm("PR"))
+        bf = allreduce_recursive_doubling(chunks, op)
+        ring1 = allreduce_ring(chunks, op, segments=1)
+        ring5 = allreduce_ring(chunks, op, segments=5)
+        everything = set(bf) | set(ring1) | set(ring5)
+        assert everything == {0.0}
+
+    def test_cp_agrees_across_strategies_here(self, hostile_chunks):
+        chunks, _ = hostile_chunks
+        op = make_reduction_op(get_algorithm("CP"))
+        bf = allreduce_recursive_doubling(chunks, op)
+        ring = allreduce_ring(chunks, op)
+        assert set(bf) == set(ring) == {0.0}

@@ -1,0 +1,81 @@
+"""FABsum blocked summation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exact import exact_sum_fraction
+from repro.fp.properties import UNIT_ROUNDOFF
+from repro.summation import FABSum, get_algorithm
+from repro.summation.blocked import BlockedAccumulator
+
+
+class TestFABSum:
+    def test_registered(self):
+        alg = get_algorithm("FB")
+        assert alg.name == "fabsum-blocked"
+        assert get_algorithm("ST").cost_rank <= alg.cost_rank <= get_algorithm("CP").cost_rank
+
+    def test_accuracy_between_st_and_cp(self):
+        from repro.generators import zero_sum_set
+
+        data = zero_sum_set(16_384, dr=24, seed=0)
+        e_st = abs(get_algorithm("ST").sum_array(data))
+        e_fb = abs(FABSum(block=256).sum_array(data))
+        e_cp = abs(get_algorithm("CP").sum_array(data))
+        assert e_cp <= e_fb <= e_st or e_fb == 0.0
+
+    def test_error_grows_with_block_size_on_average(self):
+        """The b-dependence of the error is statistical; assert it on the
+        mean over independent draws, not a single realisation."""
+        sums = {64: 0.0, 16_384: 0.0}
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            base = rng.uniform(1, 2, 20_000) * 2.0 ** rng.integers(0, 25, 20_000)
+            data = np.concatenate([base, -base])
+            rng.shuffle(data)
+            for b in sums:
+                sums[b] += abs(FABSum(block=b).sum_array(data))
+        assert sums[64] < sums[16_384]
+
+    def test_error_bound_depends_on_block_not_n(self):
+        """The FABsum selling point: leading error term ~ b*u, not n*u."""
+        rng = np.random.default_rng(2)
+        b = 128
+        for n in (10_000, 100_000):
+            x = rng.uniform(0.0, 1.0, n)
+            exact = exact_sum_fraction(x)
+            err = abs(float(Fraction(FABSum(block=b).sum_array(x)) - exact))
+            # bound: (b + O(1)) * u * sum|x| (generous constant)
+            assert err <= 4 * b * UNIT_ROUNDOFF * float(np.sum(np.abs(x)))
+
+    def test_scalar_adds_and_flush(self):
+        acc = BlockedAccumulator(block=4)
+        for v in [0.1] * 10:
+            acc.add(v)
+        assert acc.result() == pytest.approx(1.0, rel=1e-14)
+
+    def test_mixed_scalar_and_array(self):
+        acc = BlockedAccumulator(block=8)
+        acc.add(1.0)
+        acc.add_array(np.full(20, 2.0))
+        acc.add(3.0)
+        assert acc.result() == 44.0
+
+    def test_merge(self):
+        a = BlockedAccumulator(block=8)
+        a.add_array(np.full(10, 0.5))
+        b = BlockedAccumulator(block=8)
+        b.add_array(np.full(6, 0.25))
+        a.merge(b)
+        assert a.result() == 6.5
+
+    def test_empty_and_validation(self):
+        assert FABSum().sum_array(np.array([])) == 0.0
+        with pytest.raises(ValueError):
+            FABSum(block=1)
+        with pytest.raises(ValueError):
+            BlockedAccumulator(block=0)

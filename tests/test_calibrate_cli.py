@@ -1,0 +1,46 @@
+"""The repro-calibrate CLI."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.selection import GridClassifier
+from repro.selection.calibrate import main
+
+
+class TestCalibrateCli:
+    @pytest.fixture(scope="class")
+    def outputs(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cal")
+        code = main(
+            ["--out", str(out), "--quick", "--n", "512", "--trees", "40", "--seed", "1"]
+        )
+        assert code == 0
+        return out
+
+    def test_costs_json(self, outputs: Path):
+        costs = json.loads((outputs / "costs.json").read_text())
+        assert set(costs) == {"ST", "K", "CP", "PR"}
+        assert costs["ST"] == 1.0
+        assert all(v >= 1.0 for v in costs.values())
+
+    def test_variability_json(self, outputs: Path):
+        var = json.loads((outputs / "variability.json").read_text())
+        assert 0 < var["c_st"] < 10
+        assert var["n_cells_used"]["ST"] > 0
+
+    def test_classifier_loadable_and_usable(self, outputs: Path):
+        clf = GridClassifier.from_json((outputs / "classifier.json").read_text())
+        from repro.generators import generate_sum_set
+        from repro.metrics import profile_set
+
+        hard = generate_sum_set(512, 1e12, 16, seed=2).values
+        decision = clf.select(profile_set(hard), 1e-13)
+        assert decision.code in ("K", "CP", "PR")
+        easy = generate_sum_set(512, 1.0, 0, seed=3).values
+        decision = clf.select(profile_set(easy), 1e-13)
+        assert decision.code == "ST"

@@ -1,0 +1,66 @@
+"""Empirical reproducibility certificates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_sum_set, zero_sum_set
+from repro.selection.certify import Certificate, certify
+
+
+class TestCertify:
+    def test_pr_certifies_bitwise_on_hostile_data(self):
+        data = zero_sum_set(2048, dr=32, seed=0)
+        cert = certify(data, "PR", 0.0, n_trees=40, seed=1)
+        assert cert.satisfied and cert.bitwise
+        assert cert.worst_abs_spread == 0.0
+        assert math.isinf(cert.condition)
+
+    def test_st_fails_on_hostile_data(self):
+        data = zero_sum_set(2048, dr=32, seed=2)
+        cert = certify(data, "ST", 1e-13, n_trees=40, seed=3)
+        assert not cert.satisfied
+        assert not cert.bitwise
+        assert cert.worst_abs_spread > 0.0
+
+    def test_st_passes_on_benign_data(self):
+        data = generate_sum_set(2048, 1.0, 8, seed=4).values
+        cert = certify(data, "ST", 1e-12, n_trees=40, seed=5)
+        assert cert.satisfied
+        assert cert.worst_rel_std <= 1e-12
+
+    def test_certificate_reproducible(self):
+        data = generate_sum_set(1024, 1e9, 16, seed=6).values
+        a = certify(data, "K", 1e-8, n_trees=30, seed=7)
+        b = certify(data, "K", 1e-8, n_trees=30, seed=7)
+        assert a == b
+
+    def test_json_roundtrip(self):
+        data = zero_sum_set(512, dr=16, seed=8)
+        cert = certify(data, "CP", 1e-13, n_trees=20, seed=9)
+        loaded = Certificate.from_json(cert.to_json())
+        assert loaded == cert
+        assert math.isinf(loaded.condition)
+
+    def test_tolerance_ladder_monotone(self):
+        """Tightening the tolerance can only flip satisfied True -> False."""
+        data = generate_sum_set(2048, 1e9, 16, seed=10).values
+        verdicts = [
+            certify(data, "ST", t, n_trees=40, seed=11).satisfied
+            for t in (1e-3, 1e-6, 1e-9, 1e-12, 1e-15)
+        ]
+        assert verdicts == sorted(verdicts, reverse=True)
+
+    def test_validation(self):
+        data = np.ones(16)
+        with pytest.raises(ValueError):
+            certify(data, "ST", -1.0)
+        with pytest.raises(ValueError):
+            certify(data, "ST", 1e-10, n_trees=1)
+        with pytest.raises(ValueError):
+            certify(np.array([]), "ST", 1e-10)
+        with pytest.raises(KeyError):
+            certify(data, "NOPE", 1e-10)

@@ -1,0 +1,134 @@
+"""CESTAC stochastic arithmetic and cancellation tracking."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cestac import (
+    SEVERITY_DIGITS,
+    StochasticValue,
+    cestac_sum,
+    random_rounded_add,
+    random_rounded_mul,
+    significant_digits,
+    track_cancellations,
+    track_cancellations_cestac,
+)
+from repro.util.rng import resolve_rng
+
+
+class TestRandomRounding:
+    def test_exact_add_unperturbed(self):
+        rng = resolve_rng(0)
+        for _ in range(20):
+            assert random_rounded_add(1.0, 2.0, rng) == 3.0
+
+    def test_inexact_add_two_candidates(self):
+        rng = resolve_rng(1)
+        base = 1e16 + 1.0  # rounds; candidates are s and nextafter(s, up)
+        seen = {random_rounded_add(1e16, 1.0, rng) for _ in range(200)}
+        assert len(seen) == 2
+        s = 1e16 + 1.0
+        assert s in seen
+        assert math.nextafter(s, math.inf) in seen or math.nextafter(s, -math.inf) in seen
+
+    def test_candidates_bracket_exact_value(self):
+        rng = resolve_rng(2)
+        vals = {random_rounded_add(0.1, 0.2, rng) for _ in range(100)}
+        from fractions import Fraction
+
+        exact = Fraction(0.1) + Fraction(0.2)
+        assert min(Fraction(v) for v in vals) <= exact <= max(Fraction(v) for v in vals)
+
+    def test_mul(self):
+        rng = resolve_rng(3)
+        seen = {random_rounded_mul(0.1, 0.3, rng) for _ in range(100)}
+        assert 1 <= len(seen) <= 2
+
+
+class TestSignificantDigits:
+    def test_identical_samples_full_precision(self):
+        assert significant_digits((1.0, 1.0, 1.0)) == 15.95
+
+    def test_wild_spread_zero_digits(self):
+        assert significant_digits((1.0, -1.0, 0.5)) == 0.0
+
+    def test_moderate_spread(self):
+        d = significant_digits((1.0, 1.0 + 1e-8, 1.0 - 1e-8))
+        assert 6.0 < d < 9.5
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            significant_digits((1.0,))
+
+    def test_stochastic_value_wrapper(self):
+        v = StochasticValue.from_float(2.0)
+        assert v.mean() == 2.0
+        assert v.significant_digits() == 15.95
+        rng = resolve_rng(4)
+        w = v.add(StochasticValue.from_float(1e-20), rng)
+        assert w.mean() == pytest.approx(2.0)
+
+
+class TestCestacSum:
+    def test_estimates_true_digit_count(self):
+        # an ill-conditioned sum: CESTAC should report far fewer digits
+        rng = np.random.default_rng(5)
+        base = rng.uniform(1, 2, 2000)
+        good = cestac_sum(base, seed=6)
+        assert good.significant_digits() > 12
+        bad = np.concatenate([base * 1e12, -base * 1e12, base[:10]])
+        est = cestac_sum(bad, seed=7)
+        assert est.significant_digits() < good.significant_digits()
+
+    def test_seeded_determinism(self):
+        x = np.random.default_rng(8).uniform(-1, 1, 500)
+        a = cestac_sum(x, seed=9)
+        b = cestac_sum(x, seed=9)
+        assert a.samples == b.samples
+
+    def test_empty(self):
+        assert cestac_sum(np.array([]), seed=0).mean() == 0.0
+
+
+class TestCancellationTracking:
+    def test_no_cancellation_in_positive_sum(self):
+        x = np.abs(np.random.default_rng(10).uniform(1, 2, 100))
+        report = track_cancellations(x)
+        assert report.total_events == 0
+        assert report.n_adds == 99
+
+    def test_catastrophic_pair_detected(self):
+        report = track_cancellations(np.array([1.0, -1.0 + 1e-15, 1.0]))
+        assert report.total_events >= 1
+        assert report.counts[8] >= 1  # ~15 digits gone in the first add
+
+    def test_complete_cancellation_counted_max(self):
+        report = track_cancellations(np.array([1.0, -1.0]))
+        assert report.total_events == 1
+        assert report.losses[0] == pytest.approx(53 * math.log10(2))
+
+    def test_counts_are_cumulative_by_severity(self):
+        x = np.random.default_rng(11).uniform(-1, 1, 500)
+        r = track_cancellations(x)
+        c = r.counts
+        assert c[1] >= c[2] >= c[4] >= c[8]
+
+    def test_small_inputs(self):
+        assert track_cancellations(np.array([])).n_adds == 0
+        assert track_cancellations(np.array([1.0])).n_adds == 0
+
+    def test_cestac_variant_runs_and_agrees_roughly(self):
+        x = np.random.default_rng(12).uniform(-1, 1, 300)
+        exact_r = track_cancellations(x)
+        cestac_r = track_cancellations_cestac(x, seed=13)
+        assert cestac_r.n_adds == exact_r.n_adds
+        # both should find *some* cancellation activity on signed data
+        assert (cestac_r.total_events > 0) == (exact_r.total_events > 0)
+
+    def test_total_digits_lost(self):
+        r = track_cancellations(np.array([1.0, -0.5, 0.25]))
+        assert r.total_digits_lost == pytest.approx(sum(r.losses))

@@ -1,0 +1,87 @@
+"""Vectorised CESTAC arrays and the stochastic balanced sum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cestac import (
+    StochasticArray,
+    cestac_sum,
+    random_rounded_add_arrays,
+    stochastic_balanced_sum,
+)
+from repro.util.rng import resolve_rng
+
+
+class TestRandomRoundedArrays:
+    def test_matches_scalar_candidates(self):
+        rng = resolve_rng(0)
+        a = np.full(2000, 1e16)
+        b = np.ones(2000)
+        out = random_rounded_add_arrays(a, b, rng)
+        s = 1e16 + 1.0
+        candidates = {s, np.nextafter(s, np.inf), np.nextafter(s, -np.inf)}
+        assert set(np.unique(out).tolist()) <= candidates
+        assert len(set(np.unique(out).tolist())) == 2  # both directions hit
+
+    def test_exact_adds_unperturbed(self):
+        rng = resolve_rng(1)
+        a = np.arange(100, dtype=np.float64)
+        out = random_rounded_add_arrays(a, a, rng)
+        assert np.array_equal(out, 2 * a)
+
+
+class TestStochasticArray:
+    def test_construction_and_shape(self):
+        sa = StochasticArray.from_array(np.ones(5), n_samples=3)
+        assert sa.n_samples == 3 and sa.n == 5
+        with pytest.raises(ValueError):
+            StochasticArray.from_array(np.ones(5), n_samples=1)
+
+    def test_add_and_digits(self):
+        rng = resolve_rng(2)
+        a = StochasticArray.from_array(np.full(4, 1.0))
+        b = StochasticArray.from_array(np.full(4, 2.0**-53))
+        out = a
+        for _ in range(64):
+            out = out.add(b, rng)
+        digits = out.significant_digits()
+        assert digits.shape == (4,)
+        assert np.all(digits >= 0.0) and np.all(digits <= 15.95)
+
+    def test_shape_mismatch(self):
+        rng = resolve_rng(3)
+        a = StochasticArray.from_array(np.ones(4))
+        b = StochasticArray.from_array(np.ones(5))
+        with pytest.raises(ValueError):
+            a.add(b, rng)
+
+
+class TestStochasticBalancedSum:
+    def test_benign_sum_full_digits(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(1.0, 2.0, 4096)
+        value, digits = stochastic_balanced_sum(x, seed=5)
+        assert value == pytest.approx(float(np.sum(x)), rel=1e-12)
+        assert digits > 12.0
+
+    def test_cancelling_sum_few_digits(self):
+        from repro.generators import zero_sum_set
+
+        x = zero_sum_set(4096, dr=32, seed=6)
+        _, digits = stochastic_balanced_sum(x, seed=7)
+        assert digits < 5.0
+
+    def test_agrees_with_scalar_cestac_verdict(self):
+        """Vector and scalar CESTAC must agree on trustworthiness class."""
+        rng = np.random.default_rng(8)
+        benign = rng.uniform(1.0, 2.0, 512)
+        _, d_vec = stochastic_balanced_sum(benign, seed=9)
+        d_scalar = cestac_sum(benign, seed=10).significant_digits()
+        assert (d_vec > 10) == (d_scalar > 10)
+
+    def test_empty_and_single(self):
+        assert stochastic_balanced_sum(np.array([]), seed=0) == (0.0, 15.95)
+        v, d = stochastic_balanced_sum(np.array([2.5]), seed=1)
+        assert v == 2.5 and d == 15.95

@@ -1,0 +1,80 @@
+"""AccSum distillation: faithful rounding + fixed-schedule determinism."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import exact_sum_fraction
+from repro.summation import accsum, get_algorithm
+from repro.summation.distillation import DistillationAccumulator
+
+
+def _is_faithful(v: float, exact: Fraction) -> bool:
+    """v is a faithful rounding of exact: no double lies strictly between."""
+    if Fraction(v) == exact:
+        return True
+    if Fraction(v) < exact:
+        return Fraction(math.nextafter(v, math.inf)) >= exact
+    return Fraction(math.nextafter(v, -math.inf)) <= exact
+
+
+class TestAccSum:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_faithful_on_hostile_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(1, 2, 700) * 2.0 ** rng.integers(-25, 26, 700)
+        x = np.concatenate([base, -base, rng.uniform(-1, 1, 301)])
+        rng.shuffle(x)
+        assert _is_faithful(accsum(x), exact_sum_fraction(x))
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e30, max_value=1e30),
+                    min_size=0, max_size=60))
+    @settings(max_examples=40)
+    def test_faithful_property(self, xs):
+        x = np.array(xs, dtype=np.float64)
+        assert _is_faithful(accsum(x), exact_sum_fraction(x))
+
+    def test_permutation_deterministic(self):
+        rng = np.random.default_rng(9)
+        x = rng.uniform(-1e8, 1e8, 999)
+        ref = accsum(x)
+        for _ in range(5):
+            assert accsum(x[rng.permutation(x.size)]) == ref
+
+    def test_edge_cases(self):
+        assert accsum(np.array([])) == 0.0
+        assert accsum(np.array([3.5])) == 3.5
+        assert accsum(np.zeros(100)) == 0.0
+        assert accsum(np.array([1e308, -1e308, 1.0])) == 1.0
+
+    def test_registered_as_algorithm(self):
+        alg = get_algorithm("AS")
+        assert alg.deterministic
+        assert alg.cost_rank >= get_algorithm("CP").cost_rank
+
+    def test_accumulator_buffers_and_distills(self):
+        rng = np.random.default_rng(10)
+        x = rng.uniform(-1, 1, 200)
+        a = DistillationAccumulator()
+        a.add_array(x[:100])
+        b = DistillationAccumulator()
+        b.add_array(x[100:])
+        a.merge(b)
+        assert a.result() == accsum(x)
+
+    def test_beats_cp_on_adversarial_input(self):
+        # a case where CP's final rounding is off but AccSum is faithful:
+        # huge cancelling mass plus a tail straddling a rounding boundary
+        rng = np.random.default_rng(11)
+        base = rng.uniform(1, 2, 4000) * 2.0 ** rng.integers(0, 45, 4000)
+        x = np.concatenate([base, -base, rng.uniform(-1e-10, 1e-10, 1001)])
+        rng.shuffle(x)
+        exact = exact_sum_fraction(x)
+        assert _is_faithful(accsum(x), exact)

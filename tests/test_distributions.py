@@ -1,0 +1,111 @@
+"""Distributional analysis metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    EmpiricalCDF,
+    ks_distance,
+    stochastically_dominates,
+    summarize,
+)
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_vectorized(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0])
+        out = cdf(np.array([0.0, 1.5, 3.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF.from_sample(np.arange(100, dtype=np.float64))
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(0.5) == 50.0
+        assert cdf.quantile(1.0) == 99.0
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_sample([])
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_monotone_and_bounded(self, xs):
+        cdf = EmpiricalCDF.from_sample(xs)
+        grid = np.sort(np.array(xs))
+        vals = cdf(grid)
+        assert np.all(np.diff(vals) >= 0)
+        assert 0.0 < vals[-1] <= 1.0
+
+
+class TestSummarize:
+    def test_gaussian_shape(self):
+        rng = np.random.default_rng(0)
+        s = summarize(rng.normal(5.0, 2.0, 50_000))
+        assert s.mean == pytest.approx(5.0, abs=0.05)
+        assert s.std == pytest.approx(2.0, abs=0.05)
+        assert abs(s.skewness) < 0.05
+        assert abs(s.excess_kurtosis) < 0.1
+        assert not s.heavy_tailed
+
+    def test_heavy_tail_flagged(self):
+        rng = np.random.default_rng(1)
+        s = summarize(rng.standard_t(3, 50_000))
+        assert s.heavy_tailed
+
+    def test_constant_sample(self):
+        s = summarize(np.full(10, 3.0))
+        assert s.std == 0.0 and s.skewness == 0.0
+        assert s.quantiles[0.5] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestComparisons:
+    def test_ks_identical_zero(self):
+        x = np.arange(50, dtype=np.float64)
+        assert ks_distance(x, x) == 0.0
+
+    def test_ks_disjoint_one(self):
+        assert ks_distance([1.0, 2.0], [10.0, 20.0]) == 1.0
+
+    def test_ks_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(0, 1, 200), rng.normal(0.5, 1, 200)
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_dominance_on_algorithm_errors(self):
+        """CP's |errors| stochastically dominate ST's on a hostile ensemble
+        — the distributional statement of Fig. 7."""
+        from repro.generators import zero_sum_set
+        from repro.summation import get_algorithm
+        from repro.trees import evaluate_ensemble
+
+        data = zero_sum_set(2048, dr=32, seed=3)
+        st_vals = evaluate_ensemble(data, "serial", get_algorithm("ST"), 40, seed=4)
+        cp_vals = evaluate_ensemble(data, "serial", get_algorithm("CP"), 40, seed=4)
+        # exact sum is zero, so the values ARE the signed errors
+        assert stochastically_dominates(cp_vals, st_vals)
+        assert not stochastically_dominates(st_vals, cp_vals)
+
+    def test_dominance_slack(self):
+        a = [1.0, 2.0, 3.0]
+        b = [1.5, 2.5, 3.5]
+        assert stochastically_dominates(a, b)
+        assert stochastically_dominates(b, a, slack=1.0)

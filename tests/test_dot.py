@@ -1,0 +1,110 @@
+"""Reproducible dot products and the GenDot workload generator."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.generators import dot_condition_number, ill_conditioned_dot
+from repro.summation import (
+    DOT_ALGORITHMS,
+    dot_composite,
+    dot_exact,
+    dot_kahan,
+    dot_prerounded,
+    dot_standard,
+)
+
+
+def exact_dot_fraction(x: np.ndarray, y: np.ndarray) -> Fraction:
+    total = Fraction(0)
+    for xi, yi in zip(x.tolist(), y.tolist()):
+        total += Fraction(xi) * Fraction(yi)
+    return total
+
+
+class TestDotAlgorithms:
+    @pytest.fixture(scope="class")
+    def hard(self):
+        return ill_conditioned_dot(400, 1e10, seed=2)
+
+    def test_exact_is_correctly_rounded(self, hard):
+        exact = exact_dot_fraction(hard.x, hard.y)
+        assert dot_exact(hard.x, hard.y) == float(exact)
+
+    def test_accuracy_ordering(self, hard):
+        exact = exact_dot_fraction(hard.x, hard.y)
+
+        def err(v: float) -> float:
+            return abs(float(Fraction(v) - exact))
+
+        e_st = err(dot_standard(hard.x, hard.y))
+        e_k = err(dot_kahan(hard.x, hard.y))
+        e_cp = err(dot_composite(hard.x, hard.y))
+        e_pr = err(dot_prerounded(hard.x, hard.y))
+        assert e_st >= e_k >= e_cp
+        assert e_cp <= 1e-10 * max(e_st, 1e-300) or e_cp <= math.ulp(float(exact))
+        assert e_pr <= math.ulp(abs(float(exact))) + 1e-300
+
+    def test_pr_dot_order_independent(self, hard):
+        ref = dot_prerounded(hard.x, hard.y)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            p = rng.permutation(hard.x.size)
+            assert dot_prerounded(hard.x[p], hard.y[p]) == ref
+
+    def test_st_dot_order_dependent_on_hard_input(self, hard):
+        rng = np.random.default_rng(4)
+        vals = {dot_standard(hard.x[p], hard.y[p])
+                for p in (rng.permutation(hard.x.size) for _ in range(10))}
+        assert len(vals) > 1
+
+    @pytest.mark.parametrize("code", sorted(DOT_ALGORITHMS))
+    def test_empty_and_trivial(self, code):
+        fn = DOT_ALGORITHMS[code]
+        assert fn(np.array([]), np.array([])) == 0.0
+        assert fn(np.array([2.0]), np.array([3.0])) == 6.0
+
+    @pytest.mark.parametrize("code", sorted(DOT_ALGORITHMS))
+    def test_easy_dot_all_agree(self, code):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0.5, 1.0, 100)
+        y = rng.uniform(0.5, 1.0, 100)
+        exact = exact_dot_fraction(x, y)
+        v = DOT_ALGORITHMS[code](x, y)
+        assert abs(float(Fraction(v) - exact)) <= 100 * 2.0**-53 * float(exact)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            dot_standard(np.ones(3), np.ones(4))
+
+
+class TestGenDot:
+    @pytest.mark.parametrize("target", [1e2, 1e6, 1e10, 1e14])
+    def test_condition_within_two_decades(self, target):
+        w = ill_conditioned_dot(300, target, seed=6)
+        achieved = dot_condition_number(w.x, w.y)
+        assert target / 100 < achieved < target * 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ill_conditioned_dot(4, 100.0)
+        with pytest.raises(ValueError):
+            ill_conditioned_dot(10, 1.0)
+        with pytest.raises(ValueError):
+            dot_condition_number(np.ones(2), np.ones(3))
+
+    def test_condition_number_trivia(self):
+        assert dot_condition_number(np.array([]), np.array([])) == 1.0
+        assert dot_condition_number(np.array([1.0]), np.array([2.0])) == 2.0
+        assert math.isinf(
+            dot_condition_number(np.array([1.0, 1.0]), np.array([1.0, -1.0]))
+        )
+
+    def test_seeded_determinism(self):
+        a = ill_conditioned_dot(100, 1e8, seed=7)
+        b = ill_conditioned_dot(100, 1e8, seed=7)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)

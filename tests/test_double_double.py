@@ -1,0 +1,86 @@
+"""Double-double arithmetic."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.double_double import DoubleDouble, dd_add_array, dd_sum
+
+moderate = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e100, max_value=1e100
+)
+
+
+class TestDoubleDouble:
+    def test_from_float_roundtrip(self):
+        d = DoubleDouble.from_float(0.1)
+        assert d.to_float() == 0.1
+        assert d.lo == 0.0
+
+    @given(moderate, moderate)
+    def test_add_exact_for_two_doubles(self, a, b):
+        d = DoubleDouble.from_float(a) + DoubleDouble.from_float(b)
+        assert Fraction(d.hi) + Fraction(d.lo) == Fraction(a) + Fraction(b)
+
+    def test_add_float_matches_dd_add(self):
+        d = DoubleDouble.from_float(1e16)
+        assert (d + 1.0) == (d + DoubleDouble.from_float(1.0))
+
+    def test_captures_absorbed_bits(self):
+        d = DoubleDouble.from_float(1e16) + 1.0
+        assert d.to_float() == 1e16  # rounded back
+        assert d.lo == 1.0  # but the bit is retained
+
+    def test_normalization_invariant(self):
+        d = (DoubleDouble.from_float(1.0) + 2.0**-80) + 2.0**-90
+        assert abs(d.lo) <= 0.5 * np.spacing(abs(d.hi))
+
+    def test_mul_exact_for_two_doubles(self):
+        d = DoubleDouble.from_float(0.1) * DoubleDouble.from_float(0.3)
+        assert Fraction(d.hi) + Fraction(d.lo) == pytest.approx(
+            float(Fraction(0.1) * Fraction(0.3)), abs=1e-40
+        )
+
+    def test_neg_sub(self):
+        a = DoubleDouble.from_float(3.0)
+        b = DoubleDouble.from_float(1.5)
+        assert (a - b).to_float() == 1.5
+        assert (-a).hi == -3.0
+
+    def test_comparison(self):
+        assert DoubleDouble.from_float(1.0) < DoubleDouble.from_float(2.0)
+        assert DoubleDouble(1.0, 2.0**-60) > DoubleDouble(1.0, 0.0)
+        assert DoubleDouble.from_float(5.0) == 5.0
+
+
+class TestDDSum:
+    def test_sum_accuracy_vs_fraction(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, 1000) * 10.0 ** rng.integers(-8, 8, 1000)
+        exact = sum(Fraction(v) for v in x.tolist())
+        d = dd_sum(x)
+        err = abs(float(Fraction(d.hi) + Fraction(d.lo) - exact))
+        assert err <= 1e-25 * float(abs(exact) + 1)
+
+    def test_empty_and_single(self):
+        assert dd_sum(np.array([])).to_float() == 0.0
+        assert dd_sum(np.array([3.5])).to_float() == 3.5
+
+    def test_dd_add_array_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        hi1 = rng.uniform(-1e10, 1e10, 50)
+        lo1 = hi1 * 1e-18
+        hi2 = rng.uniform(-1e10, 1e10, 50)
+        lo2 = hi2 * 1e-18
+        h, l = dd_add_array(hi1, lo1, hi2, lo2)
+        for i in range(50):
+            d = DoubleDouble(hi1[i], lo1[i]).normalized() + DoubleDouble(
+                hi2[i], lo2[i]
+            ).normalized()
+            # the array kernel uses fast_two_sum renormalisation; values agree
+            assert h[i] + l[i] == pytest.approx(d.to_float(), rel=1e-15)

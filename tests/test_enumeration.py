@@ -1,0 +1,86 @@
+"""Exhaustive tree-shape enumeration (the WoDet microscope)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.summation import get_algorithm
+from repro.trees import (
+    achievable_values,
+    catalan,
+    enumerate_shapes,
+    evaluate_tree_generic,
+    n_shapes,
+)
+
+
+class TestCatalan:
+    def test_known_values(self):
+        assert [catalan(i) for i in range(8)] == [1, 1, 2, 5, 14, 42, 132, 429]
+        with pytest.raises(ValueError):
+            catalan(-1)
+
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 1), (3, 2), (4, 5), (8, 429)])
+    def test_shape_counts(self, n, expected):
+        assert n_shapes(n) == expected
+        assert sum(1 for _ in enumerate_shapes(n)) == expected
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_all_shapes_valid_and_distinct(self, n):
+        seen = set()
+        for tree in enumerate_shapes(n):
+            tree.validate()
+            assert tree.n_leaves == n
+            seen.add(tree.schedule.tobytes())
+        assert len(seen) == n_shapes(n)
+
+    def test_limit(self):
+        assert sum(1 for _ in enumerate_shapes(10, limit=7)) == 7
+
+    def test_extremes_included(self):
+        """The balanced and serial shapes appear among the enumeration."""
+        x = np.arange(1.0, 9.0)
+        alg = get_algorithm("EX")
+        vals = {evaluate_tree_generic(t, x, alg) for t in enumerate_shapes(8)}
+        assert vals == {36.0}  # sanity via the oracle
+
+    def test_depth_range_spans_extremes(self):
+        depths = {t.depth() for t in enumerate_shapes(6)}
+        assert min(depths) == 3  # ceil(log2 6)
+        assert max(depths) == 5  # serial
+
+
+class TestValueSpace:
+    def test_identical_values_still_multivalued(self):
+        """[3]'s first study: eight *identical* values, different shapes,
+        different sums — works when the value is inexact under doubling
+        chains; use a value whose repeated addition rounds."""
+        x = np.full(8, 0.1)
+        space = achievable_values(x, get_algorithm("ST"))
+        assert space.n_shapes == 429
+        assert space.n_distinct >= 2
+
+    def test_oracle_always_single_valued(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1e5, 1e5, 8)
+        space = achievable_values(x, get_algorithm("EX"), n_assignments=10, seed=1)
+        assert space.n_distinct == 1
+
+    def test_pr_always_single_valued(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, 7) * 2.0 ** rng.integers(-20, 21, 7)
+        space = achievable_values(x, get_algorithm("PR"), n_assignments=10, seed=3)
+        assert space.n_distinct == 1
+
+    def test_spread_and_sorted(self):
+        x = np.full(8, 0.1)
+        space = achievable_values(x, get_algorithm("ST"))
+        assert space.values == tuple(sorted(space.values))
+        assert space.spread == space.values[-1] - space.values[0] >= 0
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            achievable_values(np.array([]), get_algorithm("ST"))

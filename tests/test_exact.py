@@ -1,0 +1,151 @@
+"""The exact superaccumulator: error-free by construction."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import (
+    ExactSum,
+    abs_error,
+    errors_against_exact,
+    exact_sum,
+    exact_sum_fraction,
+    fraction_reference,
+    fsum_reference,
+    relative_error,
+    signed_error,
+)
+
+any_double = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestExactSumScalar:
+    @given(st.lists(any_double, min_size=0, max_size=30))
+    @settings(max_examples=60)
+    def test_matches_fraction_reference(self, xs):
+        acc = ExactSum()
+        for v in xs:
+            acc.add(v)
+        assert acc.to_fraction() == sum((Fraction(v) for v in xs), Fraction(0))
+
+    def test_subnormals_exact(self):
+        tiny = 5e-324
+        acc = ExactSum()
+        for _ in range(3):
+            acc.add(tiny)
+        assert acc.to_fraction() == 3 * Fraction(tiny)
+
+    def test_rejects_non_finite(self):
+        acc = ExactSum()
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                acc.add(bad)
+
+    def test_huge_magnitude_cancellation(self):
+        acc = ExactSum()
+        acc.add(1.7e308)
+        acc.add(-1.7e308)
+        acc.add(5e-324)
+        assert acc.to_fraction() == Fraction(5e-324)
+
+
+class TestExactSumVectorized:
+    @given(st.lists(any_double, min_size=0, max_size=200))
+    @settings(max_examples=40)
+    def test_add_array_matches_scalar(self, xs):
+        a = ExactSum()
+        a.add_array(np.array(xs, dtype=np.float64))
+        b = ExactSum()
+        for v in xs:
+            b.add(v)
+        assert a.to_fraction() == b.to_fraction()
+        assert a.count == b.count == len(xs)
+
+    def test_large_array_vs_fsum(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1e6, 1e6, 100_000)
+        assert exact_sum(x) == fsum_reference(x)
+
+    def test_order_independence(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(-1, 1, 5000) * 10.0 ** rng.integers(-30, 30, 5000)
+        a = ExactSum()
+        a.add_array(x)
+        b = ExactSum()
+        b.add_array(x[::-1].copy())
+        assert a.to_fraction() == b.to_fraction()
+
+    def test_rejects_non_finite_array(self):
+        acc = ExactSum()
+        with pytest.raises(ValueError):
+            acc.add_array(np.array([1.0, math.nan]))
+
+    def test_zeros_counted_but_ignored(self):
+        acc = ExactSum()
+        acc.add_array(np.zeros(10))
+        assert acc.is_zero()
+        assert acc.count == 10
+
+
+class TestMergeAndCopy:
+    def test_merge_is_addition(self, rng=np.random.default_rng(7)):
+        x = rng.uniform(-1, 1, 1000)
+        a = ExactSum()
+        a.add_array(x[:500])
+        b = ExactSum()
+        b.add_array(x[500:])
+        a.merge(b)
+        whole = ExactSum()
+        whole.add_array(x)
+        assert a.to_fraction() == whole.to_fraction()
+        assert a.count == 1000
+
+    def test_copy_is_independent(self):
+        a = ExactSum()
+        a.add(1.0)
+        b = a.copy()
+        b.add(2.0)
+        assert a.to_float() == 1.0 and b.to_float() == 3.0
+
+
+class TestRounding:
+    def test_to_float_correctly_rounded(self):
+        # 1 + u is exactly between 1 and 1+2u: rounds to even (1.0)
+        acc = ExactSum()
+        acc.add(1.0)
+        acc.add(2.0**-53)
+        assert acc.to_float() == 1.0
+        acc.add(2.0**-80)  # nudge above the midpoint
+        assert acc.to_float() == 1.0 + 2.0**-52
+
+    def test_error_of(self):
+        acc = ExactSum()
+        acc.add(1.0)
+        acc.add(2.0**-60)
+        assert acc.error_of(1.0) == -(2.0**-60)
+
+
+class TestErrorHelpers:
+    def test_signed_abs_relative(self):
+        exact = Fraction(3, 2)
+        assert signed_error(2.0, exact) == 0.5
+        assert abs_error(1.0, exact) == 0.5
+        assert relative_error(1.5, exact) == 0.0
+        assert relative_error(3.0, exact) == 1.0
+        assert relative_error(1.0, Fraction(0)) == math.inf
+        assert relative_error(0.0, Fraction(0)) == 0.0
+
+    def test_errors_against_exact(self):
+        data = np.array([1.0, 2.0, 3.0])
+        errs = errors_against_exact([6.0, 6.5], data)
+        assert errs.tolist() == [0.0, 0.5]
+
+    def test_fraction_reference_matches(self):
+        x = np.array([0.1, 0.2, 0.3])
+        assert fraction_reference(x) == exact_sum_fraction(x)

@@ -1,0 +1,70 @@
+"""Calibration of the analytic variability model from measured grids."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.grid import grid_sweep
+from repro.selection import VariabilityModel, fit_variability_model
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return grid_sweep(
+        n_values=[1024],
+        k_values=[1e3, 1e6, 1e9, 1e12],
+        dr_values=[0, 16],
+        codes=("ST", "K", "CP"),
+        n_trees=80,
+        seed=77,
+    )
+
+
+class TestFitting:
+    def test_fit_produces_finite_constants(self, sweep):
+        report = fit_variability_model(sweep)
+        m = report.model
+        assert 0 < m.c_st < 10
+        assert 0 < m.c_k < 10
+        assert report.n_cells_used["ST"] == 8
+
+    def test_fitted_model_tighter_than_defaults(self, sweep):
+        """Fitting must reduce the rms log-error of ST predictions below
+        one decade (the default ships 'within two decades')."""
+        report = fit_variability_model(sweep)
+        assert report.rms_decades["ST"] < 1.0
+        assert report.rms_decades["K"] < 1.0
+
+    def test_fitted_predictions_track_measurements(self, sweep):
+        report = fit_variability_model(sweep)
+        from repro.metrics.properties import SetProfile
+
+        for cell in sweep:
+            measured = cell.stats["ST"].rel_std
+            if not measured:
+                continue
+            profile = SetProfile(
+                n=cell.n,
+                condition=cell.achieved_condition,
+                dynamic_range=cell.dynamic_range,
+                max_abs=1.0,
+            )
+            predicted = report.model.predict_std("ST", profile)
+            assert predicted / measured < 30 and measured / predicted < 30
+
+    def test_cp_fallback_when_unmeasurable(self, sweep):
+        """CP measures exactly zero at this scale -> fitted c_cp falls back
+        to the default rather than zero."""
+        report = fit_variability_model(sweep)
+        defaults = VariabilityModel()
+        if report.n_cells_used["CP"] == 0:
+            assert report.model.c_cp == defaults.c_cp
+            assert math.isnan(report.rms_decades["CP"])
+
+    def test_empty_input(self):
+        report = fit_variability_model([])
+        defaults = VariabilityModel()
+        assert report.model.c_st == defaults.c_st

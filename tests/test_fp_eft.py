@@ -1,0 +1,134 @@
+"""Error-free transformations: exactness is the whole contract."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.eft import (
+    fast_two_sum,
+    fast_two_sum_array,
+    split,
+    two_prod,
+    two_prod_array,
+    two_sum,
+    two_sum_array,
+)
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e300, max_value=1e300
+)
+moderate_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e150, max_value=1e150
+)
+
+
+class TestTwoSum:
+    @given(finite_doubles, finite_doubles)
+    def test_exact_identity(self, a, b):
+        s, e = two_sum(a, b)
+        assert Fraction(a) + Fraction(b) == Fraction(s) + Fraction(e)
+
+    @given(finite_doubles, finite_doubles)
+    def test_s_is_rounded_sum(self, a, b):
+        s, _ = two_sum(a, b)
+        assert s == a + b
+
+    def test_textbook_absorption(self):
+        s, e = two_sum(1e16, 1.0)
+        assert s == 1e16
+        assert e == 1.0
+
+    def test_zero_identity(self):
+        assert two_sum(0.0, 0.0) == (0.0, 0.0)
+
+    def test_commutative_value(self):
+        s1, e1 = two_sum(0.1, 0.7)
+        s2, e2 = two_sum(0.7, 0.1)
+        assert s1 == s2 and e1 == e2
+
+
+class TestFastTwoSum:
+    @given(finite_doubles, finite_doubles)
+    def test_matches_two_sum_when_ordered(self, a, b):
+        hi, lo = (a, b) if abs(a) >= abs(b) else (b, a)
+        assert fast_two_sum(hi, lo) == two_sum(hi, lo)
+
+    def test_precondition_matters(self):
+        # with |a| < |b| FastTwoSum loses the identity: the error term of
+        # (1.0, 1e17) is unrecoverable in the wrong order
+        a, b = 1.0, 1e17
+        s, e = fast_two_sum(a, b)
+        assert s == a + b  # s is still the rounded sum ...
+        assert Fraction(s) + Fraction(e) != Fraction(a) + Fraction(b)
+        # ... while the correct order keeps it
+        s2, e2 = fast_two_sum(b, a)
+        assert Fraction(s2) + Fraction(e2) == Fraction(a) + Fraction(b)
+
+
+class TestVectorized:
+    @given(st.lists(finite_doubles, min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_two_sum_array_matches_scalar(self, xs):
+        a = np.array(xs)
+        b = a[::-1].copy()
+        s, e = two_sum_array(a, b)
+        for i in range(a.size):
+            ss, ee = two_sum(float(a[i]), float(b[i]))
+            assert s[i] == ss and e[i] == ee
+
+    def test_fast_two_sum_array_matches_scalar(self, rng):
+        a = rng.uniform(-1e6, 1e6, 100)
+        b = rng.uniform(-1.0, 1.0, 100)
+        s, e = fast_two_sum_array(a, b)
+        for i in range(100):
+            ss, ee = fast_two_sum(float(a[i]), float(b[i]))
+            assert s[i] == ss and e[i] == ee
+
+    def test_two_prod_array_matches_scalar(self, rng):
+        a = rng.uniform(-1e10, 1e10, 100)
+        b = rng.uniform(-1e10, 1e10, 100)
+        p, e = two_prod_array(a, b)
+        for i in range(100):
+            pp, ee = two_prod(float(a[i]), float(b[i]))
+            assert p[i] == pp and e[i] == ee
+
+
+class TestSplitAndProd:
+    @given(moderate_doubles)
+    def test_split_exact(self, a):
+        hi, lo = split(a)
+        assert Fraction(hi) + Fraction(lo) == Fraction(a)
+
+    @given(moderate_doubles)
+    def test_split_parts_fit_in_half_mantissa(self, a):
+        hi, lo = split(a)
+        for part in (hi, lo):
+            if part != 0.0:
+                m, _ = math.frexp(part)
+                # 27 bits at most: scaling to an odd integer must fit 2**27
+                frac = Fraction(abs(part))
+                while frac.denominator > 1:
+                    frac *= 2
+                while frac.numerator % 2 == 0 and frac.numerator > 0:
+                    frac /= 2
+                assert frac.numerator <= 2**27
+
+    @given(moderate_doubles, moderate_doubles)
+    def test_two_prod_exact(self, a, b):
+        # TwoProd's identity holds when neither the product nor its error
+        # term (up to 2**-53 smaller) leaves the normal range.
+        if a != 0.0 and b != 0.0 and not 2.0**-950 < abs(a) * abs(b) < 2.0**1000:
+            return
+        p, e = two_prod(a, b)
+        assert Fraction(a) * Fraction(b) == Fraction(p) + Fraction(e)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,93 @@
+"""Exponent/ulp utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.properties import (
+    MANTISSA_BITS,
+    UNIT_ROUNDOFF,
+    exponent,
+    exponents,
+    is_power_of_two,
+    next_down,
+    next_up,
+    ulp,
+)
+
+
+class TestExponent:
+    @pytest.mark.parametrize(
+        "x,e",
+        [
+            (1.0, 0),
+            (1.999, 0),
+            (2.0, 1),
+            (0.5, -1),
+            (1e9, 29),
+            (-1e9, 29),
+            (2.0**-1022, -1022),
+            (5e-324, -1074),  # smallest subnormal
+            (1.7976931348623157e308, 1023),  # largest double
+        ],
+    )
+    def test_known_values(self, x, e):
+        assert exponent(x) == e
+
+    @given(st.floats(allow_nan=False, allow_infinity=False).filter(lambda x: x != 0.0))
+    def test_definition(self, x):
+        e = exponent(x)
+        assert 2.0**e <= abs(x) or e == -1074  # subnormal rounding edge
+        if e < 1023:
+            assert abs(x) < 2.0 ** (e + 1)
+
+    @pytest.mark.parametrize("bad", [0.0, math.nan, math.inf, -math.inf])
+    def test_rejects_non_representable(self, bad):
+        with pytest.raises(ValueError):
+            exponent(bad)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(1e-300, 1e300, 200) * rng.choice([-1.0, 1.0], 200)
+        es = exponents(x)
+        for xi, ei in zip(x.tolist(), es.tolist()):
+            assert exponent(xi) == ei
+
+    def test_vectorized_rejects_zero_and_nonfinite(self):
+        with pytest.raises(ValueError):
+            exponents(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            exponents(np.array([1.0, math.inf]))
+
+
+class TestConstants:
+    def test_unit_roundoff(self):
+        assert UNIT_ROUNDOFF == 2.0**-53
+        # u is the largest x with fl(1 + x) == 1 (round-to-nearest-even)
+        assert 1.0 + UNIT_ROUNDOFF == 1.0
+        assert 1.0 + 2 * UNIT_ROUNDOFF > 1.0
+
+    def test_mantissa_bits(self):
+        assert MANTISSA_BITS == 53
+
+
+class TestUlpNeighbors:
+    def test_ulp_of_one(self):
+        assert ulp(1.0) == 2.0**-52
+
+    def test_next_up_down_inverse(self):
+        for x in [1.0, -1.0, 1e17, 5e-324, 0.0]:
+            assert next_down(next_up(x)) == x
+
+    def test_power_of_two_detection(self):
+        assert is_power_of_two(1.0)
+        assert is_power_of_two(-8.0)
+        assert is_power_of_two(2.0**-1060)
+        assert not is_power_of_two(3.0)
+        assert not is_power_of_two(0.0)
+        assert not is_power_of_two(math.inf)

@@ -1,0 +1,188 @@
+"""Workload generators: dr exact, k within tolerance, structure guarantees."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import exact_sum_fraction
+from repro.generators import (
+    TABLE_I,
+    chunk_for_rank,
+    generate_sum_set,
+    log_uniform_magnitudes,
+    nbody_force_terms,
+    signed_log_uniform,
+    uniform_symmetric,
+    zero_sum_series,
+    zero_sum_set,
+)
+from repro.metrics import condition_number, dynamic_range
+
+
+class TestConditionedSets:
+    @pytest.mark.parametrize("k", [1.0, 10.0, 1e3, 1e6, 1e9, 1e12, 1e15, math.inf])
+    @pytest.mark.parametrize("dr", [0, 8, 32])
+    def test_targets_hit(self, k, dr):
+        s = generate_sum_set(1000, k, dr, seed=99)
+        assert s.values.size == 1000
+        assert dynamic_range(s.values) == dr
+        mk = condition_number(s.values)
+        if math.isinf(k):
+            assert math.isinf(mk)
+        else:
+            assert 0.5 < mk / k < 2.0
+
+    @given(
+        st.integers(min_value=8, max_value=500),
+        st.sampled_from([1.0, 100.0, 1e8, math.inf]),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_n_and_dr(self, n, k, dr, seed):
+        s = generate_sum_set(n, k, dr, seed=seed)
+        assert s.values.size == n
+        assert dynamic_range(s.values) == dr
+
+    def test_base_exponent_shifts_scale(self):
+        s = generate_sum_set(100, 1.0, 4, seed=1, base_exponent=-50)
+        mags = np.abs(s.values)
+        assert mags.max() < 2.0**-45
+        assert mags.min() >= 2.0**-50
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_sum_set(7, 1.0, 0)
+        with pytest.raises(ValueError):
+            generate_sum_set(100, 0.5, 0)
+        with pytest.raises(ValueError):
+            generate_sum_set(100, 1.0, -1)
+
+    def test_seeded_determinism(self):
+        a = generate_sum_set(100, 1e6, 8, seed=5).values
+        b = generate_sum_set(100, 1e6, 8, seed=5).values
+        assert np.array_equal(a, b)
+
+
+class TestZeroSumSets:
+    @pytest.mark.parametrize("n", [2, 4, 5, 7, 100, 1001])
+    def test_exact_zero(self, n):
+        x = zero_sum_set(n, dr=8 if n > 2 else 0, seed=3)
+        assert exact_sum_fraction(x) == 0
+        assert x.size == n
+
+    @pytest.mark.parametrize("dr", [0, 1, 16, 32, 53, 60])
+    def test_dr_exact_even(self, dr):
+        x = zero_sum_set(1000, dr, seed=4)
+        assert dynamic_range(x) == dr
+
+    @pytest.mark.parametrize("dr", [1, 16, 52, 60])
+    def test_dr_exact_odd(self, dr):
+        x = zero_sum_set(1001, dr, seed=5)
+        assert exact_sum_fraction(x) == 0
+        assert dynamic_range(x) == dr
+
+    def test_odd_dr0_quintuple(self):
+        x = zero_sum_set(7, 0, seed=6)
+        assert exact_sum_fraction(x) == 0
+        assert dynamic_range(x) == 0
+
+    def test_impossible_combinations(self):
+        with pytest.raises(ValueError):
+            zero_sum_set(3, 0)  # no odd zero-sum dr=0 triple exists
+        with pytest.raises(ValueError):
+            zero_sum_set(2, 5)  # a single pair has dr 0
+        with pytest.raises(ValueError):
+            zero_sum_set(1, 0)
+
+
+class TestSeries:
+    def test_zero_sum_series_exact(self):
+        for n in (2, 100, 999, 10_000):
+            x = zero_sum_series(n, seed=1)
+            assert x.size == n
+            assert exact_sum_fraction(x) == 0
+
+    def test_chunks_are_nonzero(self):
+        x = zero_sum_series(10_000, seed=2)
+        chunk = chunk_for_rank(x, 0, 8)
+        assert float(np.sum(chunk)) != 0.0
+
+    def test_chunking_covers_everything(self):
+        x = zero_sum_series(1000, seed=3)
+        parts = [chunk_for_rank(x, r, 7) for r in range(7)]
+        assert sum(p.size for p in parts) == 1000
+        assert np.array_equal(np.concatenate(parts), x)
+
+    def test_chunk_bad_rank(self):
+        x = zero_sum_series(10)
+        with pytest.raises(ValueError):
+            chunk_for_rank(x, 5, 5)
+
+    def test_dynamic_range_parameter(self):
+        x = zero_sum_series(10_000, dynamic_range=24, seed=4)
+        assert dynamic_range(x) == 24
+
+
+class TestDistributions:
+    def test_uniform_symmetric_bounds(self):
+        x = uniform_symmetric(10_000, 1000.0, seed=5)
+        assert np.all(np.abs(x) < 1000.0)
+        assert x.min() < 0 < x.max()
+
+    def test_log_uniform_exponent_coverage(self):
+        x = log_uniform_magnitudes(5000, -10, 10, seed=6)
+        assert dynamic_range(x) == 20
+        assert np.all(x > 0)
+
+    def test_signed_log_uniform_has_both_signs(self):
+        x = signed_log_uniform(1000, 0, 5, seed=7)
+        assert (x > 0).any() and (x < 0).any()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_symmetric(-1)
+        with pytest.raises(ValueError):
+            uniform_symmetric(5, 0.0)
+        with pytest.raises(ValueError):
+            log_uniform_magnitudes(5, 3, 2)
+
+
+class TestNBody:
+    def test_force_terms_ill_conditioned(self):
+        w = nbody_force_terms(2000, clustering=3.0, seed=8)
+        assert w.terms.size == 1999
+        k = condition_number(w.terms)
+        dr = dynamic_range(w.terms)
+        # the physics delivers what the paper promises: large k and dr
+        assert k > 100
+        assert dr > 10
+
+    def test_clustering_widens_dynamic_range(self):
+        tight = nbody_force_terms(500, clustering=0.1, seed=9)
+        wide = nbody_force_terms(500, clustering=4.0, seed=9)
+        assert dynamic_range(wide.terms) > dynamic_range(tight.terms)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            nbody_force_terms(1)
+        with pytest.raises(ValueError):
+            nbody_force_terms(10, axis=5)
+
+
+class TestTableI:
+    def test_eleven_rows(self):
+        assert len(TABLE_I) == 11
+
+    @pytest.mark.parametrize("sample", TABLE_I, ids=range(len(TABLE_I)))
+    def test_k_labels_exact(self, sample):
+        k = condition_number(sample.as_array())
+        if math.isinf(sample.nominal_k):
+            assert math.isinf(k)
+        else:
+            assert abs(k / sample.nominal_k - 1) < 0.05

@@ -1,0 +1,124 @@
+"""Interval arithmetic substrate (Sec. III.B)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import exact_sum_fraction
+from repro.interval import Interval, add_down, add_up, sum_interval_array
+from repro.interval.summation import IntervalAccumulator, IntervalSum
+
+moderate = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e100, max_value=1e100)
+
+
+class TestDirectedRounding:
+    @given(moderate, moderate)
+    def test_bracketing(self, a, b):
+        exact = Fraction(a) + Fraction(b)
+        assert Fraction(add_down(a, b)) <= exact <= Fraction(add_up(a, b))
+
+    @given(moderate, moderate)
+    def test_tightness(self, a, b):
+        """The bounds are adjacent doubles (or equal when the add is exact)."""
+        lo, hi = add_down(a, b), add_up(a, b)
+        assert hi == lo or hi == math.nextafter(lo, math.inf)
+
+    def test_exact_add_degenerate(self):
+        assert add_down(1.0, 2.0) == add_up(1.0, 2.0) == 3.0
+
+
+class TestInterval:
+    def test_point_and_validation(self):
+        i = Interval.point(2.5)
+        assert i.width == 0.0 and i.midpoint == 2.5
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_add_contains_exact(self):
+        a = Interval.point(0.1)
+        b = Interval.point(0.2)
+        c = a + b
+        assert c.contains(Fraction(0.1) + Fraction(0.2))
+        assert c.width > 0.0  # 0.1 + 0.2 is inexact
+
+    def test_neg_sub(self):
+        i = Interval(1.0, 2.0)
+        assert (-i) == Interval(-2.0, -1.0)
+        d = i - Interval(0.5, 0.75)
+        assert d.lo <= 0.25 and d.hi >= 1.5
+
+    def test_scalar_add(self):
+        i = Interval(1.0, 2.0) + 1.0
+        assert i.lo == 2.0 and i.hi == 3.0
+
+    def test_digits(self):
+        assert Interval.point(1.0).digits() == 15.95
+        wide = Interval(1.0, 1.1)
+        assert 0.5 < wide.digits() < 2.0
+        assert Interval(-1.0, 1.0).digits() < 0.5
+
+
+class TestIntervalSum:
+    @given(st.lists(moderate, min_size=0, max_size=80))
+    @settings(max_examples=50)
+    def test_enclosure_contains_exact_sum(self, xs):
+        x = np.array(xs, dtype=np.float64)
+        enc = sum_interval_array(x)
+        assert enc.contains(exact_sum_fraction(x))
+
+    def test_enclosure_contains_every_tree_value(self):
+        """Any floating-point reduction of the data lands inside (or within
+        one ulp of) the enclosure of the exact sum."""
+        from repro.summation import get_algorithm
+        from repro.trees import evaluate_ensemble
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1e3, 1e3, 500)
+        enc = sum_interval_array(x)
+        vals = evaluate_ensemble(x, "balanced", get_algorithm("ST"), 30, seed=1)
+        pad = math.ulp(max(abs(enc.lo), abs(enc.hi))) * 500
+        assert vals.min() >= enc.lo - pad and vals.max() <= enc.hi + pad
+
+    def test_guaranteed_digits_collapse_under_cancellation(self):
+        """Sec. III.B's dismissal, measured: interval enclosures are 'not
+        suitable for applications needing many digits of accuracy' — the
+        width stays ~u * mass, so once the sum cancels, the enclosure
+        certifies almost no digits of the result."""
+        from repro.generators import zero_sum_set
+
+        benign = np.abs(np.random.default_rng(2).uniform(1, 2, 1000))
+        hostile = zero_sum_set(1000, dr=32, seed=3)
+        assert sum_interval_array(benign).digits() > 10.0
+        assert sum_interval_array(hostile).digits() < 2.0
+
+    def test_accumulator_and_merge(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, 300)
+        a = IntervalAccumulator()
+        a.add_array(x[:150])
+        b = IntervalAccumulator()
+        b.add_array(x[150:])
+        a.merge(b)
+        assert a.interval.contains(exact_sum_fraction(x))
+        assert a.result() == a.interval.midpoint
+
+    def test_scalar_adds(self):
+        acc = IntervalAccumulator()
+        for v in (0.1, 0.2, 0.3):
+            acc.add(v)
+        assert acc.interval.contains(Fraction(0.1) + Fraction(0.2) + Fraction(0.3))
+
+    def test_algorithm_interface(self):
+        alg = IntervalSum()
+        x = np.array([1.0, 2.0, 3.0])
+        assert alg.sum_array(x) == 6.0
+        assert alg.enclosure(x).width == 0.0
+        assert alg.code == "IV"

@@ -1,0 +1,157 @@
+"""Metrics layer: set properties, error statistics, bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.properties import UNIT_ROUNDOFF
+from repro.metrics import (
+    analytical_bound,
+    boxplot_summary,
+    condition_based_relative_bound,
+    condition_number,
+    dynamic_range,
+    error_stats,
+    profile_set,
+    statistical_bound,
+)
+
+
+class TestConditionNumber:
+    def test_same_sign_is_one(self):
+        assert condition_number(np.array([1.0, 2.5, 0.25])) == 1.0
+        assert condition_number(np.array([-1.0, -2.5])) == 1.0
+
+    def test_zero_sum_is_inf(self):
+        assert math.isinf(condition_number(np.array([1.0, -1.0])))
+
+    def test_table_value(self):
+        x = np.array([2.505e2, 2.5e2, -2.495e2, -2.5e2])
+        assert condition_number(x) == pytest.approx(1000.0, rel=1e-12)
+
+    def test_exactness_at_extreme_k(self):
+        # sum = 1 ulp of a huge absolute mass: float-only estimation fails,
+        # the exact path must not
+        big = 2.0**52
+        x = np.array([big, -big + 1.0, 1e-30])  # exact sum: 1.0 + 1e-30ish
+        k = condition_number(x)
+        assert k == pytest.approx(2 * big, rel=1e-10)
+
+    def test_empty_and_zero_conventions(self):
+        assert condition_number(np.array([])) == 1.0
+        assert condition_number(np.zeros(5)) == 1.0
+
+    def test_zeros_mixed_in_are_harmless(self):
+        assert condition_number(np.array([1.0, 0.0, 2.0])) == 1.0
+
+
+class TestDynamicRange:
+    def test_same_exponent_zero(self):
+        assert dynamic_range(np.array([1.0, 1.5, -1.999])) == 0
+
+    def test_known_span(self):
+        assert dynamic_range(np.array([1.0, 1024.0])) == 10
+
+    def test_ignores_zeros(self):
+        assert dynamic_range(np.array([0.0, 4.0, 8.0])) == 1
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            dynamic_range(np.zeros(3))
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20)
+    def test_constructed_span(self, dr):
+        x = np.array([1.5, 1.5 * 2.0**dr])
+        assert dynamic_range(x) == dr
+
+
+class TestProfileSet:
+    def test_profile_fields(self):
+        x = np.array([3.0, -1.0, 0.5])
+        p = profile_set(x)
+        assert p.n == 3
+        assert p.max_abs == 3.0
+        assert p.abs_sum == 4.5
+        assert p.condition == pytest.approx(1.8)
+        assert p.dynamic_range == 2
+        assert p.has_abs_sum
+
+    def test_log10_condition(self):
+        p = profile_set(np.array([1.0, -1.0, 1e-3]))
+        assert p.log10_condition == pytest.approx(math.log10(2001.0), rel=1e-6)
+
+
+class TestErrorStats:
+    def test_constant_values_zero_spread(self):
+        data = np.array([1.0, 2.0])
+        s = error_stats([3.0, 3.0, 3.0], data)
+        assert s.std == 0.0 and s.spread == 0.0
+        assert s.reproducible_bitwise
+        assert s.n_distinct == 1
+
+    def test_known_errors(self):
+        data = np.array([1.0, 2.0])  # exact 3
+        s = error_stats([3.0, 3.5, 2.5], data)
+        assert s.max_abs == 0.5
+        assert s.mean_abs == pytest.approx(1.0 / 3.0)
+        assert s.spread == 1.0
+        assert s.rel_std == pytest.approx(s.std / 3.0)
+
+    def test_zero_sum_relative_is_nan(self):
+        data = np.array([1.0, -1.0])
+        s = error_stats([0.0, 1e-16], data)
+        assert math.isnan(s.rel_std)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            error_stats([], np.array([1.0]))
+
+    def test_boxplot_summary_ordering(self):
+        data = np.array([1.0, 2.0])
+        vals = 3.0 + np.linspace(-1e-10, 1e-10, 50)
+        b = boxplot_summary(vals, data)
+        assert b.whisker_low <= b.q1 <= b.median <= b.q3 <= b.whisker_high
+
+    def test_boxplot_outliers_detected(self):
+        data = np.array([0.0])
+        vals = np.concatenate([np.full(30, 1e-15), [1e-9]])
+        b = boxplot_summary(vals, data)
+        assert 1e-9 in b.outliers
+
+
+class TestBounds:
+    def test_analytical_formula(self):
+        x = np.array([1.0, -2.0, 3.0])
+        assert analytical_bound(x) == 3 * UNIT_ROUNDOFF * 6.0
+
+    def test_statistical_below_analytical_for_large_n(self):
+        x = np.ones(10_000)
+        assert statistical_bound(x) < analytical_bound(x)
+
+    def test_bounds_actually_bound(self):
+        # measured serial-sum error must sit below the analytical bound
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1000, 1000, 5000)
+        from fractions import Fraction
+
+        from repro.exact import exact_sum_fraction
+
+        v = float(np.cumsum(x)[-1])
+        err = abs(float(Fraction(v) - exact_sum_fraction(x)))
+        assert err < analytical_bound(x)
+
+    def test_empty(self):
+        assert analytical_bound(np.array([])) == 0.0
+        assert statistical_bound(np.array([])) == 0.0
+
+    def test_condition_relative_bound(self):
+        assert condition_based_relative_bound(1e6, 100) == 100 * UNIT_ROUNDOFF * 1e6
+        assert math.isinf(condition_based_relative_bound(math.inf, 10))
+        with pytest.raises(ValueError):
+            condition_based_relative_bound(1.0, -1)

@@ -1,0 +1,89 @@
+"""Reproducible descriptive statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.summation.moments import (
+    reproducible_mean,
+    reproducible_norm2,
+    reproducible_std,
+    reproducible_sum,
+    reproducible_variance,
+)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    return rng.uniform(-5.0, 5.0, 4001) * 2.0 ** rng.integers(-10, 11, 4001)
+
+
+class TestInvariance:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            reproducible_sum,
+            reproducible_mean,
+            reproducible_variance,
+            reproducible_std,
+            reproducible_norm2,
+        ],
+    )
+    def test_permutation_and_chunking_invariant(self, data, fn):
+        ref = fn(data)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            perm = rng.permutation(data.size)
+            assert fn(data[perm]) == ref
+        cuts = np.sort(rng.choice(data.size, size=6, replace=False))
+        assert fn(np.split(data, cuts)) == ref
+
+    def test_numpy_is_not_invariant_here(self, data):
+        """Motivation check: plain numpy results do drift under reorder for
+        at least one of many shuffles (if not, the workload is too easy)."""
+        rng = np.random.default_rng(2)
+        base = float(np.sum(data))
+        assert any(
+            float(np.sum(data[rng.permutation(data.size)])) != base for _ in range(20)
+        )
+
+
+class TestAccuracy:
+    def test_mean_close_to_numpy(self, data):
+        assert reproducible_mean(data) == pytest.approx(float(np.mean(data)), rel=1e-12)
+
+    def test_variance_close_to_numpy(self, data):
+        assert reproducible_variance(data) == pytest.approx(
+            float(np.var(data)), rel=1e-10
+        )
+        assert reproducible_variance(data, ddof=1) == pytest.approx(
+            float(np.var(data, ddof=1)), rel=1e-10
+        )
+
+    def test_norm_close_to_numpy(self, data):
+        assert reproducible_norm2(data) == pytest.approx(
+            float(np.linalg.norm(data)), rel=1e-12
+        )
+
+    def test_variance_nonnegative_under_cancellation(self):
+        x = np.full(1000, 1e8)
+        assert reproducible_variance(x) == 0.0
+        assert reproducible_std(x) == 0.0
+
+    def test_constant_shifted(self):
+        x = np.full(100, 3.25)
+        assert reproducible_mean(x) == 3.25
+        assert reproducible_variance(x) == 0.0
+
+
+class TestValidation:
+    def test_empty(self):
+        assert reproducible_sum(np.array([])) == 0.0
+        with pytest.raises(ValueError):
+            reproducible_mean(np.array([]))
+        with pytest.raises(ValueError):
+            reproducible_variance(np.array([1.0]), ddof=1)

@@ -1,0 +1,90 @@
+"""Failure-injection: non-finite operands across the stack.
+
+Documents (and pins) each layer's contract when NaN/inf reach it:
+
+* the exact layers (superaccumulator, PR, AS) *reject* non-finite input
+  loudly — silently absorbing a NaN would forfeit their guarantees;
+* the plain floating-point algorithms (ST, K, CP) *propagate* per IEEE
+  semantics, like the hardware loop they model;
+* metrics and generators reject, since k/dr are undefined.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exact import ExactSum
+from repro.metrics import condition_number, dynamic_range
+from repro.summation import SumContext, get_algorithm
+
+NASTY = [math.nan, math.inf, -math.inf]
+
+
+class TestExactLayersReject:
+    @pytest.mark.parametrize("bad", NASTY)
+    def test_superaccumulator(self, bad):
+        acc = ExactSum()
+        with pytest.raises(ValueError):
+            acc.add(bad)
+        with pytest.raises(ValueError):
+            acc.add_array(np.array([1.0, bad]))
+
+    @pytest.mark.parametrize("bad", NASTY)
+    def test_prerounded(self, bad):
+        alg = get_algorithm("PR")
+        acc = alg.make_accumulator(SumContext(max_abs=1.0))
+        with pytest.raises(ValueError):
+            acc.add(bad)
+        with pytest.raises(ValueError):
+            acc.add_array(np.array([0.5, bad]))
+
+    def test_distillation_raises_or_propagates_loudly(self):
+        alg = get_algorithm("AS")
+        with pytest.raises((ValueError, RuntimeError, OverflowError)):
+            alg.sum_array(np.array([1.0, math.nan]))
+
+
+class TestFloatingLayersPropagate:
+    @pytest.mark.parametrize("code", ["ST", "K", "CP", "DD", "PW", "FB"])
+    def test_nan_propagates(self, code):
+        alg = get_algorithm(code)
+        out = alg.sum_array(np.array([1.0, math.nan, 2.0]))
+        assert math.isnan(out)
+
+    @pytest.mark.parametrize("code", ["ST", "PW"])
+    def test_inf_propagates(self, code):
+        alg = get_algorithm(code)
+        assert get_algorithm(code).sum_array(np.array([1.0, math.inf])) == math.inf
+
+    def test_conflicting_infs_nan(self):
+        out = get_algorithm("ST").sum_array(np.array([math.inf, -math.inf]))
+        assert math.isnan(out)
+
+
+class TestMetricsReject:
+    def test_condition_number(self):
+        with pytest.raises(ValueError):
+            condition_number(np.array([1.0, math.nan]))
+
+    def test_dynamic_range(self):
+        with pytest.raises(ValueError):
+            dynamic_range(np.array([1.0, math.inf]))
+
+
+class TestIntervalLayer:
+    def test_interval_rejects_nan_endpoints(self):
+        from repro.interval import Interval
+
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_enclosure_of_nan_data_is_nan_safe(self):
+        """Directed rounding of NaN data yields NaN endpoints; constructing
+        the Interval then fails loudly rather than certifying garbage."""
+        from repro.interval import sum_interval_array
+
+        with pytest.raises(ValueError):
+            sum_interval_array(np.array([1.0, math.nan]))

@@ -1,0 +1,61 @@
+"""Report aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.report import build_report, collect_payloads
+from repro.experiments.runner import main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    for exp, ok in (("fig2", True), ("fig7", False)):
+        payload = {
+            "experiment": exp,
+            "title": f"title of {exp}",
+            "scale": "ci",
+            "checks": {"check one": True, "check two": ok},
+            "rows": [{"a": 1}, {"a": 2}],
+        }
+        (tmp_path / f"{exp}_ci.json").write_text(json.dumps(payload))
+    (tmp_path / "garbage.json").write_text("not json{")
+    (tmp_path / "unrelated.json").write_text('{"foo": 1}')
+    return tmp_path
+
+
+class TestCollect:
+    def test_only_experiment_payloads(self, results_dir):
+        payloads = collect_payloads(results_dir)
+        assert {p["experiment"] for p in payloads} == {"fig2", "fig7"}
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_payloads(tmp_path / "nope")
+
+
+class TestBuild:
+    def test_report_contents(self, results_dir):
+        text = build_report(results_dir)
+        assert "3/4 pass" in text
+        assert "## fig2" in text and "✅" in text
+        assert "## fig7" in text and "❌" in text
+        assert "- [x] check one" in text
+        assert "- [ ] check two" in text
+
+    def test_paper_order(self, results_dir):
+        text = build_report(results_dir)
+        assert text.index("## fig2") < text.index("## fig7")
+
+    def test_empty_dir(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_report(tmp_path)
+
+    def test_cli(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        assert main(["report", str(results_dir), "-o", str(out)]) == 0
+        assert "Reproduction report" in out.read_text()
+        main(["report", str(results_dir)])
+        assert "Reproduction report" in capsys.readouterr().out

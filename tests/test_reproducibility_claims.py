@@ -1,0 +1,143 @@
+"""The paper's headline claims, asserted as properties of the whole system.
+
+These are the end-to-end invariants Sec. V establishes; each test names the
+claim it pins.  They run on reduced-scale workloads but through exactly the
+code paths the experiment harness uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import generate_sum_set, zero_sum_set
+from repro.metrics import error_stats
+from repro.summation import SumContext, get_algorithm
+from repro.trees import evaluate_ensemble, evaluate_tree_generic, random_shape
+
+
+class TestClaimTreeShapeMatters:
+    """'Reduction tree shape has a large impact on reproducible numerical
+    accuracy.'"""
+
+    def test_unbalanced_worse_than_balanced_for_st(self):
+        data = zero_sum_set(4096, dr=32, seed=1)
+        bal = evaluate_ensemble(data, "balanced", get_algorithm("ST"), 50, seed=2)
+        ser = evaluate_ensemble(data, "serial", get_algorithm("ST"), 50, seed=2)
+        assert error_stats(ser, data).spread > error_stats(bal, data).spread
+
+    def test_same_data_different_shapes_different_values(self):
+        data = zero_sum_set(1024, dr=32, seed=3)
+        alg = get_algorithm("ST")
+        vals = {
+            evaluate_tree_generic(random_shape(1024, seed=s), data, alg)
+            for s in range(6)
+        }
+        assert len(vals) > 1
+
+
+class TestClaimPropertiesMatter:
+    """'Mathematical properties of a set of summands have an impact on the
+    reproducibility of their sum.'"""
+
+    def test_condition_number_drives_relative_variability(self):
+        rels = []
+        for k in (1e3, 1e9, 1e15):
+            data = generate_sum_set(2048, k, 16, seed=4).values
+            vals = evaluate_ensemble(data, "balanced", get_algorithm("ST"), 80, seed=5)
+            rels.append(error_stats(vals, data).rel_std)
+        assert rels[0] < rels[1] < rels[2]
+
+    def test_well_conditioned_sums_stay_reproducible(self):
+        data = generate_sum_set(2048, 1.0, 32, seed=6).values
+        vals = evaluate_ensemble(data, "balanced", get_algorithm("ST"), 80, seed=7)
+        assert error_stats(vals, data).rel_std < 50 * 2.0**-53
+
+
+class TestClaimAlgorithmHierarchy:
+    """'Only composite precision and prerounded summations offer reproducible
+    numerical accuracy at an acceptable level.'"""
+
+    @pytest.fixture(scope="class")
+    def spreads(self):
+        data = zero_sum_set(4096, dr=32, seed=8)
+        out = {}
+        for code in ("ST", "K", "CP", "PR"):
+            vals = evaluate_ensemble(data, "serial", get_algorithm(code), 60, seed=9)
+            out[code] = error_stats(vals, data)
+        return out
+
+    def test_ordering(self, spreads):
+        assert spreads["ST"].spread >= spreads["K"].spread
+        assert spreads["K"].spread >= spreads["CP"].spread
+        assert spreads["CP"].spread >= spreads["PR"].spread
+
+    def test_pr_bitwise(self, spreads):
+        assert spreads["PR"].reproducible_bitwise
+        assert spreads["PR"].spread == 0.0
+
+    def test_cp_and_pr_effectively_identical(self, spreads):
+        """Sec. V.C: 'the composite precision and prerounded summations
+        performed identically for all sets of inputs considered.'"""
+        assert spreads["CP"].spread <= 1e-12 * max(spreads["ST"].spread, 1e-300)
+
+
+class TestClaimPRTotallyOrderFree:
+    """PR: bitwise identical under any permutation, chunking, and tree."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_tree_and_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(16, 300))
+        data = rng.uniform(-1, 1, n) * 2.0 ** rng.integers(-25, 26, n)
+        alg = get_algorithm("PR")
+        ctx = SumContext.for_data(data)
+        ref = alg.sum_array(data, ctx)
+        perm = rng.permutation(n)
+        tree = random_shape(n, seed=seed + 1)
+        assert evaluate_tree_generic(tree, data[perm], alg, ctx) == ref
+
+
+class TestClaimBoundsUseless:
+    """Sec. IV.A: worst-case bounds overestimate by orders of magnitude."""
+
+    def test_bound_gap(self):
+        from repro.metrics import analytical_bound
+
+        rng = np.random.default_rng(10)
+        data = rng.uniform(-1000, 1000, 4000)
+        vals = evaluate_ensemble(data, "serial", get_algorithm("ST"), 100, seed=11)
+        measured = error_stats(vals, data).max_abs
+        assert analytical_bound(data) > 100 * measured
+
+
+class TestClaimSelectionWorks:
+    """Sec. V.D: profile-driven selection meets the tolerance it promises."""
+
+    @pytest.mark.parametrize("k,threshold", [(1.0, 1e-10), (1e6, 1e-7), (1e12, 1e-2)])
+    def test_chosen_algorithm_meets_tolerance(self, k, threshold):
+        from repro.selection import AnalyticPolicy, profile_chunk
+
+        data = generate_sum_set(2048, k, 16, seed=12).values
+        policy = AnalyticPolicy()
+        decision = policy.select(profile_chunk(data).as_set_profile(), threshold)
+        vals = evaluate_ensemble(
+            data, "balanced", get_algorithm(decision.code), 80, seed=13
+        )
+        assert error_stats(vals, data).rel_std <= threshold
+
+    def test_selection_saves_cost_when_possible(self):
+        """Easy data must not be forced onto expensive algorithms."""
+        from repro.selection import AnalyticPolicy, profile_chunk
+
+        data = generate_sum_set(2048, 1.0, 8, seed=14).values
+        decision = AnalyticPolicy().select(
+            profile_chunk(data).as_set_profile(), 1e-12
+        )
+        assert decision.code in ("ST", "K")
+        assert decision.relative_cost < 4.0

@@ -1,0 +1,259 @@
+"""Runtime selection: profiling sketch, policies, classifier, end-to-end."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_sum_set, zero_sum_set
+from repro.metrics import profile_set
+from repro.mpi import MachineTopology, SimComm
+from repro.selection import (
+    AdaptiveReducer,
+    AnalyticPolicy,
+    CostModel,
+    GridCell,
+    GridClassifier,
+    StreamProfile,
+    VariabilityModel,
+    profile_chunk,
+    profile_stream,
+)
+
+
+class TestStreamProfile:
+    @pytest.mark.parametrize("k", [1.0, 1e3, 1e9, 1e15, math.inf])
+    def test_condition_estimate_tracks_exact(self, k):
+        data = generate_sum_set(5000, k, 16, seed=1).values
+        sketch = profile_chunk(data)
+        exact = profile_set(data)
+        if math.isinf(k):
+            assert math.isinf(sketch.condition_estimate())
+        else:
+            assert sketch.condition_estimate() == pytest.approx(
+                exact.condition, rel=1e-6
+            )
+
+    def test_dr_exact(self):
+        data = generate_sum_set(1000, 1e3, 24, seed=2).values
+        assert profile_chunk(data).dynamic_range_estimate() == 24
+
+    def test_merge_equals_whole(self):
+        data = generate_sum_set(3000, 1e6, 8, seed=3).values
+        whole = profile_chunk(data)
+        merged = profile_stream([data[:1000], data[1000:1700], data[1700:]])
+        assert merged.n == whole.n
+        assert merged.max_abs == whole.max_abs
+        assert merged.min_abs_nonzero == whole.min_abs_nonzero
+        assert merged.condition_estimate() == pytest.approx(
+            whole.condition_estimate(), rel=1e-9
+        )
+
+    def test_empty_profile(self):
+        p = StreamProfile()
+        assert p.condition_estimate() == 1.0
+        assert p.dynamic_range_estimate() == 0
+        p.update(np.array([]))
+        assert p.n == 0
+
+    def test_zeros_only(self):
+        p = profile_chunk(np.zeros(5))
+        assert p.condition_estimate() == 1.0
+        assert p.dynamic_range_estimate() == 0
+
+    def test_as_set_profile_carries_abs_sum(self):
+        p = profile_chunk(np.array([1.0, -2.0])).as_set_profile()
+        assert p.abs_sum == 3.0 and p.has_abs_sum
+
+
+class TestCostModel:
+    def test_default_ranking_matches_paper(self):
+        cm = CostModel()
+        assert cm.rank(["PR", "ST", "CP", "K"]) == ["ST", "K", "CP", "PR"]
+
+    def test_cost_scales_with_n(self):
+        cm = CostModel()
+        assert cm.cost("K", 2000) == 2 * cm.cost("K", 1000)
+        with pytest.raises(KeyError):
+            cm.cost("XX", 10)
+
+    def test_selection_cost_includes_profiling(self):
+        cm = CostModel()
+        assert cm.selection_cost("ST", 100) > cm.cost("ST", 100)
+        assert cm.selection_cost("ST", 100, profiled=False) == cm.cost("ST", 100)
+
+    def test_calibrate_keeps_ordering(self):
+        cm = CostModel().calibrate(["ST", "K", "CP", "PR"], n=1 << 14, repeats=2)
+        assert cm.relative["ST"] == 1.0
+        assert cm.relative["K"] > 1.0
+
+
+class TestAnalyticPolicy:
+    def test_threshold_monotonic_escalation(self):
+        policy = AnalyticPolicy()
+        data = generate_sum_set(4096, 1e9, 16, seed=4).values
+        profile = profile_chunk(data).as_set_profile()
+        rank = {c: i for i, c in enumerate(["ST", "K", "CP", "PR"])}
+        prev = -1
+        for t in (1e-3, 1e-7, 1e-10, 1e-13, 1e-16, 0.0):
+            decision = policy.select(profile, t)
+            assert rank[decision.code] >= prev
+            prev = rank[decision.code]
+
+    def test_zero_sum_forces_most_robust(self):
+        policy = AnalyticPolicy()
+        data = zero_sum_set(1024, 16, seed=5)
+        profile = profile_chunk(data).as_set_profile()
+        assert policy.select(profile, 1e-10).code == "PR"
+
+    def test_easy_data_keeps_st(self):
+        policy = AnalyticPolicy()
+        profile = profile_chunk(np.abs(np.random.default_rng(6).uniform(1, 2, 1000)))
+        assert policy.select(profile.as_set_profile(), 1e-10).code == "ST"
+
+    def test_decision_records_predictions(self):
+        policy = AnalyticPolicy()
+        p = profile_chunk(np.array([1.0, 2.0])).as_set_profile()
+        d = policy.select(p, 1e-10)
+        assert set(d.candidate_predictions) == {"ST", "K", "CP", "PR"}
+        assert d.threshold == 1e-10
+
+    def test_invalid_threshold(self):
+        policy = AnalyticPolicy()
+        p = profile_chunk(np.array([1.0])).as_set_profile()
+        with pytest.raises(ValueError):
+            policy.select(p, -1.0)
+
+    def test_model_prediction_shapes(self):
+        m = VariabilityModel()
+        easy = profile_set(np.abs(np.random.default_rng(7).uniform(1, 2, 1000)))
+        hard = generate_sum_set(1000, 1e12, 8, seed=8).values
+        hard_p = profile_set(hard)
+        assert m.predict_std("ST", hard_p) > m.predict_std("ST", easy)
+        assert m.predict_std("ST", hard_p) > m.predict_std("K", hard_p)
+        assert m.predict_std("K", hard_p) > m.predict_std("CP", hard_p)
+        assert m.predict_std("PR", hard_p) == 0.0
+        with pytest.raises(KeyError):
+            m.predict_std("XX", easy)
+
+    def test_model_order_of_magnitude_vs_measurement(self):
+        """The analytic model must land within 2 decades of measured ST
+        variability (decision granularity)."""
+        from repro.metrics.errors import error_stats
+        from repro.summation import get_algorithm
+        from repro.trees import evaluate_ensemble
+
+        m = VariabilityModel()
+        for k in (1e3, 1e9):
+            data = generate_sum_set(2048, k, 16, seed=9).values
+            vals = evaluate_ensemble(data, "balanced", get_algorithm("ST"), 100, seed=10)
+            measured = error_stats(vals, data).rel_std
+            predicted = m.predict_std("ST", profile_set(data))
+            assert predicted / measured < 100
+            assert measured / predicted < 100
+
+
+class TestGridClassifier:
+    @pytest.fixture
+    def classifier(self):
+        cells = [
+            GridCell(4096, 1.0, 0, {"ST": 1e-16, "K": 5e-17, "CP": 0.0, "PR": 0.0}),
+            GridCell(4096, 1e6, 0, {"ST": 1e-11, "K": 8e-12, "CP": 0.0, "PR": 0.0}),
+            GridCell(4096, 1e12, 0, {"ST": 1e-5, "K": 8e-6, "CP": 1e-13, "PR": 0.0}),
+        ]
+        return GridClassifier(cells)
+
+    def test_nearest_cell_lookup(self, classifier):
+        p = profile_set(generate_sum_set(4096, 1e6, 0, seed=11).values)
+        cell = classifier.nearest_cell(p)
+        assert cell.condition == 1e6
+
+    def test_cheapest_for_thresholds(self, classifier):
+        cell = classifier.cells[2]
+        assert classifier.cheapest_for(cell, 1e-3) == "ST"
+        assert classifier.cheapest_for(cell, 1e-5) == "ST"
+        assert classifier.cheapest_for(cell, 9e-6) == "K"
+        assert classifier.cheapest_for(cell, 1e-12) == "CP"
+        assert classifier.cheapest_for(cell, 1e-14) == "PR"
+
+    def test_select_returns_decision(self, classifier):
+        p = profile_set(generate_sum_set(4096, 1e12, 0, seed=12).values)
+        d = classifier.select(p, 1e-12)
+        assert d.code == "CP"
+        assert d.predicted_std == 1e-13
+
+    def test_json_roundtrip(self, classifier):
+        text = classifier.to_json()
+        loaded = GridClassifier.from_json(text)
+        assert len(loaded.cells) == 3
+        assert loaded.cells[1].stds == classifier.cells[1].stds
+
+    def test_json_handles_inf(self):
+        cells = [GridCell(64, math.inf, 0, {"ST": 1.0, "PR": 0.0})]
+        loaded = GridClassifier.from_json(GridClassifier(cells).to_json())
+        assert math.isinf(loaded.cells[0].condition)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GridClassifier([])
+
+    def test_inconsistent_codes_rejected(self):
+        cells = [
+            GridCell(64, 1.0, 0, {"ST": 1.0}),
+            GridCell(64, 2.0, 0, {"K": 1.0}),
+        ]
+        with pytest.raises(ValueError):
+            GridClassifier(cells)
+
+
+class TestAdaptiveReducer:
+    @pytest.fixture
+    def comm(self):
+        return SimComm(topology=MachineTopology(nodes=2, sockets_per_node=2, cores_per_socket=4), seed=13)
+
+    def test_end_to_end_decisions(self, comm):
+        red = AdaptiveReducer(comm)
+        easy = np.abs(np.random.default_rng(14).uniform(1, 2, 8000))
+        res = red.reduce(comm.scatter_array(easy), threshold=1e-10)
+        assert res.decision.code == "ST"
+        assert res.value == pytest.approx(float(np.sum(easy)), rel=1e-12)
+
+        hard = zero_sum_set(8000, 32, seed=15)
+        res = red.reduce(comm.scatter_array(hard), threshold=1e-13)
+        assert res.decision.code == "PR"
+        assert res.value == 0.0
+
+    def test_profile_reused_as_pr_prepass(self, comm):
+        red = AdaptiveReducer(comm, threshold=0.0)
+        data = zero_sum_set(4000, 16, seed=16)
+        res = red.reduce(comm.scatter_array(data))
+        assert res.reduce_result.algorithm_code == "PR"
+        assert res.value == 0.0
+
+    def test_nondeterministic_route(self, comm):
+        red = AdaptiveReducer(comm)
+        data = zero_sum_set(4000, 16, seed=17)
+        res = red.reduce(comm.scatter_array(data), threshold=0.0, nondeterministic=True)
+        assert res.value == 0.0
+
+    def test_custom_policy_plugs_in(self, comm):
+        classifier = GridClassifier(
+            [GridCell(8000, 1.0, 0, {"ST": 0.0, "K": 0.0, "CP": 0.0, "PR": 0.0})]
+        )
+        red = AdaptiveReducer(comm, policy=classifier)
+        data = np.abs(np.random.default_rng(18).uniform(1, 2, 8000))
+        res = red.reduce(comm.scatter_array(data), threshold=1e-15)
+        assert res.decision.code == "ST"
+
+    def test_timers_populated(self, comm):
+        red = AdaptiveReducer(comm)
+        data = np.ones(800)
+        res = red.reduce(comm.scatter_array(data))
+        assert res.profile_seconds >= 0.0
+        assert res.reduce_seconds >= 0.0
+
+    def test_invalid_threshold(self, comm):
+        with pytest.raises(ValueError):
+            AdaptiveReducer(comm, threshold=-1.0)

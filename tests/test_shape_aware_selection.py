@@ -1,0 +1,89 @@
+"""Tree-shape awareness in the variability model and the adaptive reducer.
+
+The paper's Sec. V.D asks for tools that "profile parameters of interest
+(e.g., n, k, dr, and tree shape)"; these tests pin the shape parameter's
+behaviour: serial/unknown shapes escalate predictions (and hence selections)
+for the shape-sensitive algorithms, and the escalated prediction actually
+covers the measured serial-ensemble variability.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_sum_set
+from repro.metrics import error_stats, profile_set
+from repro.mpi import SimComm
+from repro.selection import AdaptiveReducer, AnalyticPolicy, VariabilityModel
+from repro.summation import get_algorithm
+from repro.trees import evaluate_ensemble
+
+
+class TestShapeMultiplier:
+    def test_serial_escalates_st_prediction(self):
+        m = VariabilityModel()
+        p = profile_set(generate_sum_set(2048, 1e9, 16, seed=0).values)
+        bal = m.predict_std("ST", p, shape="balanced")
+        ser = m.predict_std("ST", p, shape="serial")
+        assert ser == pytest.approx(bal * m.shape_factor_serial)
+
+    def test_unknown_treated_as_serial(self):
+        m = VariabilityModel()
+        p = profile_set(generate_sum_set(2048, 1e9, 16, seed=1).values)
+        assert m.predict_std("ST", p, shape="unknown") == m.predict_std(
+            "ST", p, shape="serial"
+        )
+
+    def test_deterministic_algorithms_shape_free(self):
+        m = VariabilityModel()
+        p = profile_set(generate_sum_set(2048, 1e9, 16, seed=2).values)
+        for code in ("PR", "AS"):
+            assert m.predict_std(code, p, shape="serial") == 0.0
+
+    def test_bad_shape_rejected(self):
+        m = VariabilityModel()
+        p = profile_set(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            m.predict_std("ST", p, shape="spiral")
+
+    def test_serial_prediction_covers_measured_serial_variability(self):
+        """The whole point of the multiplier: the serial-shape prediction
+        must not underestimate measured serial ensembles (within a decade)."""
+        m = VariabilityModel()
+        for k in (1e6, 1e12):
+            data = generate_sum_set(2048, k, 16, seed=3).values
+            vals = evaluate_ensemble(data, "serial", get_algorithm("ST"), 60, seed=4)
+            measured = error_stats(vals, data).rel_std
+            predicted = m.predict_std("ST", profile_set(data), shape="serial")
+            assert predicted >= measured / 10.0
+
+
+class TestPolicyShapeHint:
+    def test_selection_escalates_for_serial_shape(self):
+        """There exists a threshold where the balanced hint keeps ST but the
+        serial hint escalates — the shape parameter changes decisions."""
+        policy = AnalyticPolicy()
+        p = profile_set(generate_sum_set(4096, 1e6, 16, seed=5).values)
+        bal_pred = policy.model.predict_std("ST", p, shape="balanced")
+        ser_pred = policy.model.predict_std("ST", p, shape="serial")
+        t = math.sqrt(bal_pred * ser_pred)  # between the two
+        assert policy.select(p, t, shape="balanced").code == "ST"
+        assert policy.select(p, t, shape="serial").code != "ST"
+
+    def test_adaptive_reducer_uses_hint_for_nondeterministic_runs(self):
+        comm = SimComm(8, seed=6)
+        data = generate_sum_set(4096, 1e6, 16, seed=7).values
+        chunks = comm.scatter_array(data)
+        policy = AnalyticPolicy()
+        p = profile_set(data)
+        bal_pred = policy.model.predict_std("ST", p, shape="balanced")
+        ser_pred = policy.model.predict_std("ST", p, shape="serial")
+        t = math.sqrt(bal_pred * ser_pred)
+        red = AdaptiveReducer(comm, policy=policy, threshold=t)
+        fixed = red.reduce(chunks)  # fixed balanced-ish tree: cheap is fine
+        nondet = red.reduce(chunks, nondeterministic=True)
+        assert fixed.decision.code == "ST"
+        assert nondet.decision.code != "ST"

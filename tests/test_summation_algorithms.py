@@ -1,0 +1,230 @@
+"""Summation algorithm zoo: accuracy classes, interfaces, registry."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import exact_sum_fraction
+from repro.fp.properties import UNIT_ROUNDOFF
+from repro.summation import (
+    PAPER_CODES,
+    SumContext,
+    all_algorithms,
+    get_algorithm,
+    paper_algorithms,
+)
+
+small_lists = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12),
+    min_size=0,
+    max_size=50,
+)
+
+ALL_CODES = [a.code for a in all_algorithms()]
+
+
+class TestRegistry:
+    def test_paper_codes_in_cost_order(self):
+        algs = paper_algorithms()
+        assert [a.code for a in algs] == list(PAPER_CODES)
+        ranks = [a.cost_rank for a in algs]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError, match="unknown summation algorithm"):
+            get_algorithm("NOPE")
+
+    def test_deterministic_flags(self):
+        assert get_algorithm("PR").deterministic
+        assert get_algorithm("EX").deterministic
+        assert not get_algorithm("ST").deterministic
+        assert not get_algorithm("K").deterministic
+        assert not get_algorithm("CP").deterministic
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+class TestUniformInterface:
+    def test_empty_sum_is_zero(self, code):
+        alg = get_algorithm(code)
+        ctx = SumContext(max_abs=0.0, n_hint=0)
+        assert alg.sum_array(np.array([]), ctx) == 0.0
+
+    def test_single_value(self, code):
+        alg = get_algorithm(code)
+        ctx = SumContext(max_abs=3.5, n_hint=1)
+        assert alg.sum_array(np.array([3.5]), ctx) == 3.5
+
+    def test_accumulator_matches_reasonable_accuracy(self, code):
+        rng = np.random.default_rng(17)
+        x = rng.uniform(-1.0, 1.0, 300)
+        exact = exact_sum_fraction(x)
+        ctx = SumContext.for_data(x)
+        acc = get_algorithm(code).make_accumulator(ctx)
+        acc.add_array(x)
+        err = abs(float(Fraction(acc.result()) - exact))
+        # even plain ST on 300 moderate values errs < n*u*sum|x|
+        assert err <= 300 * UNIT_ROUNDOFF * float(np.sum(np.abs(x)))
+
+    def test_merge_of_halves(self, code):
+        rng = np.random.default_rng(23)
+        x = rng.uniform(-100.0, 100.0, 200)
+        ctx = SumContext.for_data(x)
+        alg = get_algorithm(code)
+        a = alg.make_accumulator(ctx)
+        a.add_array(x[:100])
+        b = alg.make_accumulator(ctx)
+        b.add_array(x[100:])
+        a.merge(b)
+        exact = exact_sum_fraction(x)
+        err = abs(float(Fraction(a.result()) - exact))
+        assert err <= 400 * UNIT_ROUNDOFF * float(np.sum(np.abs(x)))
+
+
+class TestAccuracyOrdering:
+    """The paper's central quality ranking on a hostile workload."""
+
+    @pytest.fixture(scope="class")
+    def errors(self):
+        from repro.generators import zero_sum_set
+
+        data = zero_sum_set(4096, dr=32, seed=3)
+        ctx = SumContext.for_data(data)
+        out = {}
+        for code in ("ST", "K", "CP", "PR", "DD", "KBN", "EX"):
+            v = get_algorithm(code).sum_array(data, ctx)
+            out[code] = abs(v)  # exact sum is zero
+        return out
+
+    def test_st_worst(self, errors):
+        assert errors["ST"] >= max(errors["K"], errors["CP"], errors["PR"])
+
+    def test_cp_at_least_as_good_as_kahan(self, errors):
+        assert errors["CP"] <= errors["K"] or errors["CP"] == 0.0
+
+    def test_exact_and_pr_nail_zero(self, errors):
+        assert errors["EX"] == 0.0
+        assert errors["PR"] == 0.0
+
+    def test_dd_high_quality(self, errors):
+        assert errors["DD"] <= errors["K"]
+
+
+class TestStandard:
+    def test_sequential_semantics(self):
+        # ST must reproduce the literal left-to-right loop bitwise
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, 1000)
+        s = 0.0
+        for v in x.tolist():
+            s += v
+        assert get_algorithm("ST").sum_array(x) == s
+
+    def test_pairwise_differs_from_sequential_sometimes(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(-1, 1, 10_000)
+        st_v = get_algorithm("ST").sum_array(x)
+        pw_v = get_algorithm("PW").sum_array(x)
+        # not asserting inequality (could coincide), but both near exact
+        exact = exact_sum_fraction(x)
+        assert abs(float(Fraction(pw_v) - exact)) <= abs(
+            float(Fraction(st_v) - exact)
+        ) + 1e-10
+
+
+class TestKahanClassic:
+    def test_add_matches_textbook_loop(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1, 1, 500)
+        acc = get_algorithm("K").make_accumulator()
+        s = c = 0.0
+        for v in x.tolist():
+            acc.add(v)
+            y = v - c
+            t = s + y
+            c = (t - s) - y
+            s = t
+        assert acc.result() == s
+
+    def test_kahan_beats_st_on_classic_case(self):
+        # the 1, u, u, u... pattern ST loses entirely
+        n = 10_000
+        x = np.full(n, UNIT_ROUNDOFF)
+        x[0] = 1.0
+        st_v = get_algorithm("ST").sum_array(x)
+        acc = get_algorithm("K").make_accumulator()
+        for v in x.tolist():
+            acc.add(v)
+        exact = Fraction(1) + (n - 1) * Fraction(UNIT_ROUNDOFF)
+        assert abs(float(Fraction(acc.result()) - exact)) < abs(
+            float(Fraction(st_v) - exact)
+        )
+
+    def test_neumaier_handles_large_then_small(self):
+        x = np.array([1.0, 1e100, 1.0, -1e100])
+        kbn = get_algorithm("KBN").make_accumulator()
+        for v in x.tolist():
+            kbn.add(v)
+        assert kbn.result() == 2.0
+
+
+class TestComposite:
+    def test_error_propagated_not_folded(self):
+        acc = get_algorithm("CP").make_accumulator()
+        acc.add(1e16)
+        acc.add(1.0)  # absorbed by ST, held in e by CP
+        acc.add(-1e16)
+        assert acc.result() == 1.0
+
+    @given(small_lists)
+    @settings(max_examples=40)
+    def test_cp_sum_error_second_order(self, xs):
+        x = np.array(xs, dtype=np.float64)
+        v = get_algorithm("CP").sum_array(x)
+        exact = exact_sum_fraction(x)
+        t = float(np.sum(np.abs(x))) if x.size else 0.0
+        bound = (
+            2 * UNIT_ROUNDOFF * abs(float(exact))
+            + (4 * max(len(xs), 1) * UNIT_ROUNDOFF) ** 2 * t
+            + 5e-324
+        )
+        assert abs(float(Fraction(v) - exact)) <= bound
+
+
+class TestSortedOrders:
+    def test_conventional_wisdom_ascending_for_same_sign(self):
+        from repro.summation import conventional_wisdom_order
+
+        x = np.array([3.0, 1.0, 2.0])
+        assert conventional_wisdom_order(x).tolist() == [1.0, 2.0, 3.0]
+
+    def test_conventional_wisdom_descending_for_mixed(self):
+        from repro.summation import conventional_wisdom_order
+
+        x = np.array([3.0, -1.0, 2.0])
+        assert conventional_wisdom_order(x).tolist() == [3.0, 2.0, -1.0]
+
+    def test_buffering_accumulator_order_invariant(self):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(-1, 1, 200)
+        alg = get_algorithm("SO")
+        a = alg.make_accumulator()
+        a.add_array(x)
+        b = alg.make_accumulator()
+        b.add_array(x[::-1].copy())
+        assert a.result() == b.result()
+
+    def test_merge_concatenates(self):
+        alg = get_algorithm("SO")
+        a = alg.make_accumulator()
+        a.add(1.0)
+        b = alg.make_accumulator()
+        b.add(2.0)
+        a.merge(b)
+        assert a.result() == 3.0

@@ -1,0 +1,90 @@
+"""Reduction tracing and bitwise replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import zero_sum_set
+from repro.mpi import ReductionTrace, SimComm, make_reduction_op, record, replay
+from repro.summation import get_algorithm
+from repro.trees import balanced, random_shape, serial
+
+
+@pytest.fixture
+def setup():
+    data = zero_sum_set(4000, dr=24, seed=0)
+    comm = SimComm(8)
+    return comm.scatter_array(data)
+
+
+class TestRecordReplay:
+    @pytest.mark.parametrize("code", ["ST", "K", "CP", "PR"])
+    @pytest.mark.parametrize("shape_fn", [balanced, serial])
+    def test_roundtrip_bitwise(self, setup, code, shape_fn):
+        op = make_reduction_op(get_algorithm(code))
+        value, trace = record(setup, op, shape_fn(8))
+        assert replay(trace) == value
+
+    def test_json_roundtrip(self, setup):
+        op = make_reduction_op(get_algorithm("ST"))
+        value, trace = record(setup, op, random_shape(8, seed=1))
+        loaded = ReductionTrace.from_json(trace.to_json())
+        assert replay(loaded) == value
+
+    def test_trace_captures_nondeterministic_run(self):
+        """The debugging workflow: trap a suspicious nondeterministic run's
+        tree, replay it deterministically."""
+        data = zero_sum_set(4000, dr=24, seed=2)
+        comm = SimComm(12, seed=3)
+        chunks = comm.scatter_array(data)
+        op = make_reduction_op(get_algorithm("ST"))
+        res = comm.reduce_nondeterministic(chunks, op, jitter=0.5)
+        value, trace = record(chunks, op, res.tree)
+        assert value == res.value
+        assert replay(trace) == res.value
+
+    def test_verify_detects_tampering(self, setup):
+        op = make_reduction_op(get_algorithm("ST"))
+        _, trace = record(setup, op, balanced(8))
+        broken = ReductionTrace.from_json(
+            trace.to_json().replace(trace.recorded_value_hex, (1.5).hex())
+        )
+        with pytest.raises(RuntimeError, match="replay mismatch"):
+            replay(broken)
+        # verify=False returns the recomputed value regardless
+        assert replay(broken, verify=False) == replay(trace)
+
+    def test_pr_context_preserved(self, setup):
+        """PR's bin exponent must survive the round trip (it is part of the
+        bitwise contract)."""
+        op = make_reduction_op(get_algorithm("PR"))
+        value, trace = record(setup, op, balanced(8))
+        assert trace.context_max_abs is not None
+        assert replay(trace) == value
+
+    def test_mismatched_tree_rejected(self, setup):
+        op = make_reduction_op(get_algorithm("ST"))
+        with pytest.raises(ValueError, match="leaf count"):
+            record(setup, op, balanced(5))
+
+    def test_corrupt_chunk_lengths_rejected(self, setup):
+        op = make_reduction_op(get_algorithm("ST"))
+        _, trace = record(setup, op, balanced(8))
+        bad = ReductionTrace(
+            algorithm_code=trace.algorithm_code,
+            n_ranks=trace.n_ranks,
+            schedule=trace.schedule,
+            chunk_lengths=tuple([*trace.chunk_lengths[:-1], trace.chunk_lengths[-1] + 1]),
+            data_hex=trace.data_hex,
+            context_max_abs=trace.context_max_abs,
+            recorded_value_hex=trace.recorded_value_hex,
+        )
+        with pytest.raises(ValueError, match="corrupt trace"):
+            replay(bad)
+
+    def test_single_rank_trace(self):
+        op = make_reduction_op(get_algorithm("CP"))
+        value, trace = record([np.array([1.0, 2.0, 3.0])], op, balanced(1))
+        assert value == 6.0
+        assert replay(trace) == 6.0

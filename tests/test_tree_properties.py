@@ -1,0 +1,84 @@
+"""Hypothesis-driven structural properties of reduction trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summation import get_algorithm
+from repro.trees import (
+    balanced,
+    evaluate_tree_generic,
+    from_parent_array,
+    random_shape,
+    serial,
+    skewed,
+)
+
+
+@st.composite
+def trees(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    kind = draw(st.sampled_from(["balanced", "serial", "random", "skewed"]))
+    if kind == "balanced":
+        return balanced(n)
+    if kind == "serial":
+        return serial(n)
+    if kind == "skewed":
+        return skewed(n, draw(st.floats(min_value=0.0, max_value=1.0)))
+    return random_shape(n, seed=draw(st.integers(0, 2**31 - 1)))
+
+
+class TestStructuralInvariants:
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_parent_array_roundtrip_preserves_semantics(self, tree):
+        """parents() -> from_parent_array() yields a tree computing the same
+        value for every (sequential-semantics) algorithm."""
+        rebuilt = from_parent_array(tree.parents(), tree.n_leaves)
+        rebuilt.validate()
+        x = np.linspace(0.1, 1.0, tree.n_leaves) * np.resize(
+            [1.0, -1.0], tree.n_leaves
+        )
+        for code in ("ST", "EX"):
+            alg = get_algorithm(code)
+            assert evaluate_tree_generic(rebuilt, x, alg) == evaluate_tree_generic(
+                tree, x, alg
+            )
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_depth_bounds(self, tree):
+        import math
+
+        d = tree.depth()
+        n = tree.n_leaves
+        lo = math.ceil(math.log2(n)) if n > 1 else 0
+        assert lo <= d <= max(n - 1, 0)
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_leaf_depths_consistent(self, tree):
+        ld = tree.leaf_depths()
+        assert ld.size == tree.n_leaves
+        assert int(ld.max()) == tree.depth() if tree.n_leaves > 1 else True
+        if tree.n_leaves > 1:
+            assert int(ld.min()) >= 1
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_oracle_value_shape_free(self, tree):
+        """Whatever the shape, the exact oracle computes the exact sum."""
+        rng = np.random.default_rng(tree.n_leaves)
+        x = rng.uniform(-1e6, 1e6, tree.n_leaves)
+        from repro.exact import exact_sum
+
+        assert evaluate_tree_generic(tree, x, get_algorithm("EX")) == exact_sum(x)
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_node_counts(self, tree):
+        assert tree.n_nodes == 2 * tree.n_leaves - 1
+        assert tree.schedule.shape == (max(tree.n_leaves - 1, 0), 2)

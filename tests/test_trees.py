@@ -1,0 +1,215 @@
+"""Reduction-tree model: structure, shapes, evaluation equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summation import SumContext, get_algorithm
+from repro.trees import (
+    ReductionTree,
+    balanced,
+    evaluate_balanced_vectorized,
+    evaluate_ensemble,
+    evaluate_tree,
+    evaluate_tree_generic,
+    from_parent_array,
+    random_shape,
+    serial,
+    serial_ensemble_standard,
+    serial_ensemble_vops,
+    skewed,
+)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 1023])
+    def test_balanced_valid_and_log_depth(self, n):
+        t = balanced(n)
+        t.validate()
+        assert t.n_leaves == n
+        if n > 1:
+            import math
+
+            assert t.depth() == math.ceil(math.log2(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 50])
+    def test_serial_valid_and_linear_depth(self, n):
+        t = serial(n)
+        t.validate()
+        assert t.depth() == n - 1
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_random_shape_always_valid(self, n, seed):
+        t = random_shape(n, seed=seed)
+        t.validate()
+        assert serial(n).depth() >= t.depth() >= balanced(n).depth()
+
+    @pytest.mark.parametrize("skew", [0.0, 0.3, 0.7, 1.0])
+    def test_skewed_valid(self, skew):
+        t = skewed(100, skew)
+        t.validate()
+
+    def test_skew_interpolates_depth(self):
+        depths = [skewed(256, s).depth() for s in (0.0, 0.5, 1.0)]
+        assert depths[0] < depths[1] < depths[2]
+
+    def test_leaf_depths(self):
+        t = serial(4)
+        assert t.leaf_depths().tolist() == [3, 3, 2, 1]
+        tb = balanced(4)
+        assert tb.leaf_depths().tolist() == [2, 2, 2, 2]
+
+    def test_parents_consistency(self):
+        t = balanced(8)
+        p = t.parents()
+        assert (p[: t.root_slot] >= 0).all()
+        assert p[t.root_slot] == -1
+
+    def test_networkx_export(self):
+        g = balanced(8).to_networkx()
+        assert g.number_of_nodes() == 15
+        assert g.number_of_edges() == 14
+
+    def test_schedule_validation_catches_garbage(self):
+        sched = np.array([[0, 0]])
+        with pytest.raises(ValueError, match="consumed twice"):
+            ReductionTree(n_leaves=2, schedule=sched).validate()
+        sched = np.array([[0, 5]])
+        with pytest.raises(ValueError, match="does not exist"):
+            ReductionTree(n_leaves=2, schedule=sched).validate()
+
+    def test_bad_schedule_shape(self):
+        with pytest.raises(ValueError, match="schedule shape"):
+            ReductionTree(n_leaves=3, schedule=np.zeros((1, 2), dtype=np.int64))
+
+    def test_from_parent_array_roundtrip(self):
+        # build a parent array for serial(3): leaves 0,1,2; internals 3,4
+        parent = [3, 3, 4, 4, -1]
+        t = from_parent_array(parent, 3)
+        t.validate()
+        x = np.array([1.0, 2.0, 3.0])
+        assert evaluate_tree_generic(t, x, get_algorithm("ST")) == 6.0
+
+    def test_from_parent_array_rejects_non_full(self):
+        with pytest.raises(ValueError):
+            from_parent_array([1, -1, 1], 2)  # node 1 has 2 children? -> [1,-1,1] has children {0,2}: full. use broken one
+        with pytest.raises(ValueError):
+            from_parent_array([2, 2, -1, 2], 3)  # wrong node count
+
+
+class TestEvaluationEquivalence:
+    """Fast paths must match the literal node-walk bitwise."""
+
+    @pytest.mark.parametrize("code", ["ST", "K", "CP", "DD", "PR", "EX"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 256, 1001])
+    def test_balanced_fast_path(self, code, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(-1e3, 1e3, n)
+        alg = get_algorithm(code)
+        ctx = SumContext.for_data(x)
+        generic = evaluate_tree_generic(balanced(n), x, alg, ctx)
+        fast = evaluate_tree(balanced(n), x, alg, ctx)
+        assert generic == fast
+
+    @pytest.mark.parametrize("code", ["ST", "K", "CP", "DD"])
+    @pytest.mark.parametrize("n", [2, 3, 40, 333])
+    def test_serial_fast_path(self, code, n):
+        rng = np.random.default_rng(n + 1)
+        x = rng.uniform(-1e3, 1e3, n)
+        alg = get_algorithm(code)
+        generic = evaluate_tree_generic(serial(n), x, alg)
+        fast = evaluate_tree(serial(n), x, alg)
+        assert generic == fast
+
+    def test_serial_batch_standard_matches(self):
+        rng = np.random.default_rng(10)
+        x = rng.uniform(-1, 1, 500)
+        perms = np.vstack([rng.permutation(500) for _ in range(8)])
+        batch = serial_ensemble_standard(x[perms])
+        for row, p in zip(batch, perms):
+            assert row == evaluate_tree_generic(serial(500), x[p], get_algorithm("ST"))
+
+    @pytest.mark.parametrize("code", ["K", "CP", "DD"])
+    def test_serial_batch_vops_matches(self, code):
+        rng = np.random.default_rng(11)
+        x = rng.uniform(-1e6, 1e6, 200)
+        alg = get_algorithm(code)
+        perms = np.vstack([rng.permutation(200) for _ in range(5)])
+        batch = serial_ensemble_vops(x[perms], alg.vector_ops)
+        for row, p in zip(batch, perms):
+            assert row == evaluate_tree_generic(serial(200), x[p], alg)
+
+    def test_force_generic_flag(self):
+        rng = np.random.default_rng(12)
+        x = rng.uniform(-1, 1, 64)
+        v1 = evaluate_tree(balanced(64), x, get_algorithm("CP"), force_generic=True)
+        v2 = evaluate_tree(balanced(64), x, get_algorithm("CP"))
+        assert v1 == v2
+
+    def test_single_leaf(self):
+        t = balanced(1)
+        assert evaluate_tree(t, np.array([42.0]), get_algorithm("ST")) == 42.0
+
+    def test_wrong_data_size_raises(self):
+        with pytest.raises(ValueError, match="operands"):
+            evaluate_tree_generic(balanced(4), np.ones(5), get_algorithm("ST"))
+
+    def test_exact_oracle_tree_invariant(self):
+        """Any tree shape reduces to the exact sum under the oracle."""
+        rng = np.random.default_rng(13)
+        x = rng.uniform(-1e10, 1e10, 129)
+        alg = get_algorithm("EX")
+        vals = {
+            evaluate_tree_generic(t, x, alg)
+            for t in (balanced(129), serial(129), random_shape(129, seed=5))
+        }
+        assert len(vals) == 1
+
+
+class TestEnsembles:
+    def test_first_tree_is_identity_assignment(self, nasty_set):
+        alg = get_algorithm("ST")
+        res = evaluate_ensemble(nasty_set, "balanced", alg, 5, seed=1)
+        direct = evaluate_balanced_vectorized(nasty_set, alg)
+        assert res[0] == direct
+
+    def test_deterministic_algorithms_tiled(self, nasty_set):
+        res = evaluate_ensemble(nasty_set, "serial", get_algorithm("PR"), 7, seed=2)
+        assert np.unique(res).size == 1
+
+    def test_seeded_reproducibility(self, nasty_set):
+        a = evaluate_ensemble(nasty_set, "balanced", get_algorithm("ST"), 10, seed=42)
+        b = evaluate_ensemble(nasty_set, "balanced", get_algorithm("ST"), 10, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, nasty_set):
+        a = evaluate_ensemble(nasty_set, "balanced", get_algorithm("ST"), 10, seed=1)
+        b = evaluate_ensemble(nasty_set, "balanced", get_algorithm("ST"), 10, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_serial_st_batching_boundary(self):
+        # exercise the multi-batch path with a tiny batch budget
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, 100)
+        res_small = evaluate_ensemble(
+            x, "serial", get_algorithm("ST"), 9, seed=5, batch_elems=150
+        )
+        res_big = evaluate_ensemble(
+            x, "serial", get_algorithm("ST"), 9, seed=5, batch_elems=1 << 24
+        )
+        assert np.array_equal(res_small, res_big)
+
+    def test_bad_shape_rejected(self, nasty_set):
+        with pytest.raises(ValueError, match="balanced"):
+            evaluate_ensemble(nasty_set, "spiral", get_algorithm("ST"), 3, seed=1)
+
+    def test_spread_ordering_st_k_cp(self, nasty_set):
+        spreads = {}
+        for code in ("ST", "K", "CP"):
+            vals = evaluate_ensemble(nasty_set, "serial", get_algorithm(code), 30, seed=7)
+            spreads[code] = float(vals.max() - vals.min())
+        assert spreads["ST"] >= spreads["K"] >= spreads["CP"]

@@ -1,0 +1,132 @@
+"""Utility layer: RNG plumbing, chunking, timing, parallel map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Stopwatch,
+    TimingResult,
+    derive_seed,
+    iter_chunks,
+    map_parallel,
+    permutation_stream,
+    resolve_rng,
+    safe_block_len,
+    spawn,
+    split_indices,
+    time_callable,
+)
+
+
+class TestRng:
+    def test_resolve_int_deterministic(self):
+        a = resolve_rng(5).random(3)
+        b = resolve_rng(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_resolve_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert resolve_rng(g) is g
+
+    def test_spawn_children_independent(self):
+        kids = spawn(7, 3)
+        draws = [g.random() for g in kids]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+    def test_derive_seed_stable_and_sensitive(self):
+        s1 = derive_seed(1, "fig7", 8)
+        s2 = derive_seed(1, "fig7", 8)
+        s3 = derive_seed(1, "fig7", 9)
+        s4 = derive_seed(2, "fig7", 8)
+        assert s1 == s2
+        assert len({s1, s3, s4}) == 3
+        assert 0 <= s1 < 2**63
+
+    def test_permutation_stream_first_identity(self):
+        perms = list(permutation_stream(5, 3, seed=1))
+        assert perms[0].tolist() == [0, 1, 2, 3, 4]
+        assert sorted(perms[1].tolist()) == [0, 1, 2, 3, 4]
+
+    def test_permutation_stream_validation(self):
+        with pytest.raises(ValueError):
+            list(permutation_stream(-1, 2))
+
+
+class TestChunking:
+    def test_safe_block_len(self):
+        assert safe_block_len(53, 63) == 1024
+        with pytest.raises(ValueError):
+            safe_block_len(64, 63)
+
+    def test_iter_chunks_cover(self):
+        slices = list(iter_chunks(10, 3))
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(10))
+
+    def test_iter_chunks_bad_block(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(10, 0))
+
+    def test_split_indices_balanced(self):
+        parts = split_indices(17, 5)
+        sizes = [s.stop - s.start for s in parts]
+        assert sum(sizes) == 17
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_indices_bad(self):
+        with pytest.raises(ValueError):
+            split_indices(5, 0)
+
+
+class TestTiming:
+    def test_time_callable_stats(self):
+        r = time_callable(lambda: sum(range(100)), label="t", repeats=3, warmup=1)
+        assert len(r.samples) == 3
+        assert r.best <= r.mean <= r.worst
+
+    def test_penalty(self):
+        a = TimingResult("a", (1.0, 1.0))
+        b = TimingResult("b", (2.0, 2.0))
+        assert b.penalty_vs(a) == 2.0
+        with pytest.raises(ZeroDivisionError):
+            a.penalty_vs(TimingResult("z", (0.0,)))
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            pass
+        assert sw.elapsed >= first >= 0.0
+
+
+class TestParallel:
+    def test_serial_fallback_small(self):
+        assert map_parallel(lambda x: x * 2, [1, 2], workers=8) == [2, 4]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(12))
+        serial = map_parallel(_square, items, workers=1)
+        parallel = map_parallel(_square, items, workers=3)
+        assert serial == parallel == [i * i for i in items]
+
+    def test_order_preserved(self):
+        out = map_parallel(_square, list(range(20)), workers=4)
+        assert out == [i * i for i in range(20)]
+
+
+def _square(x: int) -> int:
+    return x * x
