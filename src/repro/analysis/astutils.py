@@ -1,0 +1,110 @@
+"""Small AST helpers shared by the FP001–FP008 rules.
+
+Nothing here is rule-specific: expression identity, dotted-name resolution,
+float-literal classification and parent/scope walking.  Rules stay readable
+because the fiddly AST bookkeeping lives in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from fractions import Fraction
+from typing import Iterator, Optional
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "expr_key",
+    "is_float_literal",
+    "literal_float_value",
+    "is_exact_dyadic",
+    "walk_functions",
+    "iter_loops",
+]
+
+#: Denominator cap for "exactly representable on purpose" decimal literals.
+#: 3.5 (=7/2), 0.25, 6.5 ... are dyadic with tiny denominators and compare
+#: exactly; 0.1 or 15.95 are rounded decimals whose float value is not the
+#: mathematical value written in the source.
+_DYADIC_DENOM_CAP = 1 << 16
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``np.random.seed`` -> ``"np.random.seed"``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee, or None for computed callees."""
+    return dotted_name(node.func)
+
+
+_CTX_RE = re.compile(r"(?:Load|Store|Del)\(\)")
+
+
+def expr_key(node: ast.AST) -> str:
+    """Structural identity of an expression (ignores positions and Load/Store
+    context, so an assignment *target* matches later *usages*).
+
+    Used by FP004 to recognise ``(t - s)`` as "the same ``t`` and ``s``"
+    seen in an earlier ``t = s + y`` assignment.
+    """
+    dump = ast.dump(node, annotate_fields=False, include_attributes=False)
+    return _CTX_RE.sub("Ctx()", dump)
+
+
+def is_float_literal(node: ast.AST) -> bool:
+    """True for ``1.5`` and for ``-1.5`` (unary minus on a float constant)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def literal_float_value(node: ast.AST) -> Optional[float]:
+    """The float value of a (possibly signed) float literal, else None."""
+    sign = 1.0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        if isinstance(node.op, ast.USub):
+            sign = -1.0
+        node = node.operand
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return sign * node.value
+    return None
+
+
+def is_exact_dyadic(value: float) -> bool:
+    """True when ``value`` is a dyadic rational with a small denominator.
+
+    Such literals (0.0, 0.5, 3.25, ...) denote exactly the double they parse
+    to, so exact comparison against them can be intentional; literals like
+    0.1 or 15.95 are decimal approximations and exact comparison against
+    them is almost always a tolerance bug.
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        return False
+    frac = Fraction(value)
+    return frac.denominator <= _DYADIC_DENOM_CAP
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield every function/async-function/lambda-free scope node plus the
+    module itself, outermost first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def iter_loops(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield every ``for``/``while`` loop node."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            yield node

@@ -1,0 +1,268 @@
+"""Rule framework for the FP-safety & determinism linter.
+
+A :class:`Rule` inspects one parsed file (a :class:`FileContext`) and yields
+:class:`Finding` records.  Rules register themselves in a module-level
+registry keyed by rule id — the same last-write-wins pattern as
+:mod:`repro.summation.registry` — so the CLI, the self-lint gate and the
+docs generator all iterate one authoritative catalogue.
+
+Suppressions
+------------
+A finding is suppressed by an inline comment on the *flagged line* or on the
+comment line immediately above it::
+
+    if x == 0.0:  # repro: allow[FP001] -- exact-zero is the sentinel here
+        ...
+
+    # repro: allow[FP002,FP003] -- naive on purpose: this IS the baseline alg
+    total = np.sum(values)
+
+The optional ``-- reason`` tail is encouraged: it is the paper trail a
+reviewer reads instead of re-deriving why the hazard is intentional.
+``allow[*]`` suppresses every rule on the target line.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "parse_suppressions",
+    "RULE_ID_PATTERN",
+]
+
+#: Rule ids look like ``FP001``; ``*`` is the wildcard in suppressions.
+RULE_ID_PATTERN = re.compile(r"^FP\d{3}$")
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9*,\s]+)\]")
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; the CLI can gate on a minimum level."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One hazard at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str  # posix-style, as handed to the engine
+    line: int  # 1-based
+    col: int  # 0-based
+    message: str
+    snippet: str = ""  # stripped source line, used for the baseline fingerprint
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the JSON baseline.
+
+        Moving a line must not invalidate the baseline, so the fingerprint is
+        (rule, file, normalised source text); duplicates on different lines
+        are disambiguated by the baseline's per-fingerprint counts.
+        """
+        norm = " ".join(self.snippet.split())
+        return f"{self.rule_id}|{PurePosixPath(self.path).as_posix()}|{norm}"
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file (parsed once, shared)."""
+
+    path: str  # posix-style display path
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def is_test(self) -> bool:
+        """True for files under a ``tests/`` directory or named ``test_*.py``."""
+        p = PurePosixPath(self.path)
+        return "tests" in p.parts or p.name.startswith("test_")
+
+    @property
+    def module_parts(self) -> Tuple[str, ...]:
+        return PurePosixPath(self.path).parts
+
+    def in_package(self, *fragments: str) -> bool:
+        """True when any ``fragment`` (e.g. ``"repro/fp"``) is a subpath."""
+        posix = PurePosixPath(self.path).as_posix()
+        return any(f"/{frag}/" in f"/{posix}" or posix.startswith(frag) for frag in fragments)
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule.id,
+            severity=rule.severity if severity is None else severity,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.line_at(line),
+        )
+
+
+class Rule(abc.ABC):
+    """One static check with a stable id, severity and rationale.
+
+    Subclasses set the class attributes and implement :meth:`check`; the
+    docstring-adjacent ``rationale`` feeds ``repro-lint --list-rules`` and
+    ``docs/LINT.md``.
+    """
+
+    #: stable id, e.g. ``"FP001"``
+    id: str = "FP000"
+    #: one-line human title
+    title: str = "?"
+    #: default severity of findings
+    severity: Severity = Severity.WARNING
+    #: why this hazard matters for reproducible reductions
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path-based gating)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Rule {self.id}: {self.title}>"
+
+
+# -- registry (mirrors repro.summation.registry) ------------------------------
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule instance to the registry (last write wins)."""
+    if not RULE_ID_PATTERN.match(rule.id):
+        raise ValueError(f"bad rule id {rule.id!r}; expected FPnnn")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by id (``"FP001"`` ... ``"FP008"``)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def _ensure_loaded() -> None:
+    # The concrete rules live in repro.analysis.rules, which registers on
+    # import; importing lazily here avoids a base <-> rules import cycle.
+    if not _REGISTRY:
+        import repro.analysis.rules  # noqa: F401
+
+
+# -- suppressions -------------------------------------------------------------
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule ids (``"*"`` = all).
+
+    A ``# repro: allow[...]`` comment suppresses its own line; a *standalone*
+    comment line (nothing but the comment) also suppresses the next line, so
+    formatters that push trailing comments onto their own line don't silently
+    re-arm findings.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(text)
+        if not m:
+            continue
+        ids = {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
+        for tok in ids:
+            if tok != "*" and not RULE_ID_PATTERN.match(tok):
+                # Malformed ids are ignored rather than fatal: a typo in a
+                # suppression should surface the finding, not crash the lint.
+                continue
+        targets = [lineno]
+        if text.lstrip().startswith("#"):
+            targets.append(lineno + 1)
+        for t in targets:
+            suppressed.setdefault(t, set()).update(ids)
+    return suppressed
+
+
+def is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    ids = suppressions.get(finding.line)
+    if not ids:
+        return False
+    return "*" in ids or finding.rule_id in ids
+
+
+def iter_findings(
+    rules: Iterable[Rule], ctx: FileContext
+) -> Iterator[Finding]:
+    """Run every applicable rule over one file context."""
+    for rule in rules:
+        if rule.applies_to(ctx):
+            yield from rule.check(ctx)

@@ -1,0 +1,76 @@
+"""JSON baseline: accepted legacy findings for ``repro-lint --baseline``.
+
+A baseline lets the linter land on a brownfield codebase at full strictness:
+known findings are recorded once (``--write-baseline``), the gate fails only
+on *new* findings, and the recorded debt burns down as entries are fixed.
+Matching is by :meth:`Finding.fingerprint` — (rule, file, normalised source
+text) — so reformatting or moving a line does not invalidate the baseline,
+while editing the flagged expression does.  Identical lines in one file are
+handled with per-fingerprint counts (a multiset), so adding a *second* copy
+of a baselined hazard still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.base import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of accepted finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        counts: Counter = Counter()
+        for entry in data.get("entries", []):
+            counts[entry["fingerprint"]] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str | Path) -> None:
+        entries = [
+            {"fingerprint": fp, "count": n}
+            for fp, n in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined), consuming multiset counts."""
+        budget = Counter(self.counts)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for f in findings:
+            fp = f.fingerprint()
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

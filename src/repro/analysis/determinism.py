@@ -1,0 +1,193 @@
+"""Static determinism audit of operator × tree-nondeterminism combinations.
+
+The empirical :func:`repro.selection.certify.certify` *measures* variability;
+this module *derives* it from first principles, so the certify path can say
+not only "the spread was zero in 100 trials" but "the spread is zero in all
+trials, because the operator's merge is exactly associative and commutative".
+The distinction matters at the extreme scale the paper targets: an ensemble
+samples a vanishing fraction of the ``(2n-3)!!`` parenthetic forms, while the
+static argument covers all of them.
+
+The audit crosses two axes:
+
+* **Operator order-sensitivity** — from the registry's ``deterministic``
+  flag: prerounded/exact accumulators merge in integer arithmetic
+  (associative *and* commutative, hence bitwise order-independent); ST, K
+  and CP round at every merge and are order-sensitive.
+* **Schedule nondeterminism** — which of the :mod:`repro.mpi` /
+  :mod:`repro.trees` configuration knobs make the realised reduction tree
+  (shape × leaf order) vary run to run: arrival-order reduction with
+  ``jitter > 0``, fault injection (tree reshapes around stalled ranks),
+  unseeded random shapes, and leaf permutation ensembles.
+
+Verdicts: ``BITWISE`` (order-independent operator — any tree, any order,
+same bits), ``CONDITIONAL`` (order-sensitive operator on a deterministic
+schedule — reproducible until the schedule changes), ``NONDETERMINISTIC``
+(order-sensitive operator meeting a varying schedule — the paper's hazard).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.summation.registry import get_algorithm
+
+__all__ = [
+    "Verdict",
+    "DeterminismReport",
+    "audit_reduction",
+    "audit_shapes",
+]
+
+#: Shape kinds whose construction is a pure function of ``n`` (no RNG).
+_FIXED_SHAPES = {"balanced", "serial", "skewed"}
+#: Shape kinds drawn from an RNG (deterministic only when seeded).
+_RANDOM_SHAPES = {"random", "arrival"}
+
+
+class Verdict(enum.Enum):
+    """Static reproducibility classification of one configuration."""
+
+    BITWISE = "bitwise"  # same bits under every reduction order
+    CONDITIONAL = "conditional"  # same bits while the schedule stays fixed
+    NONDETERMINISTIC = "nondeterministic"  # bits vary run to run
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    """Derivation of a configuration's reproducibility class."""
+
+    algorithm_code: str
+    verdict: Verdict
+    order_independent_op: bool
+    schedule_varies: bool
+    hazards: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def bitwise_guaranteed(self) -> bool:
+        return self.verdict is Verdict.BITWISE
+
+    def explain(self) -> str:
+        head = f"{self.algorithm_code}: {self.verdict}"
+        if not self.hazards:
+            return head
+        return head + " (" + "; ".join(self.hazards) + ")"
+
+
+def audit_reduction(
+    algorithm_code: str,
+    *,
+    shape: str = "balanced",
+    seeded: bool = True,
+    permuted_leaves: bool = False,
+    jitter: float = 0.0,
+    fault_prob: float = 0.0,
+) -> DeterminismReport:
+    """Statically classify one operator × schedule configuration.
+
+    Parameters mirror the knobs of :mod:`repro.trees.shapes` and
+    :mod:`repro.mpi.nondet` / :mod:`repro.mpi.faults`:
+
+    ``shape``
+        A :func:`repro.trees.shapes` kind (``"balanced"``, ``"serial"``,
+        ``"skewed"``, ``"random"``) or ``"arrival"`` for arrival-order
+        reduction through the simulated communicator.
+    ``seeded``
+        Whether every RNG involved is derived from an explicit seed
+        (unseeded = fresh OS entropy per run).
+    ``permuted_leaves``
+        Whether leaves are permuted across runs (the ensemble methodology).
+    ``jitter`` / ``fault_prob``
+        Arrival-order spread and rank-stall probability; either one makes
+        the realised tree shape a random variable.
+    """
+    if shape not in _FIXED_SHAPES | _RANDOM_SHAPES:
+        raise ValueError(
+            f"unknown shape {shape!r}; known: {sorted(_FIXED_SHAPES | _RANDOM_SHAPES)}"
+        )
+    if jitter < 0 or not 0.0 <= fault_prob <= 1.0:
+        raise ValueError("bad jitter/fault_prob")
+    alg = get_algorithm(algorithm_code)
+
+    hazards = []
+    if shape in _RANDOM_SHAPES and not seeded:
+        hazards.append(f"{shape} tree drawn from unseeded RNG")
+    if shape == "arrival" and jitter > 0.0:
+        hazards.append(f"arrival order varies with jitter={jitter:g}")
+    if fault_prob > 0.0:
+        hazards.append(
+            f"fault injection (p={fault_prob:g}) reshapes the tree around stalls"
+        )
+    if permuted_leaves:
+        hazards.append("leaf permutation varies the operand order")
+    schedule_varies = bool(hazards)
+
+    if alg.deterministic:
+        # Exactly associative + commutative merges: the schedule is irrelevant.
+        return DeterminismReport(
+            algorithm_code=alg.code,
+            verdict=Verdict.BITWISE,
+            order_independent_op=True,
+            schedule_varies=schedule_varies,
+            hazards=(),
+        )
+    if not schedule_varies:
+        hazards = [
+            "operator rounds at each merge; reproducible only while the "
+            "schedule (shape, leaf order, rank count) stays fixed"
+        ]
+        return DeterminismReport(
+            algorithm_code=alg.code,
+            verdict=Verdict.CONDITIONAL,
+            order_independent_op=False,
+            schedule_varies=False,
+            hazards=tuple(hazards),
+        )
+    return DeterminismReport(
+        algorithm_code=alg.code,
+        verdict=Verdict.NONDETERMINISTIC,
+        order_independent_op=False,
+        schedule_varies=True,
+        hazards=tuple(hazards),
+    )
+
+
+def audit_shapes(
+    algorithm_code: str,
+    shapes: Sequence[str],
+    *,
+    permuted_leaves: bool = True,
+    seeded: bool = True,
+) -> DeterminismReport:
+    """Worst-case audit over an ensemble's shape list (the certify path).
+
+    The certify ensemble evaluates every shape with permuted leaves; the
+    combined verdict is the weakest individual one, so an order-sensitive
+    operator anywhere in the sweep downgrades the report.
+    """
+    if not shapes:
+        raise ValueError("need at least one shape")
+    reports = [
+        audit_reduction(
+            algorithm_code,
+            shape=shape,
+            seeded=seeded,
+            permuted_leaves=permuted_leaves,
+        )
+        for shape in shapes
+    ]
+    order = {Verdict.BITWISE: 0, Verdict.CONDITIONAL: 1, Verdict.NONDETERMINISTIC: 2}
+    worst = max(reports, key=lambda r: order[r.verdict])
+    hazards = tuple(dict.fromkeys(h for r in reports for h in r.hazards))
+    return DeterminismReport(
+        algorithm_code=worst.algorithm_code,
+        verdict=worst.verdict,
+        order_independent_op=worst.order_independent_op,
+        schedule_varies=any(r.schedule_varies for r in reports),
+        hazards=hazards,
+    )

@@ -1,0 +1,39 @@
+"""Concrete FP001–FP008 rules, registered on import.
+
+Mirrors :mod:`repro.summation.registry`: each rule module defines a class,
+this package instantiates and registers one of each, and
+:func:`repro.analysis.base.all_rules` is the authoritative catalogue.
+"""
+
+from repro.analysis.base import register
+from repro.analysis.rules.fp001_float_eq import FloatLiteralEquality
+from repro.analysis.rules.fp002_bare_sum import BareSum
+from repro.analysis.rules.fp003_naive_accum import NaiveLoopAccumulation
+from repro.analysis.rules.fp004_eft_patterns import InlineEFTAlgebra
+from repro.analysis.rules.fp005_dtype_downcast import DtypeDowncast
+from repro.analysis.rules.fp006_nondet_iter import NondeterministicIteration
+from repro.analysis.rules.fp007_test_tolerance import ExactFloatAssert
+from repro.analysis.rules.fp008_rng_hazards import SharedRngAndMutableDefaults
+
+__all__ = [
+    "FloatLiteralEquality",
+    "BareSum",
+    "NaiveLoopAccumulation",
+    "InlineEFTAlgebra",
+    "DtypeDowncast",
+    "NondeterministicIteration",
+    "ExactFloatAssert",
+    "SharedRngAndMutableDefaults",
+]
+
+for _rule in (
+    FloatLiteralEquality(),
+    BareSum(),
+    NaiveLoopAccumulation(),
+    InlineEFTAlgebra(),
+    DtypeDowncast(),
+    NondeterministicIteration(),
+    ExactFloatAssert(),
+    SharedRngAndMutableDefaults(),
+):
+    register(_rule)

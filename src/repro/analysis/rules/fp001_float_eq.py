@@ -1,0 +1,71 @@
+"""FP001: exact equality comparison against a float literal.
+
+``x == 0.3`` is false for most ``x`` that "should" equal 0.3 — the literal
+is a rounded decimal, and the left side carries its own rounding history.
+Monroe & Job's parenthetic-forms result makes the sharper point: two
+*computationally inequivalent* summations of the same data legitimately
+differ in the last ulps, so exact comparison encodes an assumption about
+evaluation order that refactors silently break.
+
+Comparisons against ``0.0`` (and other small dyadic literals) are flagged at
+WARNING rather than ERROR: exact-zero tests are a legitimate FP idiom (sign
+tests, sentinel checks, Sterbenz-exact residuals) but each one should carry
+a ``# repro: allow[FP001]`` annotation saying why exactness holds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import is_exact_dyadic, literal_float_value
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class FloatLiteralEquality(Rule):
+    id = "FP001"
+    title = "float == / != comparison against a float literal"
+    severity = Severity.ERROR
+    rationale = (
+        "Floating-point results carry rounding history; exact comparison "
+        "against a decimal literal assumes one specific evaluation order and "
+        "breaks under reassociation. Use math.isclose / a tolerance, or "
+        "annotate intentional exact-zero idioms."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Tests assert exact values on purpose all over (bitwise
+        # reproducibility IS the property under test); FP007 owns test files
+        # and targets only the genuinely hazardous non-dyadic literals.
+        return not ctx.is_test
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    value = literal_float_value(side)
+                    if value is None:
+                        continue
+                    if is_exact_dyadic(value):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"exact float comparison against {value!r}; if "
+                            "exactness is intentional (sentinel/sign test), "
+                            "annotate with `# repro: allow[FP001]` and say why",
+                            severity=Severity.WARNING,
+                        )
+                    else:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"exact float comparison against non-dyadic "
+                            f"literal {value!r}; the literal is a rounded "
+                            "decimal — use math.isclose or pytest.approx",
+                        )
+                    break  # one finding per comparison pair

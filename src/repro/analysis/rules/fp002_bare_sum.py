@@ -1,0 +1,96 @@
+"""FP002: bare ``sum()`` / ``np.sum`` in accuracy-sensitive modules.
+
+The whole premise of the selector is that reductions in the hot path go
+through :mod:`repro.summation.registry`, where the algorithm (and hence the
+error/reproducibility contract) is explicit and auditable.  A bare
+``np.sum(x)`` in those modules is a reduction whose ordering contract is
+whatever NumPy's pairwise blocking happens to be this release — Hallman &
+Ipsen's bounds show exactly how that naive accumulation dominates error at
+scale.
+
+The rule is scoped to accuracy-sensitive packages (summation, mpi, trees,
+selection, exact, interval, fp and the examples); magnitude sums for
+condition estimates in ``metrics/`` or workload construction in
+``generators/`` are out of scope by default.  Obvious integer folds
+(``sum(1 for ...)``, sums of comparisons) are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import call_name
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+#: Path fragments where a float reduction must go through the registry.
+SENSITIVE_PACKAGES: tuple[str, ...] = (
+    "repro/summation",
+    "repro/mpi",
+    "repro/trees",
+    "repro/selection",
+    "repro/exact",
+    "repro/interval",
+    "repro/fp",
+    "examples",
+)
+
+_NAIVE_CALLS = {"sum", "np.sum", "numpy.sum", "np.nansum", "numpy.nansum"}
+
+
+def _is_integer_fold(call: ast.Call) -> bool:
+    """``sum(1 for ...)`` / ``sum(x > 0 for ...)`` / ``sum(range(n))``."""
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+        elt = arg.elt
+        if isinstance(elt, ast.Compare) or isinstance(elt, ast.BoolOp):
+            return True
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+            return True
+        return False
+    if isinstance(arg, ast.Call) and call_name(arg) in {"range", "len"}:
+        return True
+    return False
+
+
+class BareSum(Rule):
+    id = "FP002"
+    title = "bare sum()/np.sum in an accuracy-sensitive module"
+    severity = Severity.ERROR
+    rationale = (
+        "Reductions in accuracy-sensitive modules must go through "
+        "repro.summation.registry so the ordering/error contract is explicit; "
+        "bare sum()/np.sum accumulates naively in an order the caller does "
+        "not control."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*SENSITIVE_PACKAGES) and not ctx.is_test
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            hit = None
+            if name in _NAIVE_CALLS:
+                if name == "sum" and _is_integer_fold(node):
+                    continue
+                hit = name
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"sum", "nansum"}
+            ):
+                # method form: ``arr.sum()``, ``x[0].nansum()``, ...
+                hit = f"<expr>.{node.func.attr}"
+            if hit is None:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"bare {hit}(...) reduction; route through "
+                "repro.summation.registry (e.g. get_algorithm(code).sum_array) "
+                "so the accuracy/reproducibility contract is explicit",
+            )

@@ -1,0 +1,91 @@
+"""FP003: loop-carried float accumulation without compensation.
+
+The pattern::
+
+    total = 0.0
+    for v in values:
+        total += v
+
+is the serial comb tree — worst-case ``(n-1)u`` error growth in Hallman &
+Ipsen's bounds, and the exact shape whose run-to-run permutation the paper's
+Fig. 7 ensembles show drifting.  Inside this codebase such loops should use
+an :class:`~repro.summation.base.Accumulator` (Kahan/CP/PR) or ``math.fsum``.
+
+Detection is deliberately conservative to keep false positives near zero:
+the rule fires only when the augmented target was initialised to a float
+literal (``x = 0.0`` form) in the *same scope* as the loop, so integer
+counters and externally-owned state never trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function definitions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _float_inits(scope: ast.AST) -> set[str]:
+    """Names assigned a bare float literal directly in this scope."""
+    names: set[str] = set()
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            if isinstance(node.value.value, float):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        names.add(tgt.id)
+    return names
+
+
+class NaiveLoopAccumulation(Rule):
+    id = "FP003"
+    title = "loop-carried `acc += x` float accumulation without compensation"
+    severity = Severity.WARNING
+    rationale = (
+        "A += loop is the serial reduction tree with worst-case error growth "
+        "and no reproducibility contract; use a summation.registry "
+        "accumulator or math.fsum."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes = [ctx.tree] + [
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        seen: set[int] = set()  # nested loops: flag each AugAssign once
+        for scope in scopes:
+            float_names = _float_inits(scope)
+            if not float_names:
+                continue
+            for loop in _walk_scope(scope):
+                if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                    continue
+                for node in ast.walk(loop):
+                    if (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(node.op, (ast.Add, ast.Sub))
+                        and isinstance(node.target, ast.Name)
+                        and node.target.id in float_names
+                        and id(node) not in seen
+                    ):
+                        seen.add(id(node))
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"loop-carried float accumulation into "
+                            f"`{node.target.id}` has serial-tree error growth "
+                            "and no reproducibility contract; use a "
+                            "summation.registry accumulator or math.fsum",
+                        )

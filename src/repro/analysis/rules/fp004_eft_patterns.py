@@ -1,0 +1,105 @@
+"""FP004: inline error-free-transformation algebra outside ``repro.fp``.
+
+TwoSum's error term ``e = (a - (s - bb)) + (b - bb)`` and FastTwoSum's
+``e = b - (s - a)`` are *identically zero in real arithmetic*.  Their value
+exists only because each intermediate rounds — which makes them uniquely
+fragile: an aggressive optimiser (``-ffast-math`` semantics, a JIT with
+reassociation licence) or a well-meaning refactor that "simplifies the
+algebra" silently deletes the compensation.  Monroe & Job's parenthetic
+forms are exactly this hazard class.
+
+The rule recognises the fingerprint — an assignment ``s = a + b`` followed,
+in the same scope, by a subtraction that recomputes an addend via ``s``
+(``s - a``, ``s - b``, or the roundoff shapes ``a - s`` / ``b - s``) — and
+directs the author to the audited primitives in :mod:`repro.fp.eft`.
+``repro/fp`` itself is exempt: that package is where the algebra is allowed
+to live, under tests that pin its bit-level behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.astutils import expr_key
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+#: Packages allowed to hand-write EFT algebra.
+EXEMPT_PACKAGES: tuple[str, ...] = ("repro/fp",)
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _simple(node: ast.AST) -> bool:
+    """Only Name/Attribute/Subscript operands participate — arbitrary
+    subexpressions would make structural matching meaningless."""
+    return isinstance(node, (ast.Name, ast.Attribute, ast.Subscript))
+
+
+class InlineEFTAlgebra(Rule):
+    id = "FP004"
+    title = "inline TwoSum/FastTwoSum algebra outside repro.fp"
+    severity = Severity.WARNING
+    rationale = (
+        "Compensation terms like `b - (s - a)` after `s = a + b` are zero in "
+        "real arithmetic and survive only by rounding; reassociation or a "
+        "'simplifying' refactor deletes them. Centralise in repro.fp.eft."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.in_package(*EXEMPT_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes = [ctx.tree] + [
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            # sum variable key -> set of addend keys, from `s = a + b`
+            sums: Dict[str, Set[str]] = {}
+            for node in _walk_scope(scope):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and _simple(node.targets[0])
+                    and isinstance(node.value, ast.BinOp)
+                    and isinstance(node.value.op, ast.Add)
+                    and _simple(node.value.left)
+                    and _simple(node.value.right)
+                ):
+                    sums.setdefault(expr_key(node.targets[0]), set()).update(
+                        (expr_key(node.value.left), expr_key(node.value.right))
+                    )
+            if not sums:
+                continue
+            for node in _walk_scope(scope):
+                if not (
+                    isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Sub)
+                    and _simple(node.left)
+                    and _simple(node.right)
+                ):
+                    continue
+                lk, rk = expr_key(node.left), expr_key(node.right)
+                # `s - a` (recover the other addend) or `a - s` (roundoff)
+                hit = (lk in sums and rk in sums[lk]) or (
+                    rk in sums and lk in sums[rk]
+                )
+                if hit:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "inline error-free-transformation algebra (recomputing "
+                        "an addend through the rounded sum); use "
+                        "repro.fp.eft.two_sum / fast_two_sum so the "
+                        "compensation is centralised and protected",
+                    )

@@ -1,0 +1,107 @@
+"""FP005: precision-destroying dtype downcasts.
+
+Hallman & Ipsen's probabilistic bounds scale with the unit roundoff ``u``:
+dropping from binary64 (``u = 2**-53``) to binary32 (``u = 2**-24``) costs
+*nine decimal digits* of headroom before a single operation has happened,
+and mixed-precision pipelines make the final accuracy depend on where the
+cast sits relative to the reduction — a silent, order-coupled error source.
+
+The rule flags ``astype`` calls, ``dtype=`` arguments and constructor calls
+that name a sub-binary64 float type (``float32``, ``float16``, ``half``,
+``single``), in string or attribute form.  Intentional narrowings (e.g.
+emulating float32 inputs for a sensitivity study) carry a
+``# repro: allow[FP005]`` annotation with the rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutils import call_name, dotted_name
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+_NARROW_NAMES = {
+    "float32",
+    "float16",
+    "half",
+    "single",
+    "np.float32",
+    "np.float16",
+    "np.half",
+    "np.single",
+    "numpy.float32",
+    "numpy.float16",
+    "numpy.half",
+    "numpy.single",
+}
+
+_NARROW_STRINGS = {"float32", "float16", "f4", "f2", "<f4", "<f2", ">f4", ">f2", "half", "single"}
+
+
+def _narrow_dtype_expr(node: ast.AST) -> Optional[str]:
+    """Return a display name when ``node`` denotes a narrow float dtype."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _NARROW_STRINGS:
+            return repr(node.value)
+        return None
+    name = dotted_name(node)
+    if name in _NARROW_NAMES:
+        return name
+    if isinstance(node, ast.Call):
+        # np.dtype("float32")
+        inner = node.args[0] if node.args else None
+        if inner is not None:
+            return _narrow_dtype_expr(inner)
+    return None
+
+
+class DtypeDowncast(Rule):
+    id = "FP005"
+    title = "downcast to a sub-binary64 float dtype"
+    severity = Severity.WARNING
+    rationale = (
+        "Casting to float32/float16 multiplies unit roundoff by 2**29+ and "
+        "couples final accuracy to where the cast sits relative to the "
+        "reduction; narrowings need an explicit rationale."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            # astype(<narrow>) in any receiver form
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    hit = _narrow_dtype_expr(arg)
+                    if hit:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"astype({hit}) narrows below binary64; annotate "
+                            "the precision rationale or keep float64 through "
+                            "the reduction",
+                        )
+                        break
+                continue
+            # np.float32(x) constructor
+            if name in _NARROW_NAMES and (node.args or node.keywords):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}(...) constructs a sub-binary64 value; annotate "
+                    "the precision rationale or keep float64",
+                )
+                continue
+            # dtype=<narrow> keyword on any call (np.zeros, np.asarray, ...)
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    hit = _narrow_dtype_expr(kw.value)
+                    if hit:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"dtype={hit} allocates sub-binary64 storage; "
+                            "annotate the precision rationale or use float64",
+                        )

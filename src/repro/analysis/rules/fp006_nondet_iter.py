@@ -1,0 +1,104 @@
+"""FP006: nondeterministic iteration order feeding a reduction.
+
+Floating-point addition is not associative, so a sum over an *unordered*
+source is a different computation every run: ``sum(my_set)`` hashes
+differently across processes (PYTHONHASHSEED), ``os.listdir`` order is
+filesystem-dependent, ``glob.glob`` inherits it.  This is the software
+analogue of the paper's arrival-order reduction trees — except here the
+nondeterminism is an accident, not a modelling choice.
+
+Flagged shapes:
+
+* ``sum(...)`` / ``math.fsum(...)`` / ``np.sum(...)`` whose argument
+  constructs or iterates a ``set``/``frozenset``;
+* the same reducers over ``os.listdir`` / ``os.scandir`` / ``glob.glob`` /
+  ``.iterdir()`` results not wrapped in ``sorted(...)``;
+* a ``for`` loop over one of those sources whose body contains a float
+  ``+=`` accumulation.
+
+Wrapping the source in ``sorted(...)`` (a total, value-determined order)
+resolves the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutils import call_name
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+_REDUCERS = {"sum", "math.fsum", "fsum", "np.sum", "numpy.sum"}
+_FS_SOURCES = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+
+
+def _unordered_source(node: ast.AST) -> Optional[str]:
+    """Name of the unordered construct feeding the expression, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = call_name(sub)
+            if name in {"set", "frozenset"}:
+                return f"{name}(...)"
+            if name in _FS_SOURCES:
+                return f"{name}(...)"
+            if isinstance(sub.func, ast.Attribute) and sub.func.attr == "iterdir":
+                return "<path>.iterdir()"
+        if isinstance(sub, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(sub, ast.Set):
+            return "a set literal"
+    return None
+
+
+def _sorted_wrapped(node: ast.AST) -> bool:
+    """True when every unordered construct sits inside a sorted() call."""
+    # Cheap containment check: if the expression's outermost call is sorted,
+    # its argument order is total regardless of what feeds it.
+    return isinstance(node, ast.Call) and call_name(node) in {"sorted", "min", "max"}
+
+
+class NondeterministicIteration(Rule):
+    id = "FP006"
+    title = "unordered iteration (set / listdir / glob) feeding a reduction"
+    severity = Severity.ERROR
+    rationale = (
+        "FP addition is not associative, so reducing over hash-ordered or "
+        "filesystem-ordered sources yields run-to-run different bits; wrap "
+        "the source in sorted(...) or reduce through a deterministic "
+        "algorithm."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and call_name(node) in _REDUCERS:
+                for arg in node.args:
+                    if _sorted_wrapped(arg):
+                        continue
+                    src = _unordered_source(arg)
+                    if src:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"reduction over {src}: iteration order is "
+                            "nondeterministic and FP addition is not "
+                            "associative; wrap the source in sorted(...)",
+                        )
+                        break
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _sorted_wrapped(node.iter):
+                    continue
+                src = _unordered_source(node.iter)
+                if src is None:
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.AugAssign) and isinstance(
+                        sub.op, (ast.Add, ast.Sub)
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"accumulation inside a loop over {src}: "
+                            "iteration order is nondeterministic; wrap the "
+                            "source in sorted(...)",
+                        )
+                        break

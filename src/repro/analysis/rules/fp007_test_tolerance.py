@@ -1,0 +1,65 @@
+"""FP007: exact float-equality asserts in tests.
+
+In *this* repository many tests assert bitwise equality on purpose — that
+is the reproducibility property under test — so a naive "no float == in
+tests" rule would drown the suite in noise.  The rule therefore targets the
+shape that is almost never intentional: ``assert expr == <literal>`` where
+the literal is a **non-dyadic decimal** (0.1, 15.95, 0.3, ...).  Such a
+literal does not denote the value written in the source; it denotes the
+nearest double, so the assert encodes "my computation rounds exactly like
+the parser" — true today, gone after any reassociation.  Dyadic literals
+(0.5, 3.25, 0.0) are exactly representable and exact comparison against
+them can legitimately pin a bit pattern.
+
+Fix with ``pytest.approx`` / ``math.isclose``, or — where the rounding
+chain really is the property under test — annotate with
+``# repro: allow[FP007]`` and a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import is_exact_dyadic, literal_float_value
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class ExactFloatAssert(Rule):
+    id = "FP007"
+    title = "exact float-equality assert against a non-dyadic literal"
+    severity = Severity.WARNING
+    rationale = (
+        "assert x == 0.1 compares a computation's rounding history against "
+        "the parser's; use pytest.approx / math.isclose, or annotate when "
+        "the exact rounding chain is the property under test."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_test
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            for sub in ast.walk(node.test):
+                if not isinstance(sub, ast.Compare):
+                    continue
+                operands = [sub.left, *sub.comparators]
+                for op, left, right in zip(sub.ops, operands, operands[1:]):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    for side in (left, right):
+                        value = literal_float_value(side)
+                        if value is None or is_exact_dyadic(value):
+                            continue
+                        yield ctx.finding(
+                            self,
+                            sub,
+                            f"exact assert against non-dyadic literal "
+                            f"{value!r}; the literal is already rounded — "
+                            "use pytest.approx / math.isclose, or annotate "
+                            "why the exact rounding chain is the property "
+                            "under test",
+                        )
+                        break

@@ -1,0 +1,108 @@
+"""FP008: shared-RNG and mutable-default hazards.
+
+Everything stochastic in this package flows through
+:mod:`repro.util.rng` so experiments replay bit-for-bit; two patterns break
+that contract from a distance:
+
+* **Legacy global RNG** — ``np.random.seed`` / ``np.random.uniform`` (the
+  module-level singleton) and the stdlib ``random`` module share hidden
+  state across every caller, so adding one draw anywhere reorders every
+  stream after it.  Use ``repro.util.rng.resolve_rng`` /
+  ``np.random.default_rng`` with an explicit seed.
+* **Mutable / RNG-valued default arguments** — ``def f(xs=[])`` shares one
+  list across calls; ``def f(rng=np.random.default_rng())`` is worse: the
+  generator is created once at import and *advances* across calls, so the
+  function's output depends on global call history.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import call_name
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+#: Module-level numpy RNG entry points that are *stateful singletons*.
+_LEGACY_OK = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.Generator",
+    "numpy.random.Generator",
+    "np.random.SeedSequence",
+    "numpy.random.SeedSequence",
+    "np.random.PCG64",
+    "numpy.random.PCG64",
+    "np.random.BitGenerator",
+    "numpy.random.BitGenerator",
+}
+
+_STDLIB_RANDOM = {
+    "random.random",
+    "random.seed",
+    "random.randint",
+    "random.uniform",
+    "random.choice",
+    "random.shuffle",
+    "random.sample",
+    "random.gauss",
+    "random.randrange",
+}
+
+
+class SharedRngAndMutableDefaults(Rule):
+    id = "FP008"
+    title = "shared global RNG or mutable/RNG default argument"
+    severity = Severity.ERROR
+    rationale = (
+        "Hidden shared RNG state (np.random.* singleton, stdlib random, or "
+        "a default-arg Generator) makes results depend on global call "
+        "history; thread seeds through repro.util.rng instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                if name.startswith(("np.random.", "numpy.random.")) and name not in _LEGACY_OK:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{name}(...) uses numpy's hidden global RNG "
+                        "singleton; use repro.util.rng.resolve_rng(seed) so "
+                        "streams are explicit and replayable",
+                    )
+                elif name in _STDLIB_RANDOM:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{name}(...) draws from the stdlib's shared global "
+                        "RNG; use repro.util.rng.resolve_rng(seed)",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.SetComp,
+                                            ast.ListComp, ast.DictComp)):
+                        yield ctx.finding(
+                            self,
+                            default,
+                            f"mutable default argument in `{node.name}` is "
+                            "shared across calls; default to None and build "
+                            "inside the body",
+                        )
+                    elif isinstance(default, ast.Call):
+                        cname = call_name(default) or ""
+                        if cname in {"set", "list", "dict"} or "default_rng" in cname or cname.endswith("Generator"):
+                            yield ctx.finding(
+                                self,
+                                default,
+                                f"default argument `{cname}(...)` in "
+                                f"`{node.name}` is evaluated once at import "
+                                "and shared (an RNG default also *advances* "
+                                "across calls); default to None",
+                            )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cestac.stochastic import significant_digits
+from repro.fp.eft import two_sum_array
 from repro.util.rng import SeedLike, resolve_rng
 
 __all__ = ["StochasticArray", "random_rounded_add_arrays", "stochastic_balanced_sum"]
@@ -28,10 +29,9 @@ def random_rounded_add_arrays(
     """Elementwise randomly-rounded ``a + b`` (any matching shapes)."""
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
-    s = a + b
-    bb = s - a
-    e = (a - (s - bb)) + (b - bb)
-    bump = (rng.random(s.shape) >= 0.5) & (e != 0.0)
+    s, e = two_sum_array(a, b)
+    # e == 0.0 is exact: a representable sum has no roundoff to randomise.
+    bump = (rng.random(s.shape) >= 0.5) & (e != 0.0)  # repro: allow[FP001]
     up = np.nextafter(s, np.where(e > 0.0, np.inf, -np.inf))
     return np.where(bump, up, s)
 

@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cestac.stochastic import cestac_sum, significant_digits
+from repro.fp.eft import two_sum_array
 from repro.fp.properties import exponent
 from repro.util.rng import SeedLike, resolve_rng
 
@@ -89,9 +90,9 @@ def track_cancellations(x: np.ndarray) -> CancellationReport:
     for v in x[1:].tolist():
         t = s + v
         n_adds += 1
-        if s != 0.0 and v != 0.0:
+        if s != 0.0 and v != 0.0:  # repro: allow[FP001] -- zero operands are exact; no cancellation to model
             top = max(exponent(s), exponent(v))
-            if t == 0.0:
+            if t == 0.0:  # repro: allow[FP001] -- exact-cancellation sentinel
                 # complete cancellation: everything the operands had is gone
                 losses.append(53 * _DIGITS_PER_BIT)
             elif exponent(t) < top:
@@ -118,19 +119,18 @@ def track_cancellations_cestac(
     n_adds = 0
     digits_acc = 15.95
     for v in x[1:].tolist():
-        s = acc + v
-        bb = s - acc
-        e = (acc - (s - bb)) + (v - bb)
+        s, e = two_sum_array(acc, v)
         bump = rng.random(n_samples) >= 0.5
         up = np.nextafter(s, np.where(e > 0.0, np.inf, -np.inf))
-        new_acc = np.where(bump & (e != 0.0), up, s)
+        # exact adds (e == 0.0) have no roundoff to randomise
+        new_acc = np.where(bump & (e != 0.0), up, s)  # repro: allow[FP001]
         n_adds += 1
         mean_old = float(np.mean(acc))
         mean_new = float(np.mean(new_acc))
-        if mean_old != 0.0 and v != 0.0:
+        if mean_old != 0.0 and v != 0.0:  # repro: allow[FP001] -- zero mean/update carry no roundoff
             digits_new = significant_digits(tuple(float(t) for t in new_acc))
             drop_exponent = (
-                mean_new == 0.0
+                mean_new == 0.0  # repro: allow[FP001] -- exact-cancellation sentinel
                 or exponent(mean_new) < max(exponent(mean_old), exponent(v))
             )
             loss = min(digits_acc, 15.95) - digits_new

@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.fp.eft import two_prod, two_sum
+from repro.fp.eft import two_prod, two_sum, two_sum_array
 from repro.util.rng import SeedLike, resolve_rng
 
 __all__ = [
@@ -48,7 +48,7 @@ def random_rounded_add(a: float, b: float, rng: np.random.Generator) -> float:
     When the add is exact, the result is returned unperturbed.
     """
     s, e = two_sum(a, b)
-    if e == 0.0:
+    if e == 0.0:  # repro: allow[FP001] -- exact adds have no roundoff to randomise
         return s
     if rng.random() < 0.5:
         return s
@@ -58,7 +58,7 @@ def random_rounded_add(a: float, b: float, rng: np.random.Generator) -> float:
 def random_rounded_mul(a: float, b: float, rng: np.random.Generator) -> float:
     """``a * b`` rounded randomly up/down."""
     p, e = two_prod(a, b)
-    if e == 0.0:
+    if e == 0.0:  # repro: allow[FP001] -- exact adds have no roundoff to randomise
         return p
     if rng.random() < 0.5:
         return p
@@ -104,9 +104,9 @@ def significant_digits(samples: Sequence[float]) -> float:
         raise ValueError("need >= 2 samples")
     mean = sum(samples) / n
     var = sum((s - mean) ** 2 for s in samples) / (n - 1)
-    if var == 0.0:
+    if var == 0.0:  # repro: allow[FP001] -- zero spread means full precision
         return 15.95
-    if mean == 0.0:
+    if mean == 0.0:  # repro: allow[FP001] -- zero-mean guard before the log
         return 0.0
     tau = STUDENT_T_95.get(n - 1, 2.0)
     c = math.log10(math.sqrt(n) * abs(mean) / (tau * math.sqrt(var)))
@@ -128,11 +128,9 @@ def cestac_sum(
         return StochasticValue.from_float(0.0, n_samples)
     acc = np.full(n_samples, x[0], dtype=np.float64)
     for v in x[1:].tolist():
-        s = acc + v
-        bb = s - acc
-        e = (acc - (s - bb)) + (v - bb)
+        s, e = two_sum_array(acc, v)
         bump = rng.random(n_samples) >= 0.5
-        nonexact = e != 0.0
+        nonexact = e != 0.0  # repro: allow[FP001] -- exact adds have no roundoff to randomise
         up = np.nextafter(s, np.where(e > 0.0, np.inf, -np.inf))
         acc = np.where(bump & nonexact, up, s)
     return StochasticValue(tuple(float(v) for v in acc))

@@ -60,7 +60,7 @@ def relative_error(computed: float, exact: Fraction) -> float:
     """``|computed - exact| / |exact|``; ``inf`` when exact == 0 and the
     computed value is nonzero, ``0`` when both are zero."""
     if exact == 0:
-        return 0.0 if computed == 0.0 else math.inf
+        return 0.0 if computed == 0.0 else math.inf  # repro: allow[FP001] -- exact-zero reference sentinel
     return float(abs(Fraction(computed) - exact) / abs(exact))
 
 

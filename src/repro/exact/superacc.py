@@ -57,7 +57,7 @@ class ExactSum:
         x = float(x)
         if x != x or x in (float("inf"), float("-inf")):
             raise ValueError(f"cannot accumulate non-finite value {x!r}")
-        if x == 0.0:
+        if x == 0.0:  # repro: allow[FP001] -- zeros contribute nothing; skipping them is exact
             self.count += 1
             return
         p, q = x.as_integer_ratio()  # q is a power of two <= 2**1074
@@ -73,7 +73,7 @@ class ExactSum:
             return
         if not np.all(np.isfinite(x)):
             raise ValueError("cannot accumulate non-finite values")
-        nz = x[x != 0.0]
+        nz = x[x != 0.0]  # repro: allow[FP001] -- drop exact zeros
         self.count += x.size
         if nz.size == 0:
             return

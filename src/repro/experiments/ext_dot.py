@@ -74,7 +74,7 @@ def run(scale: "Scale | str | None" = None) -> ExperimentResult:
             st_rel[i] < st_rel[i + 1] for i in range(len(st_rel) - 1)
         ),
         "accuracy ordering ST >= K >= CP per cell": all(
-            r["ST_rel_err"] >= r["K_rel_err"] >= r["CP_rel_err"] or r["CP_rel_err"] == 0.0
+            r["ST_rel_err"] >= r["K_rel_err"] >= r["CP_rel_err"] or r["CP_rel_err"] == 0.0  # repro: allow[FP001] -- exactly-zero CP error is an expected outcome
             for r in rows
         ),
         "CP near working precision until extreme conditioning": all(

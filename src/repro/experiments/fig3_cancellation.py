@@ -52,7 +52,7 @@ def spearman(a: np.ndarray, b: np.ndarray) -> float:
     ra -= ra.mean()
     rb -= rb.mean()
     denom = math.sqrt(float((ra**2).sum() * (rb**2).sum()))
-    if denom == 0.0:
+    if denom == 0.0:  # repro: allow[FP001] -- zero-denominator guard
         return 0.0
     return float((ra * rb).sum() / denom)
 

@@ -100,7 +100,7 @@ class DoubleDouble:
         if isinstance(other, DoubleDouble):
             return self.hi == other.hi and self.lo == other.lo
         if isinstance(other, (int, float)):
-            return self.hi == float(other) and self.lo == 0.0
+            return self.hi == float(other) and self.lo == 0.0  # repro: allow[FP001] -- double-double equality is exact by definition
         return NotImplemented
 
     def __lt__(self, other: "DoubleDouble | float") -> bool:

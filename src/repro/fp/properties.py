@@ -44,7 +44,7 @@ def exponent(x: float) -> int:
     ``exponent(5e-324) == -1074``.  Raises ``ValueError`` for zero, NaN and
     infinities, which have no finite exponent.
     """
-    if x == 0.0 or math.isnan(x) or math.isinf(x):
+    if x == 0.0 or math.isnan(x) or math.isinf(x):  # repro: allow[FP001] -- zero/non-finite guard
         raise ValueError(f"exponent undefined for {x!r}")
     _, e = math.frexp(x)
     return e - 1
@@ -55,7 +55,7 @@ def exponents(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     if not np.all(np.isfinite(x)):
         raise ValueError("exponents undefined for non-finite values")
-    if np.any(x == 0.0):
+    if np.any(x == 0.0):  # repro: allow[FP001] -- exact-zero guard
         raise ValueError("exponents undefined for zero values")
     _, e = np.frexp(x)
     return e.astype(np.int64) - 1
@@ -79,7 +79,7 @@ def next_down(x: float) -> float:
 
 def is_power_of_two(x: float) -> bool:
     """True when ``|x|`` is exactly a power of two (mantissa = 1.0)."""
-    if x == 0.0 or not math.isfinite(x):
+    if x == 0.0 or not math.isfinite(x):  # repro: allow[FP001] -- zero/non-finite guard
         return False
     m, _ = math.frexp(abs(x))
-    return m == 0.5
+    return m == 0.5  # repro: allow[FP001] -- a power of two has mantissa exactly 0.5

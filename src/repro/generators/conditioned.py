@@ -175,7 +175,7 @@ def generate_sum_set(
         vals = zero_sum_set(n, dr, rng, base_exponent)
         return ConditionedSet(vals, math.inf, dr, base_exponent)
 
-    if condition == 1.0:
+    if condition == 1.0:  # repro: allow[FP001] -- exact sentinel for the benign case
         vals = _magnitudes(rng, n, dr, base_exponent)
         rng.shuffle(vals)
         return ConditionedSet(vals, 1.0, dr, base_exponent)

@@ -28,7 +28,7 @@ from fractions import Fraction
 
 import numpy as np
 
-from repro.fp.eft import two_sum
+from repro.fp.eft import two_sum, two_sum_array
 
 __all__ = ["Interval", "add_down", "add_up", "sum_interval_array"]
 
@@ -96,10 +96,10 @@ class Interval:
 
     def digits(self) -> float:
         """Decimal digits of agreement the enclosure guarantees."""
-        if self.width == 0.0:
+        if self.width == 0.0:  # repro: allow[FP001] -- degenerate (width-zero) interval
             return 15.95
         mid = max(abs(self.lo), abs(self.hi))
-        if mid == 0.0:
+        if mid == 0.0:  # repro: allow[FP001] -- zero-midpoint guard before the log
             return 0.0
         return float(min(max(-math.log10(self.width / mid), 0.0), 15.95))
 
@@ -126,17 +126,10 @@ def sum_interval_array(x: np.ndarray) -> Interval:
         if lo.size % 2:
             lo = np.append(lo, 0.0)
             hi = np.append(hi, 0.0)
-        # lower bounds: round down
-        s, e = _two_sum_arr(lo[0::2], lo[1::2])
+        # lower bounds: round down (an exact e == 0.0 needs no widening)
+        s, e = two_sum_array(lo[0::2], lo[1::2])
         lo = np.where(e < 0.0, np.nextafter(s, -np.inf), s)
         # upper bounds: round up
-        s, e = _two_sum_arr(hi[0::2], hi[1::2])
+        s, e = two_sum_array(hi[0::2], hi[1::2])
         hi = np.where(e > 0.0, np.nextafter(s, np.inf), s)
     return Interval(float(lo[0]), float(hi[0]))
-
-
-def _two_sum_arr(a: np.ndarray, b: np.ndarray):
-    s = a + b
-    bb = s - a
-    e = (a - (s - bb)) + (b - bb)
-    return s, e

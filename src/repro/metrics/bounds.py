@@ -121,7 +121,7 @@ def prerounded_bound(
     if n == 0:
         return 0.0
     max_abs = float(np.max(np.abs(x)))
-    if max_abs == 0.0:
+    if max_abs == 0.0:  # repro: allow[FP001] -- all-zero input guard
         return 0.0
     from repro.fp.properties import exponent
 

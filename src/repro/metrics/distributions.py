@@ -84,7 +84,7 @@ def summarize(
     centered = arr - mean
     var = float(np.mean(centered**2))
     std = math.sqrt(var)
-    if std == 0.0:
+    if std == 0.0:  # repro: allow[FP001] -- zero-spread guard
         skew = 0.0
         kurt = 0.0
     else:

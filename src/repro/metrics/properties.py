@@ -56,7 +56,7 @@ def dynamic_range(x: np.ndarray) -> int:
     defined there, following the paper's definition).
     """
     x = np.asarray(x, dtype=np.float64).ravel()
-    nz = x[x != 0.0]
+    nz = x[x != 0.0]  # repro: allow[FP001] -- drop exact zeros
     if nz.size == 0:
         raise ValueError("dynamic range undefined for all-zero sets")
     e = exponents(nz)

@@ -177,7 +177,7 @@ class SimComm:
         local_maxes = [
             float(np.max(np.abs(c))) if np.asarray(c).size else 0.0 for c in chunks
         ]
-        total = int(sum(np.asarray(c).size for c in chunks))
+        total = int(sum(np.asarray(c).size for c in chunks))  # repro: allow[FP002] -- integer element counts, not floats
         return op.with_context_for(self.max_allreduce(local_maxes), total)
 
     def _resolve_tree(self, tree: "ReductionTree | str") -> ReductionTree:

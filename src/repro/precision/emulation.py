@@ -40,7 +40,7 @@ def round_to_precision(x: float, p: int) -> float:
     """
     if not 1 <= p <= 53:
         raise ValueError("precision must be in [1, 53]")
-    if p == 53 or x == 0.0 or not math.isfinite(x):
+    if p == 53 or x == 0.0 or not math.isfinite(x):  # repro: allow[FP001] -- zeros and non-finites round to themselves
         return float(x)
     # Veltkamp split: multiplying by 2**(53-p) + 1 and subtracting back
     # rounds x to its top p significand bits (ties to even).

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.determinism import audit_shapes
 from repro.metrics.errors import error_stats
 from repro.metrics.properties import profile_set
 from repro.summation.registry import get_algorithm
@@ -46,6 +47,9 @@ class Certificate:
     n_trees: int
     shapes: tuple
     seed: int
+    #: static determinism verdict from repro.analysis.determinism:
+    #: "bitwise" means order-independence is *derived*, not just sampled.
+    static_verdict: str = ""
 
     def to_json(self) -> str:
         payload = {
@@ -61,6 +65,7 @@ class Certificate:
             "n_trees": self.n_trees,
             "shapes": list(self.shapes),
             "seed": self.seed,
+            "static_verdict": self.static_verdict,
         }
         return json.dumps(payload, indent=2)
 
@@ -80,6 +85,7 @@ class Certificate:
             n_trees=int(d["n_trees"]),
             shapes=tuple(d["shapes"]),
             seed=int(d["seed"]),
+            static_verdict=str(d.get("static_verdict", "")),
         )
 
 
@@ -124,6 +130,10 @@ def certify(
         raise ValueError("empty data")
     alg = get_algorithm(algorithm_code)
     profile = profile_set(data)
+    # Static audit first: for order-independent operators the certificate can
+    # assert bitwise reproducibility over *all* reduction orders, not just
+    # the ensemble's sample of them.
+    static_report = audit_shapes(algorithm_code, shapes, permuted_leaves=True)
 
     worst_rel = 0.0
     worst_spread = 0.0
@@ -155,4 +165,5 @@ def certify(
         n_trees=n_trees,
         shapes=tuple(shapes),
         seed=seed,
+        static_verdict=str(static_report.verdict),
     )

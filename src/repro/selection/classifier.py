@@ -73,7 +73,7 @@ class GridClassifier:
 
         def dist(cell: GridCell) -> float:
             ck = cell.key()
-            return sum(((a - b) * s) ** 2 for a, b, s in zip(q, ck, scale))
+            return math.fsum(((a - b) * s) ** 2 for a, b, s in zip(q, ck, scale))
 
         return min(self.cells, key=dist)
 

@@ -91,7 +91,7 @@ class CostModel:
                 best = min(best, time.perf_counter() - t0)
             timings[code] = best
         st = timings.get("ST")
-        if st is None or st == 0.0:
+        if st is None or st == 0.0:  # repro: allow[FP001] -- zero measured std means exact
             raise RuntimeError("calibration needs the ST baseline")
         merged = dict(self.relative)
         merged.update({c: t / st for c, t in timings.items()})

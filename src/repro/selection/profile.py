@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fp.eft import two_sum
+from repro.fp.eft import two_sum, two_sum_array
 from repro.fp.properties import exponent
 from repro.metrics.properties import SetProfile
 
@@ -54,12 +54,12 @@ class StreamProfile:
         a = np.abs(chunk)
         self.n += int(chunk.size)
         self.max_abs = max(self.max_abs, float(a.max()))
-        nz = a[a != 0.0]
+        nz = a[a != 0.0]  # repro: allow[FP001] -- drop exact zeros
         if nz.size:
             self.min_abs_nonzero = min(self.min_abs_nonzero, float(nz.min()))
         # pairwise numpy sums are accurate enough for the magnitudes, but
         # the signed sum needs composite precision to keep k̂ from saturating
-        self._add_abs(float(np.sum(a)))
+        self._add_abs(float(np.sum(a)))  # repro: allow[FP002] -- magnitude sum has no cancellation; pairwise is accurate enough
         s, e = _cp_sum(chunk)
         self._add_signed(s, e)
 
@@ -95,15 +95,15 @@ class StreamProfile:
             return 1.0
         s = abs(self.approx_sum)
         t = self.abs_sum
-        if t == 0.0:
+        if t == 0.0:  # repro: allow[FP001] -- all-zero input
             return 1.0
-        if s == 0.0:
+        if s == 0.0:  # repro: allow[FP001] -- vanished sum => infinite condition
             return math.inf
         return t / s
 
     def dynamic_range_estimate(self) -> int:
         """Exact dr: exponent span of the extreme magnitudes."""
-        if not math.isfinite(self.min_abs_nonzero) or self.max_abs == 0.0:
+        if not math.isfinite(self.min_abs_nonzero) or self.max_abs == 0.0:  # repro: allow[FP001] -- all-zero input guard
             return 0
         return exponent(self.max_abs) - exponent(self.min_abs_nonzero)
 
@@ -127,11 +127,10 @@ def _cp_sum(x: np.ndarray) -> tuple[float, float]:
             s = s[:-1]
         else:
             tail = None
-        a, b = s[0::2], s[1::2]
-        t = a + b
-        bb = t - a
-        err = (a - (t - bb)) + (b - bb)
-        lo += float(np.sum(err))
+        t, err = two_sum_array(s[0::2], s[1::2])
+        # The err mass is magnitude-homogeneous (per-level roundoffs), so a
+        # pairwise np.sum into the scalar lo term is second-order accurate.
+        lo += float(np.sum(err))  # repro: allow[FP002,FP003]
         s = t if tail is None else np.append(t, tail)
     return (float(s[0]) if s.size else 0.0), lo
 

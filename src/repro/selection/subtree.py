@@ -29,6 +29,7 @@ to how hard each rank's data actually is.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -64,7 +65,7 @@ class SubtreePlan:
 
     def estimated_cost(self, cost_model, chunk_sizes: Sequence[int]) -> float:
         """Total work in ST-units under a cost model (for the ablation)."""
-        return sum(
+        return math.fsum(
             cost_model.cost(code, n)
             for code, n in zip(self.local_codes, chunk_sizes)
         )

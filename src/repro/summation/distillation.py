@@ -51,7 +51,7 @@ def accsum(x: np.ndarray, max_passes: int = 40) -> float:
     if n == 1:
         return float(x[0])
     mu = float(np.max(np.abs(x)))
-    if mu == 0.0:
+    if mu == 0.0:  # repro: allow[FP001] -- zero-mean sentinel
         return 0.0
     # M = smallest power of two >= n + 2; extraction unit per Rump et al.
     M = 1 << (int(n + 2) - 1).bit_length()
@@ -75,7 +75,7 @@ def accsum(x: np.ndarray, max_passes: int = 40) -> float:
         # extracted parts sum without error at this sigma
         q = (sigma + x) - sigma
         x = x - q  # exact residuals
-        tau = float(np.sum(q))  # exact: all q are multiples of sigma*eps*2
+        tau = float(np.sum(q))  # exact: all q are multiples of sigma*eps*2  # repro: allow[FP002] -- exact: all q are multiples of a common ulp
         t_new, err = two_sum(t, tau)
         # err == 0 in exact theory (t grows by representable amounts); keep
         # the defensive fold anyway
@@ -85,7 +85,7 @@ def accsum(x: np.ndarray, max_passes: int = 40) -> float:
         est_residual = phi * sigma
         if abs(t) >= factor * sigma or est_residual <= _EPS * abs(t):
             # residual can no longer affect the faithful rounding
-            tau2 = float(np.sum(x))
+            tau2 = float(np.sum(x))  # repro: allow[FP002] -- exact: residuals share a common ulp
             return t + tau2
         sigma = phi * sigma
     raise RuntimeError("distillation failed to converge (non-finite input?)")

@@ -45,7 +45,7 @@ class KahanAccumulator(Accumulator):
     def add(self, x: float) -> None:
         y = x - self.c
         t = self.s + y
-        self.c = (t - self.s) - y
+        self.c = (t - self.s) - y  # repro: allow[FP004] -- the Kahan recurrence itself
         self.s = t
 
     def add_array(self, x: np.ndarray) -> None:
@@ -68,7 +68,7 @@ class KahanAccumulator(Accumulator):
         # recurrence, so serial trees reproduce scalar Kahan bit-for-bit.
         y = other.s - (self.c + other.c)
         t = self.s + y
-        self.c = (t - self.s) - y
+        self.c = (t - self.s) - y  # repro: allow[FP004] -- the Kahan recurrence itself
         self.s = t
 
     def result(self) -> float:
@@ -98,7 +98,7 @@ def _block_twosum_fold(x: np.ndarray) -> Tuple[float, float]:
     err_total = 0.0
     while s.size > 1:
         s, e = two_sum_array(s[0::2], s[1::2])
-        err_total += float(np.sum(e))
+        err_total += float(np.sum(e))  # repro: allow[FP002,FP003] -- per-level error mass is magnitude-homogeneous
     return float(s[0]), err_total
 
 
@@ -112,7 +112,7 @@ class _KahanVectorOps(VectorOps):
     def merge(self, a, b):
         y = b[0] - (a[1] + b[1])
         t = a[0] + y
-        c = (t - a[0]) - y
+        c = (t - a[0]) - y  # repro: allow[FP004] -- the Kahan merge recurrence itself
         return (t, c)
 
     def result(self, state):
@@ -155,9 +155,9 @@ class NeumaierAccumulator(Accumulator):
     def add(self, x: float) -> None:
         t = self.s + x
         if abs(self.s) >= abs(x):
-            self.c += (self.s - t) + x
+            self.c += (self.s - t) + x  # repro: allow[FP004] -- the Neumaier recurrence itself
         else:
-            self.c += (x - t) + self.s
+            self.c += (x - t) + self.s  # repro: allow[FP004] -- the Neumaier recurrence itself
         self.s = t
 
     def add_array(self, x: np.ndarray) -> None:

@@ -88,7 +88,7 @@ class PreroundedAccumulator(Accumulator):
         x = float(x)
         if not math.isfinite(x):
             raise ValueError(f"cannot accumulate non-finite value {x!r}")
-        if x != 0.0 and exponent(x) > self.E:
+        if x != 0.0 and exponent(x) > self.E:  # repro: allow[FP001] -- zero has no exponent; skipping it is exact
             raise ValueError(
                 f"operand {x!r} exceeds the bin capacity 2**{self.E + 1}; "
                 "recompute the global max or use AutoPreroundedAccumulator"
@@ -197,7 +197,7 @@ class AutoPreroundedAccumulator(Accumulator):
 
     def add(self, x: float) -> None:
         x = float(x)
-        if x != 0.0:
+        if x != 0.0:  # repro: allow[FP001] -- zeros need no pre-rounding
             e = exponent(x)
             if self._inner is None or e > self._inner.E:
                 self._rebin(e)
@@ -210,7 +210,7 @@ class AutoPreroundedAccumulator(Accumulator):
         if x.size == 0:
             return
         max_abs = float(np.max(np.abs(x)))
-        if max_abs != 0.0:
+        if max_abs != 0.0:  # repro: allow[FP001] -- all-zero chunk guard
             e = exponent(max_abs)
             if self._inner is None or e > self._inner.E:
                 self._rebin(e)
@@ -265,7 +265,7 @@ class PreroundedSum(SummationAlgorithm):
     def bin_exponent_for(self, context: Optional[SumContext]) -> int:
         if context is None or context.max_abs is None:
             raise ValueError("PreroundedSum needs SumContext.max_abs (two-pass)")
-        if context.max_abs == 0.0:
+        if context.max_abs == 0.0:  # repro: allow[FP001] -- all-zero context guard
             return 0
         return exponent(context.max_abs)
 

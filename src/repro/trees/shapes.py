@@ -98,9 +98,9 @@ def skewed(n: int, skew: float) -> ReductionTree:
         raise ValueError("skew must be in [0, 1]")
     if n < 1:
         raise ValueError("n must be >= 1")
-    if skew == 0.0:
+    if skew == 0.0:  # repro: allow[FP001] -- exact endpoint sentinel (balanced)
         return balanced(n)
-    if skew == 1.0:
+    if skew == 1.0:  # repro: allow[FP001] -- exact endpoint sentinel (serial)
         return serial(n)
     schedule = np.empty((max(n - 1, 0), 2), dtype=np.int64)
     level = list(range(n))

@@ -89,7 +89,7 @@ class ReductionTree:
                 raise ValueError(f"step {t} merges slot {a} with itself")
         if consumed[self.root_slot]:
             raise ValueError("root slot was consumed")
-        if int(consumed[: self.root_slot].sum()) != self.n_nodes - 1:
+        if int(np.count_nonzero(consumed[: self.root_slot])) != self.n_nodes - 1:
             raise ValueError("some slot was never consumed")
 
     def depth(self) -> int:

@@ -41,7 +41,7 @@ def render_boxplot_row(
     line[pos(summary.median)] = "M"
     for o in summary.outliers:
         line[pos(o)] = "o"
-    note = " (all zero)" if summary.whisker_high == 0.0 else ""
+    note = " (all zero)" if summary.whisker_high == 0.0 else ""  # repro: allow[FP001] -- exactly-zero whisker labels the all-zero case
     return f"{label:>14} |{''.join(line)}|{note}"
 
 

@@ -26,7 +26,7 @@ def shade_char(value: float, lo_decade: float, hi_decade: float) -> str:
     """
     if value < 0:
         raise ValueError("heatmap values must be non-negative")
-    if value == 0.0:
+    if value == 0.0:  # repro: allow[FP001] -- exact zero rendered distinctly
         return _RAMP[0]
     d = math.log10(value)
     if hi_decade <= lo_decade:

@@ -1,0 +1,227 @@
+"""Known-bad / known-good source snippets for every lint rule.
+
+Snippets are kept as strings (not checked-in ``.py`` files) so the self-lint
+gate — which sweeps everything under ``tests/`` — never sees the violations
+as real code.  Each test materialises a snippet into ``tmp_path`` at a
+path chosen to satisfy the rule's ``applies_to`` predicate (FP002 only fires
+inside accuracy-sensitive packages, FP007 only inside test files, ...).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: rule id -> (relative path to write the snippet at, source) lists.
+#: "bad" snippets must each produce >= 1 finding of that rule;
+#: "good" snippets must produce none.
+BAD: dict = {}
+GOOD: dict = {}
+
+_SRC = "src/repro/summation/snippet.py"  # inside a sensitive package
+_PLAIN = "src/tools/snippet.py"  # outside every sensitive package
+_TEST = "tests/test_snippet.py"
+
+BAD["FP001"] = [
+    (
+        _PLAIN,
+        "def f(x):\n"
+        "    if x == 0.1:\n"
+        "        return 1\n"
+        "    return 0\n",
+    ),
+    (
+        _PLAIN,
+        "def g(x):\n"
+        "    return x != 0.5\n",  # dyadic: still reported (as a warning)
+    ),
+]
+GOOD["FP001"] = [
+    (
+        _PLAIN,
+        "import math\n"
+        "def f(x):\n"
+        "    return math.isclose(x, 0.1)\n",
+    ),
+    (
+        _PLAIN,
+        "def g(n):\n"
+        "    return n == 3\n",  # integer comparison
+    ),
+]
+
+BAD["FP002"] = [
+    (
+        _SRC,
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return float(np.sum(x))\n",
+    ),
+    (
+        _SRC,
+        "def g(xs):\n"
+        "    return sum(xs)\n",
+    ),
+    (
+        _SRC,
+        "def h(x):\n"
+        "    return x.sum()\n",
+    ),
+]
+GOOD["FP002"] = [
+    (
+        _SRC,
+        "def f(xs):\n"
+        "    return sum(1 for v in xs if v > 0)\n",  # integer fold
+    ),
+    (
+        _PLAIN,
+        "def g(xs):\n"
+        "    return sum(xs)\n",  # outside the sensitive packages
+    ),
+]
+
+BAD["FP003"] = [
+    (
+        _PLAIN,
+        "def f(xs):\n"
+        "    acc = 0.0\n"
+        "    for v in xs:\n"
+        "        acc += v\n"
+        "    return acc\n",
+    ),
+]
+GOOD["FP003"] = [
+    (
+        _PLAIN,
+        "def f(xs):\n"
+        "    count = 0\n"
+        "    for v in xs:\n"
+        "        count += 1\n"
+        "    return count\n",  # integer accumulator
+    ),
+]
+
+BAD["FP004"] = [
+    (
+        _PLAIN,
+        "def f(a, b):\n"
+        "    s = a + b\n"
+        "    bb = s - a\n"
+        "    return bb\n",
+    ),
+]
+GOOD["FP004"] = [
+    (
+        _PLAIN,
+        "from repro.fp.eft import two_sum\n"
+        "def f(a, b):\n"
+        "    s, e = two_sum(a, b)\n"
+        "    return e\n",
+    ),
+]
+
+BAD["FP005"] = [
+    (
+        _PLAIN,
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return x.astype(np.float32)\n",
+    ),
+    (
+        _PLAIN,
+        "import numpy as np\n"
+        "def g(n):\n"
+        "    return np.zeros(n, dtype='float32')\n",
+    ),
+]
+GOOD["FP005"] = [
+    (
+        _PLAIN,
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return x.astype(np.float64)\n",
+    ),
+]
+
+BAD["FP006"] = [
+    (
+        _PLAIN,
+        "def f(xs):\n"
+        "    return sum(set(xs))\n",
+    ),
+    (
+        _PLAIN,
+        "import os\n"
+        "def g(d):\n"
+        "    total = 0.0\n"
+        "    for name in os.listdir(d):\n"
+        "        total += len(name)\n"
+        "    return total\n",
+    ),
+]
+GOOD["FP006"] = [
+    (
+        _PLAIN,
+        "def f(xs):\n"
+        "    return sum(sorted(set(xs)))\n",  # order pinned before reducing
+    ),
+]
+
+BAD["FP007"] = [
+    (
+        _TEST,
+        "def test_f():\n"
+        "    assert 0.3 - 0.2 == 0.1\n",
+    ),
+]
+GOOD["FP007"] = [
+    (
+        _TEST,
+        "def test_f():\n"
+        "    assert 1.0 + 1.5 == 2.5\n",  # dyadic literals assert exactness on purpose
+    ),
+    (
+        _TEST,
+        "import pytest\n"
+        "def test_g():\n"
+        "    assert 0.3 - 0.2 == pytest.approx(0.1)\n",
+    ),
+]
+
+BAD["FP008"] = [
+    (
+        _PLAIN,
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    return np.random.rand(n)\n",  # legacy global-state RNG
+    ),
+    (
+        _PLAIN,
+        "def g(out=[]):\n"
+        "    return out\n",  # mutable default
+    ),
+]
+GOOD["FP008"] = [
+    (
+        _PLAIN,
+        "import numpy as np\n"
+        "def f(n, seed):\n"
+        "    return np.random.default_rng(seed).random(n)\n",
+    ),
+    (
+        _PLAIN,
+        "def g(out=None):\n"
+        "    return [] if out is None else out\n",
+    ),
+]
+
+RULE_IDS = sorted(BAD)
+assert RULE_IDS == sorted(GOOD) == [f"FP00{i}" for i in range(1, 9)]
+
+
+def materialize(tmp_path: Path, rel_path: str, source: str) -> Path:
+    """Write a snippet at a rule-appropriate relative path under tmp_path."""
+    target = tmp_path / rel_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target

@@ -1,0 +1,77 @@
+"""Baseline multiset semantics and JSON roundtrip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, lint_file, lint_paths
+from tests.analysis.fixtures import materialize
+
+_ONE_BAD = "def f(x):\n    if x == 0.1:\n        return 1\n    return 0\n"
+_TWO_BAD = (
+    "def f(x):\n"
+    "    if x == 0.1:\n"
+    "        return 1\n"
+    "    if x == 0.1:\n"
+    "        return 2\n"
+    "    return 0\n"
+)
+
+
+def _findings(tmp_path, source):
+    # always the SAME path: fingerprints embed the file path, so the
+    # before/after comparisons below must overwrite in place
+    findings, _, err = lint_file(
+        materialize(tmp_path, "src/tools/snippet.py", source)
+    )
+    assert err is None
+    return findings
+
+
+def test_save_load_roundtrip(tmp_path):
+    findings = _findings(tmp_path, _ONE_BAD)
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == len(baseline) == len(findings)
+    new, baselined = loaded.partition(findings)
+    assert new == [] and baselined == findings
+
+
+def test_partition_is_a_multiset(tmp_path):
+    # baseline records ONE occurrence; a second identical finding is new
+    one = _findings(tmp_path, _ONE_BAD)
+    baseline = Baseline.from_findings(one)
+    two = _findings(tmp_path, _TWO_BAD)
+    # same fingerprint (rule|path|snippet) for both occurrences
+    assert {f.fingerprint() for f in two} == {f.fingerprint() for f in one}
+    new, baselined = baseline.partition(two)
+    assert len(baselined) == 1 and len(new) == 1
+
+
+def test_fingerprint_survives_line_shifts(tmp_path):
+    before = _findings(tmp_path, _ONE_BAD)
+    shifted = _findings(tmp_path, "import math\n\n" + _ONE_BAD)
+    assert before[0].line != shifted[0].line
+    assert before[0].fingerprint() == shifted[0].fingerprint()
+    new, baselined = Baseline.from_findings(before).partition(shifted)
+    assert new == [] and len(baselined) == 1
+
+
+def test_lint_paths_with_baseline_reports_clean(tmp_path):
+    target = materialize(tmp_path, "src/tools/snippet.py", _ONE_BAD)
+    dirty = lint_paths([target])
+    assert not dirty.clean
+    baseline = Baseline.from_findings(dirty.findings)
+    clean = lint_paths([target], baseline=baseline)
+    assert clean.clean and len(clean.baselined) == 1
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)

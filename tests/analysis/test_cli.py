@@ -1,0 +1,93 @@
+"""``repro-lint`` CLI contract: exit codes, formats, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import run
+from tests.analysis.fixtures import materialize
+
+_CLEAN = "import math\ndef f(x):\n    return math.isclose(x, 0.1)\n"
+_BAD = "def f(x):\n    if x == 0.1:\n        return 1\n    return 0\n"
+_WARN_ONLY = "def f(x):\n    return x == 0.5\n"  # dyadic: FP001 warning
+
+
+def _file(tmp_path, source, sub="src/tools/snippet.py"):
+    return str(materialize(tmp_path, sub, source))
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    assert run([_file(tmp_path, _CLEAN)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one(tmp_path, capsys):
+    assert run([_file(tmp_path, _BAD)]) == 1
+    out = capsys.readouterr().out
+    assert "FP001" in out and "1 finding(s)" in out
+
+
+def test_json_format(tmp_path, capsys):
+    assert run([_file(tmp_path, _BAD), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False and payload["files"] == 1
+    assert payload["findings"][0]["rule"] == "FP001"
+    assert "fingerprint" in payload["findings"][0]
+
+
+def test_list_rules(capsys):
+    assert run(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 9):
+        assert f"FP00{i}" in out
+
+
+def test_select_and_ignore(tmp_path):
+    target = _file(tmp_path, _BAD)
+    assert run([target, "--select", "FP006"]) == 0
+    assert run([target, "--ignore", "FP001"]) == 0
+    assert run([target, "--select", "FP001"]) == 1
+
+
+def test_min_severity_filters_warnings(tmp_path):
+    target = _file(tmp_path, _WARN_ONLY)
+    assert run([target]) == 1
+    assert run([target, "--min-severity", "error"]) == 0
+
+
+def test_baseline_workflow(tmp_path, capsys):
+    target = _file(tmp_path, _BAD)
+    baseline = str(tmp_path / "baseline.json")
+    assert run([target, "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    # known findings are baselined away ...
+    assert run([target, "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # ... but a NEW finding still fails
+    worse = _BAD + "def g(x):\n    return x != 0.3\n"
+    target2 = _file(tmp_path / "more", worse)
+    assert run([target2, "--baseline", baseline]) == 1
+
+
+def test_usage_errors_exit_two(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        run(["--write-baseline", _file(tmp_path, _CLEAN)])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        run([str(tmp_path / "does-not-exist")])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        run([_file(tmp_path, _CLEAN), "--baseline", str(tmp_path / "missing.json")])
+    assert exc.value.code == 2
+    # a typo'd rule id must fail loudly, not select zero rules and pass
+    with pytest.raises(SystemExit) as exc:
+        run([_file(tmp_path, _BAD), "--select", "FP999"])
+    assert exc.value.code == 2
+
+
+def test_syntax_error_exits_one(tmp_path, capsys):
+    target = _file(tmp_path, "def f(:\n")
+    assert run([target]) == 1
+    assert "FP000" in capsys.readouterr().out

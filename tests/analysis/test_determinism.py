@@ -1,0 +1,102 @@
+"""Static determinism audit: operator order-sensitivity × schedule variation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.determinism import Verdict, audit_reduction, audit_shapes
+from repro.generators import zero_sum_set
+from repro.selection.certify import Certificate, certify
+
+
+class TestAuditReduction:
+    @pytest.mark.parametrize("code", ["PR", "EX", "SO"])
+    def test_deterministic_operators_are_bitwise_everywhere(self, code):
+        report = audit_reduction(
+            code, shape="arrival", jitter=1.0, fault_prob=0.5, permuted_leaves=True
+        )
+        assert report.verdict is Verdict.BITWISE
+        assert report.bitwise_guaranteed
+        assert report.order_independent_op
+        assert report.hazards == ()
+        # the schedule still varies — the operator just doesn't care
+        assert report.schedule_varies
+
+    @pytest.mark.parametrize("code", ["ST", "K", "CP"])
+    def test_order_sensitive_on_fixed_schedule_is_conditional(self, code):
+        report = audit_reduction(code, shape="balanced")
+        assert report.verdict is Verdict.CONDITIONAL
+        assert not report.schedule_varies
+        assert report.hazards  # explains the condition
+
+    def test_jitter_makes_arrival_nondeterministic(self):
+        report = audit_reduction("ST", shape="arrival", jitter=0.5)
+        assert report.verdict is Verdict.NONDETERMINISTIC
+        assert any("jitter" in h for h in report.hazards)
+
+    def test_unseeded_random_shape_is_nondeterministic(self):
+        report = audit_reduction("K", shape="random", seeded=False)
+        assert report.verdict is Verdict.NONDETERMINISTIC
+        assert any("unseeded" in h for h in report.hazards)
+
+    def test_seeded_random_shape_is_conditional(self):
+        report = audit_reduction("K", shape="random", seeded=True)
+        assert report.verdict is Verdict.CONDITIONAL
+
+    def test_fault_injection_is_a_hazard(self):
+        report = audit_reduction("CP", shape="balanced", fault_prob=0.01)
+        assert report.verdict is Verdict.NONDETERMINISTIC
+        assert any("fault" in h for h in report.hazards)
+
+    def test_explain_mentions_code_and_verdict(self):
+        report = audit_reduction("ST", shape="balanced", permuted_leaves=True)
+        text = report.explain()
+        assert "ST" in text and "nondeterministic" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            audit_reduction("ST", shape="mystery")
+        with pytest.raises(ValueError):
+            audit_reduction("ST", jitter=-1.0)
+        with pytest.raises(ValueError):
+            audit_reduction("ST", fault_prob=1.5)
+
+
+class TestAuditShapes:
+    def test_worst_case_wins(self):
+        report = audit_shapes("ST", ["balanced", "serial"], permuted_leaves=True)
+        assert report.verdict is Verdict.NONDETERMINISTIC
+
+    def test_deterministic_operator_spans_all_shapes(self):
+        report = audit_shapes("PR", ["balanced", "serial", "random"])
+        assert report.verdict is Verdict.BITWISE
+
+    def test_needs_shapes(self):
+        with pytest.raises(ValueError):
+            audit_shapes("ST", [])
+
+
+class TestCertifyIntegration:
+    def test_certificate_carries_static_verdict(self):
+        data = zero_sum_set(512, dr=16, seed=0)
+        cert = certify(data, "PR", 0.0, n_trees=10, seed=1)
+        assert cert.static_verdict == "bitwise"
+        st = certify(data, "ST", 1e-13, n_trees=10, seed=2)
+        # the certify ensemble permutes leaves, so ST cannot be pinned down
+        assert st.static_verdict == "nondeterministic"
+
+    def test_static_verdict_survives_json(self):
+        data = np.ones(64)
+        cert = certify(data, "PR", 0.0, n_trees=10, seed=3)
+        assert Certificate.from_json(cert.to_json()).static_verdict == "bitwise"
+
+    def test_from_json_tolerates_older_certificates(self):
+        data = np.ones(64)
+        cert = certify(data, "ST", 1.0, n_trees=10, seed=4)
+        import json
+
+        payload = json.loads(cert.to_json())
+        del payload["static_verdict"]
+        old = Certificate.from_json(json.dumps(payload))
+        assert old.static_verdict == ""

@@ -1,0 +1,86 @@
+"""Inline ``# repro: allow[...]`` suppression semantics."""
+
+from __future__ import annotations
+
+from repro.analysis import lint_file
+from repro.analysis.base import parse_suppressions
+from tests.analysis.fixtures import materialize
+
+_BAD_LINE = "    if x == 0.1:\n        return 1\n    return 0\n"
+
+
+def _lint(tmp_path, source):
+    findings, n_sup, err = lint_file(
+        materialize(tmp_path, "src/tools/snippet.py", source)
+    )
+    assert err is None
+    return findings, n_sup
+
+
+def test_same_line_allow_suppresses(tmp_path):
+    findings, n_sup = _lint(
+        tmp_path,
+        "def f(x):\n    if x == 0.1:  # repro: allow[FP001]\n        return 1\n    return 0\n",
+    )
+    assert not any(f.rule_id == "FP001" for f in findings)
+    assert n_sup == 1
+
+
+def test_standalone_comment_suppresses_next_line(tmp_path):
+    findings, n_sup = _lint(
+        tmp_path,
+        "def f(x):\n    # repro: allow[FP001]\n    if x == 0.1:\n        return 1\n    return 0\n",
+    )
+    assert not any(f.rule_id == "FP001" for f in findings)
+    assert n_sup == 1
+
+
+def test_allow_star_suppresses_any_rule(tmp_path):
+    findings, n_sup = _lint(
+        tmp_path, "def f(x):\n" + _BAD_LINE.replace("0.1:", "0.1:  # repro: allow[*]")
+    )
+    assert findings == [] and n_sup == 1
+
+
+def test_reason_tail_is_accepted(tmp_path):
+    findings, n_sup = _lint(
+        tmp_path,
+        "def f(x):\n    if x == 0.1:  # repro: allow[FP001] -- sentinel, exact\n"
+        "        return 1\n    return 0\n",
+    )
+    assert findings == [] and n_sup == 1
+
+
+def test_wrong_id_does_not_suppress(tmp_path):
+    findings, n_sup = _lint(
+        tmp_path,
+        "def f(x):\n    if x == 0.1:  # repro: allow[FP006]\n        return 1\n    return 0\n",
+    )
+    assert any(f.rule_id == "FP001" for f in findings)
+    assert n_sup == 0
+
+
+def test_multiple_ids_in_one_allow(tmp_path):
+    source = (
+        "def f(xs):\n"
+        "    acc = 0.0\n"
+        "    for v in xs:\n"
+        "        acc += v  # repro: allow[FP003,FP006]\n"
+        "    return acc\n"
+    )
+    findings, n_sup = _lint(tmp_path, source)
+    assert not any(f.rule_id == "FP003" for f in findings)
+    assert n_sup == 1
+
+
+def test_parse_suppressions_maps_lines_to_ids():
+    source = (
+        "x = 1\n"
+        "y = 2  # repro: allow[FP001]\n"
+        "# repro: allow[FP002, FP003]\n"
+        "z = 3\n"
+    )
+    sup = parse_suppressions(source)
+    assert sup[2] == {"FP001"}
+    # a standalone comment covers its own line and the next
+    assert sup[4] == {"FP002", "FP003"}

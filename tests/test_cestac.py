@@ -51,7 +51,7 @@ class TestRandomRounding:
 
 class TestSignificantDigits:
     def test_identical_samples_full_precision(self):
-        assert significant_digits((1.0, 1.0, 1.0)) == 15.95
+        assert significant_digits((1.0, 1.0, 1.0)) == pytest.approx(15.95)
 
     def test_wild_spread_zero_digits(self):
         assert significant_digits((1.0, -1.0, 0.5)) == 0.0
@@ -67,7 +67,7 @@ class TestSignificantDigits:
     def test_stochastic_value_wrapper(self):
         v = StochasticValue.from_float(2.0)
         assert v.mean() == 2.0
-        assert v.significant_digits() == 15.95
+        assert v.significant_digits() == pytest.approx(15.95)
         rng = resolve_rng(4)
         w = v.add(StochasticValue.from_float(1e-20), rng)
         assert w.mean() == pytest.approx(2.0)

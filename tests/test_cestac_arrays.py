@@ -84,4 +84,4 @@ class TestStochasticBalancedSum:
     def test_empty_and_single(self):
         assert stochastic_balanced_sum(np.array([]), seed=0) == (0.0, 15.95)
         v, d = stochastic_balanced_sum(np.array([2.5]), seed=1)
-        assert v == 2.5 and d == 15.95
+        assert v == 2.5 and d == pytest.approx(15.95)

@@ -19,7 +19,7 @@ moderate = st.floats(
 class TestDoubleDouble:
     def test_from_float_roundtrip(self):
         d = DoubleDouble.from_float(0.1)
-        assert d.to_float() == 0.1
+        assert d.to_float() == 0.1  # repro: allow[FP007] -- exact round-trip is the property under test
         assert d.lo == 0.0
 
     @given(moderate, moderate)

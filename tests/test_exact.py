@@ -94,7 +94,8 @@ class TestExactSumVectorized:
 
 
 class TestMergeAndCopy:
-    def test_merge_is_addition(self, rng=np.random.default_rng(7)):
+    def test_merge_is_addition(self):
+        rng = np.random.default_rng(7)
         x = rng.uniform(-1, 1, 1000)
         a = ExactSum()
         a.add_array(x[:500])

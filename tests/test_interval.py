@@ -60,7 +60,7 @@ class TestInterval:
         assert i.lo == 2.0 and i.hi == 3.0
 
     def test_digits(self):
-        assert Interval.point(1.0).digits() == 15.95
+        assert Interval.point(1.0).digits() == pytest.approx(15.95)
         wide = Interval(1.0, 1.1)
         assert 0.5 < wide.digits() < 2.0
         assert Interval(-1.0, 1.0).digits() < 0.5

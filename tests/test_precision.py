@@ -25,7 +25,7 @@ class TestRounding:
         rng = np.random.default_rng(0)
         x = rng.uniform(-1e30, 1e30, 50_000)
         assert np.array_equal(
-            round_array_to_precision(x, 24), np.float32(x).astype(np.float64)
+            round_array_to_precision(x, 24), np.float32(x).astype(np.float64)  # repro: allow[FP005] -- float32 rounding is the behaviour under test
         )
 
     @given(moderate, st.integers(min_value=1, max_value=53))
@@ -51,7 +51,7 @@ class TestRounding:
         assert round_to_precision(0.0, p) == 0.0
 
     def test_p53_identity(self):
-        assert round_to_precision(0.1, 53) == 0.1
+        assert round_to_precision(0.1, 53) == 0.1  # repro: allow[FP007] -- exact identity at p=53 is the property under test
 
     def test_validation(self):
         with pytest.raises(ValueError):

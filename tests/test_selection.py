@@ -118,7 +118,7 @@ class TestAnalyticPolicy:
         p = profile_chunk(np.array([1.0, 2.0])).as_set_profile()
         d = policy.select(p, 1e-10)
         assert set(d.candidate_predictions) == {"ST", "K", "CP", "PR"}
-        assert d.threshold == 1e-10
+        assert d.threshold == pytest.approx(1e-10)
 
     def test_invalid_threshold(self):
         policy = AnalyticPolicy()
@@ -182,7 +182,7 @@ class TestGridClassifier:
         p = profile_set(generate_sum_set(4096, 1e12, 0, seed=12).values)
         d = classifier.select(p, 1e-12)
         assert d.code == "CP"
-        assert d.predicted_std == 1e-13
+        assert d.predicted_std == pytest.approx(1e-13)
 
     def test_json_roundtrip(self, classifier):
         text = classifier.to_json()

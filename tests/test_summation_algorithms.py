@@ -123,7 +123,7 @@ class TestStandard:
         x = rng.uniform(-1, 1, 1000)
         s = 0.0
         for v in x.tolist():
-            s += v
+            s += v  # repro: allow[FP003] -- the literal serial loop is the reference under test
         assert get_algorithm("ST").sum_array(x) == s
 
     def test_pairwise_differs_from_sequential_sometimes(self):
@@ -148,7 +148,7 @@ class TestKahanClassic:
             acc.add(v)
             y = v - c
             t = s + y
-            c = (t - s) - y
+            c = (t - s) - y  # repro: allow[FP004] -- the Kahan recurrence is the reference under test
             s = t
         assert acc.result() == s
 
