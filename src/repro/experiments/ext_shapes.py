@@ -28,10 +28,10 @@ from repro.exact.superacc import exact_sum_fraction
 from repro.experiments.config import ExperimentResult, Scale, resolve_scale
 from repro.generators.conditioned import zero_sum_set
 from repro.summation.registry import get_algorithm
-from repro.trees.evaluate import evaluate_tree_generic
+from repro.trees.evaluate import evaluate_ensemble
 from repro.trees.shapes import random_shape, skewed
 from repro.trees.tree import ReductionTree
-from repro.util.rng import derive_seed, permutation_stream
+from repro.util.rng import derive_seed
 from repro.viz.tables import render_table
 
 __all__ = ["run"]
@@ -43,12 +43,11 @@ _CODES = ("ST", "K", "CP")
 def _ensemble_spread(
     tree: ReductionTree, data: np.ndarray, code: str, n_trees: int, seed: int
 ) -> float:
-    alg = get_algorithm(code)
-    vals = [
-        evaluate_tree_generic(tree, data[p], alg)
-        for p in permutation_stream(data.size, n_trees, seed)
-    ]
-    return float(max(vals) - min(vals))
+    # passing the tree routes skewed/random shapes through the compiled
+    # level-schedule engine (bitwise-pinned to the node-walk) instead of
+    # per-tree Python merges
+    vals = evaluate_ensemble(data, tree, get_algorithm(code), n_trees, seed=seed)
+    return float(np.max(vals) - np.min(vals))
 
 
 def run(scale: "Scale | str | None" = None) -> ExperimentResult:

@@ -8,9 +8,14 @@ permuting the assignment of summands to leaves.  ... the error in each sum is
 calculated with respect to an accurate reference sum ... we compute the
 standard deviation of the errors and shade the cell according to that value."
 
-Cells are independent, so the sweep fans out over a process pool; workers
-receive only picklable parameter tuples and derive their RNG streams from
-stable integer seeds, making the sweep bitwise independent of worker count.
+Cells are independent, so the sweep fans out over a process pool via
+:func:`repro.util.parallel.map_parallel` (auto-derived chunksize; results
+keep axis order); workers receive only picklable parameter tuples and derive
+their RNG streams from stable integer seeds, making the sweep bitwise
+independent of worker count and chunking.  Inside each cell the ~1000-tree
+ensemble itself is batched: :func:`repro.trees.evaluate.evaluate_ensemble`
+evaluates whole permutation blocks per NumPy call (matrix sweeps for the
+balanced/serial extremes, compiled level schedules for arbitrary shapes).
 
 Shading metric: the *relative* standard deviation (std of errors divided by
 the magnitude of the exact sum).  With magnitudes fixed by the generator, the

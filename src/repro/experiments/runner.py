@@ -4,7 +4,11 @@ Usage::
 
     repro-experiments list
     repro-experiments run fig7 [--scale ci|paper] [--out results/]
-    repro-experiments run all  [--scale ci|paper] [--out results/]
+    repro-experiments run all  [--scale ci|paper] [--out results/] [--workers N]
+
+``--workers`` bounds the process pool the grid sweeps fan out over (it sets
+``REPRO_WORKERS`` for the run).  Workers receive picklable seed payloads, so
+every result is bitwise identical regardless of pool size.
 
 Each experiment prints its rows/series as text (the same content the paper's
 figure encodes) plus PASS/FAIL shape checks against the paper's qualitative
@@ -115,6 +119,14 @@ def main(argv: "list[str] | None" = None) -> int:
     run_p.add_argument("experiment", help="experiment id, or 'all'")
     run_p.add_argument("--scale", default=None, help="ci (default), large, or paper")
     run_p.add_argument("--out", default=None, help="directory for JSON rows")
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for grid sweeps (sets REPRO_WORKERS; "
+        "cells fan out with picklable seed payloads, so results are "
+        "bitwise independent of this value)",
+    )
     rep_p = sub.add_parser("report", help="aggregate JSON outputs into markdown")
     rep_p.add_argument("directory", help="directory holding *_<scale>.json files")
     rep_p.add_argument("-o", "--output", default=None, help="write report here")
@@ -136,6 +148,10 @@ def main(argv: "list[str] | None" = None) -> int:
             print(exp)
         return 0
 
+    if args.workers is not None:
+        import os
+
+        os.environ["REPRO_WORKERS"] = str(max(1, args.workers))
     if args.experiment == "all":
         targets = list(EXPERIMENTS) + list(EXTENSIONS)
     else:

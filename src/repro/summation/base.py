@@ -86,6 +86,12 @@ class VectorOps(abc.ABC):
     #: number of float64 component arrays in a state
     n_components: int = 1
 
+    #: name of this algebra's compiled balanced-sweep kernel in
+    #: :mod:`repro.trees._ckernels` (None = NumPy sweep only).  A tagged
+    #: kernel MUST be bitwise-equal to the NumPy level sweep; the engine
+    #: property tests pin both against the generic node-walk.
+    ckernel: Optional[str] = None
+
     @abc.abstractmethod
     def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
         """Lift raw operands into single-operand accumulator states."""
@@ -99,6 +105,45 @@ class VectorOps(abc.ABC):
     @abc.abstractmethod
     def result(self, state: Tuple[np.ndarray, ...]) -> np.ndarray:
         """Collapse states to plain doubles (the root rounding)."""
+
+    def merge_leaves(
+        self, a_values: np.ndarray, b_values: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """Merge two arrays of *raw operands* into accumulator states.
+
+        Semantically ``merge(init(a), init(b))`` — the first level of any
+        reduction tree, where both children are leaves.  Algorithms override
+        this to skip materialising the all-zero compensation components of
+        singleton states (and the operand copies ``init`` makes); overrides
+        must stay bitwise equal to the default, which the engine property
+        tests pin.
+        """
+        return self.merge(self.init(a_values), self.init(b_values))
+
+    def merge_at(
+        self,
+        buffers: Tuple[np.ndarray, ...],
+        left: np.ndarray,
+        right: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Gather-merge-scatter along the slot axis of flat state buffers.
+
+        ``buffers`` are component arrays whose *last* axis indexes
+        accumulator slots; leading axes (if any) are ensemble lanes that
+        broadcast through the elementwise ``merge``.  The states at slots
+        ``left`` and ``right`` are merged pairwise and written to slots
+        ``out`` in place — one dependency level of a compiled reduction
+        schedule (:mod:`repro.trees.schedule`), for a whole ensemble, in a
+        single call.  ``left``/``right``/``out`` must be disjoint within a
+        call, which a leveled schedule guarantees (each slot is written once
+        and read once).
+        """
+        a = tuple(c[..., left] for c in buffers)
+        b = tuple(c[..., right] for c in buffers)
+        merged = self.merge(a, b)
+        for c, m in zip(buffers, merged):
+            c[..., out] = m
 
 
 class SummationAlgorithm(abc.ABC):

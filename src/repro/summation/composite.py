@@ -70,6 +70,7 @@ class CompositeAccumulator(Accumulator):
 
 class _CompositeVectorOps(VectorOps):
     n_components = 2
+    ckernel = "cp"
 
     def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
         v = np.asarray(values, dtype=np.float64)
@@ -78,6 +79,12 @@ class _CompositeVectorOps(VectorOps):
     def merge(self, a, b):
         s, delta = two_sum_array(a[0], b[0])
         return (s, a[1] + b[1] + delta)
+
+    def merge_leaves(self, a_values, b_values):
+        s, delta = two_sum_array(a_values, b_values)
+        # the generic path computes (0.0 + 0.0) + delta, whose only bitwise
+        # effect is normalising a -0.0 error term to +0.0 — keep that
+        return (s, delta + 0.0)
 
     def result(self, state):
         return state[0] + state[1]

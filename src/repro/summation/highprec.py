@@ -54,6 +54,7 @@ class DoubleDoubleAccumulator(Accumulator):
 
 class _DDVectorOps(VectorOps):
     n_components = 2
+    ckernel = "dd"
 
     def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
         v = np.asarray(values, dtype=np.float64)
@@ -61,6 +62,11 @@ class _DDVectorOps(VectorOps):
 
     def merge(self, a, b):
         return dd_add_array(a[0], a[1], b[0], b[1])
+
+    def merge_leaves(self, a_values, b_values):
+        # leaf lo-components are exactly zero; scalar zeros broadcast to the
+        # same doubles (x + 0.0 + 0.0 normalises -0.0 just like zero arrays)
+        return dd_add_array(a_values, 0.0, b_values, 0.0)
 
     def result(self, state):
         return state[0] + state[1]

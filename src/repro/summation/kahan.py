@@ -104,6 +104,7 @@ def _block_twosum_fold(x: np.ndarray) -> Tuple[float, float]:
 
 class _KahanVectorOps(VectorOps):
     n_components = 2
+    ckernel = "kahan"
 
     def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
         v = np.asarray(values, dtype=np.float64)
@@ -113,6 +114,14 @@ class _KahanVectorOps(VectorOps):
         y = b[0] - (a[1] + b[1])
         t = a[0] + y
         c = (t - a[0]) - y  # repro: allow[FP004] -- the Kahan merge recurrence itself
+        return (t, c)
+
+    def merge_leaves(self, a_values, b_values):
+        # leaf compensations are exactly zero, so y = b - (0+0) == b bitwise
+        # (x - 0.0 == x for every double, including -0.0)
+        t = a_values + b_values
+        c = np.subtract(t, a_values)
+        np.subtract(c, b_values, out=c)  # repro: allow[FP004] -- the Kahan merge recurrence itself
         return (t, c)
 
     def result(self, state):
@@ -183,6 +192,47 @@ class NeumaierAccumulator(Accumulator):
         return self.s + self.c
 
 
+class _NeumaierVectorOps(VectorOps):
+    """Elementwise image of :meth:`NeumaierAccumulator.merge`.
+
+    The scalar merge is ``add(other.s)`` followed by ``c += other.c``; the
+    magnitude branch becomes a ``where`` select.  Both branch expressions are
+    evaluated for every lane, but the selected lane value is the same double
+    the scalar branch would produce, so the vector form stays bitwise equal
+    to the accumulator walk.
+    """
+
+    n_components = 2
+    ckernel = "kbn"
+
+    def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
+        v = np.asarray(values, dtype=np.float64)
+        return (v.copy(), np.zeros_like(v))
+
+    def merge(self, a, b):
+        t = a[0] + b[0]
+        comp = np.where(
+            np.abs(a[0]) >= np.abs(b[0]),
+            (a[0] - t) + b[0],  # repro: allow[FP004] -- the Neumaier recurrence itself
+            (b[0] - t) + a[0],  # repro: allow[FP004] -- the Neumaier recurrence itself
+        )
+        return (t, (a[1] + comp) + b[1])
+
+    def merge_leaves(self, a_values, b_values):
+        t = a_values + b_values
+        comp = np.where(
+            np.abs(a_values) >= np.abs(b_values),
+            (a_values - t) + b_values,  # repro: allow[FP004] -- the Neumaier recurrence itself
+            (b_values - t) + a_values,  # repro: allow[FP004] -- the Neumaier recurrence itself
+        )
+        # the generic path computes (0.0 + comp) + 0.0, whose only bitwise
+        # effect is normalising a -0.0 compensation to +0.0 — keep that
+        return (t, comp + 0.0)
+
+    def result(self, state):
+        return state[0] + state[1]
+
+
 class NeumaierSum(SummationAlgorithm):
     """Kahan–Babuška–Neumaier summation (extension beyond the paper's four)."""
 
@@ -191,6 +241,8 @@ class NeumaierSum(SummationAlgorithm):
     cost_rank = 1
     deterministic = False
 
+    _vops = _NeumaierVectorOps()
+
     def make_accumulator(self, context: Optional[SumContext] = None) -> NeumaierAccumulator:
         return NeumaierAccumulator()
 
@@ -198,3 +250,7 @@ class NeumaierSum(SummationAlgorithm):
         acc = NeumaierAccumulator()
         acc.add_array(x)
         return acc.result()
+
+    @property
+    def vector_ops(self) -> VectorOps:
+        return self._vops

@@ -50,12 +50,16 @@ class StandardAccumulator(Accumulator):
 
 class _StandardVectorOps(VectorOps):
     n_components = 1
+    ckernel = "st"
 
     def init(self, values: np.ndarray) -> Tuple[np.ndarray, ...]:
         return (np.asarray(values, dtype=np.float64).copy(),)
 
     def merge(self, a, b):
         return (a[0] + b[0],)
+
+    def merge_leaves(self, a_values, b_values):
+        return (a_values + b_values,)
 
     def result(self, state):
         return state[0]

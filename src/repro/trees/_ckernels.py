@@ -1,0 +1,367 @@
+"""Optional compiled balanced-sweep kernels (ctypes + cc, NumPy fallback).
+
+The 2-D balanced matrix sweep in :mod:`repro.trees.evaluate` is limited by
+NumPy's one-temporary-per-ufunc execution model: every level of the tree
+reads and writes full ensemble-sized intermediates, so the sweep runs at
+memory bandwidth while the arithmetic itself is a handful of flops per
+element.  A fused C kernel evaluates each tree's whole level schedule out of
+an L1-resident scratch buffer — including the leaf gather, so the permuted
+operand matrix is never materialised at all.
+
+The kernels are **bitwise-identical** to the NumPy level sweep: they apply
+the exact same IEEE-754 double operations in the exact same order (compiled
+with ``-ffp-contract=off`` so no FMA contraction can perturb a rounding),
+and the engine property tests pin them against the generic node-walk just
+like every other fast path.
+
+Availability is strictly optional.  The C source is compiled on first use
+with the system C compiler into a content-addressed cache under the user's
+temp directory; if no compiler is present, compilation fails, or
+``REPRO_NO_CKERNELS`` is set (any non-empty value), :func:`has_kernel`
+returns False and callers stay on the pure-NumPy path.  Nothing is ever
+downloaded or installed.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["has_kernel", "sweep_matrix", "sweep_indexed", "kernels_available"]
+
+#: One function per accumulator algebra.  ``idx == NULL`` means matrix mode
+#: (row r's leaves are ``data[r*n : (r+1)*n]``); otherwise ``data`` is the
+#: base operand vector and row r's leaves are ``data[idx[r*n + j]]``.
+#: Every function mirrors the level loop of ``balanced_ensemble_vops``:
+#: pair adjacent nodes, carry an odd trailing node up unchanged.
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+#define LEAF(j) (idx ? data[idx[(size_t)r * (size_t)n + (size_t)(j)]] \
+                     : data[(size_t)r * (size_t)n + (size_t)(j)])
+
+int balanced_sweep_st(const double *data, const int64_t *idx,
+                      int64_t n_rows, int64_t n, double *out)
+{
+    int64_t h = (n + 1) / 2;
+    double *s = (double *)malloc((size_t)h * sizeof(double));
+    if (!s) return 1;
+    for (int64_t r = 0; r < n_rows; r++) {
+        int64_t even = n - (n & 1), hw = even / 2;
+        for (int64_t i = 0; i < hw; i++)
+            s[i] = LEAF(2 * i) + LEAF(2 * i + 1);
+        int64_t w = hw;
+        if (n & 1) { s[w] = LEAF(n - 1); w++; }
+        while (w > 1) {
+            int64_t e2 = w - (w & 1), h2 = e2 / 2;
+            for (int64_t i = 0; i < h2; i++)
+                s[i] = s[2 * i] + s[2 * i + 1];
+            if (w & 1) s[h2] = s[w - 1];
+            w = h2 + (w & 1);
+        }
+        out[r] = s[0];
+    }
+    free(s);
+    return 0;
+}
+
+int balanced_sweep_kahan(const double *data, const int64_t *idx,
+                         int64_t n_rows, int64_t n, double *out)
+{
+    int64_t h = (n + 1) / 2;
+    double *s = (double *)malloc((size_t)h * sizeof(double));
+    double *c = (double *)malloc((size_t)h * sizeof(double));
+    if (!s || !c) { free(s); free(c); return 1; }
+    for (int64_t r = 0; r < n_rows; r++) {
+        int64_t even = n - (n & 1), hw = even / 2;
+        for (int64_t i = 0; i < hw; i++) {
+            double a = LEAF(2 * i), b = LEAF(2 * i + 1);
+            double t = a + b;
+            s[i] = t;
+            c[i] = (t - a) - b;
+        }
+        int64_t w = hw;
+        if (n & 1) { s[w] = LEAF(n - 1); c[w] = 0.0; w++; }
+        while (w > 1) {
+            int64_t e2 = w - (w & 1), h2 = e2 / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double a0 = s[2 * i], b0 = s[2 * i + 1];
+                double a1 = c[2 * i], b1 = c[2 * i + 1];
+                double y = b0 - (a1 + b1);
+                double t = a0 + y;
+                s[i] = t;
+                c[i] = (t - a0) - y;
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[r] = s[0];
+    }
+    free(s); free(c);
+    return 0;
+}
+
+int balanced_sweep_kbn(const double *data, const int64_t *idx,
+                       int64_t n_rows, int64_t n, double *out)
+{
+    int64_t h = (n + 1) / 2;
+    double *s = (double *)malloc((size_t)h * sizeof(double));
+    double *c = (double *)malloc((size_t)h * sizeof(double));
+    if (!s || !c) { free(s); free(c); return 1; }
+    for (int64_t r = 0; r < n_rows; r++) {
+        int64_t even = n - (n & 1), hw = even / 2;
+        for (int64_t i = 0; i < hw; i++) {
+            double a = LEAF(2 * i), b = LEAF(2 * i + 1);
+            double t = a + b;
+            double comp = (fabs(a) >= fabs(b)) ? (a - t) + b : (b - t) + a;
+            s[i] = t;
+            c[i] = comp + 0.0;
+        }
+        int64_t w = hw;
+        if (n & 1) { s[w] = LEAF(n - 1); c[w] = 0.0; w++; }
+        while (w > 1) {
+            int64_t e2 = w - (w & 1), h2 = e2 / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double a0 = s[2 * i], b0 = s[2 * i + 1];
+                double a1 = c[2 * i], b1 = c[2 * i + 1];
+                double t = a0 + b0;
+                double comp = (fabs(a0) >= fabs(b0)) ? (a0 - t) + b0
+                                                     : (b0 - t) + a0;
+                s[i] = t;
+                c[i] = (a1 + comp) + b1;
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[r] = s[0] + c[0];
+    }
+    free(s); free(c);
+    return 0;
+}
+
+int balanced_sweep_cp(const double *data, const int64_t *idx,
+                      int64_t n_rows, int64_t n, double *out)
+{
+    int64_t h = (n + 1) / 2;
+    double *s = (double *)malloc((size_t)h * sizeof(double));
+    double *c = (double *)malloc((size_t)h * sizeof(double));
+    if (!s || !c) { free(s); free(c); return 1; }
+    for (int64_t r = 0; r < n_rows; r++) {
+        int64_t even = n - (n & 1), hw = even / 2;
+        for (int64_t i = 0; i < hw; i++) {
+            double a = LEAF(2 * i), b = LEAF(2 * i + 1);
+            double sum = a + b;
+            double bb = sum - a;
+            double delta = (a - (sum - bb)) + (b - bb);
+            s[i] = sum;
+            c[i] = delta + 0.0;
+        }
+        int64_t w = hw;
+        if (n & 1) { s[w] = LEAF(n - 1); c[w] = 0.0; w++; }
+        while (w > 1) {
+            int64_t e2 = w - (w & 1), h2 = e2 / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double a0 = s[2 * i], b0 = s[2 * i + 1];
+                double a1 = c[2 * i], b1 = c[2 * i + 1];
+                double sum = a0 + b0;
+                double bb = sum - a0;
+                double delta = (a0 - (sum - bb)) + (b0 - bb);
+                s[i] = sum;
+                c[i] = a1 + b1 + delta;
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[r] = s[0] + c[0];
+    }
+    free(s); free(c);
+    return 0;
+}
+
+int balanced_sweep_dd(const double *data, const int64_t *idx,
+                      int64_t n_rows, int64_t n, double *out)
+{
+    int64_t h = (n + 1) / 2;
+    double *s = (double *)malloc((size_t)h * sizeof(double));
+    double *c = (double *)malloc((size_t)h * sizeof(double));
+    if (!s || !c) { free(s); free(c); return 1; }
+    for (int64_t r = 0; r < n_rows; r++) {
+        int64_t even = n - (n & 1), hw = even / 2;
+        for (int64_t i = 0; i < hw; i++) {
+            double hi1 = LEAF(2 * i), hi2 = LEAF(2 * i + 1);
+            double sum = hi1 + hi2;
+            double bb = sum - hi1;
+            double e = (hi1 - (sum - bb)) + (hi2 - bb);
+            e = e + 0.0 + 0.0;
+            double s2 = sum + e;
+            s[i] = s2;
+            c[i] = e - (s2 - sum);
+        }
+        int64_t w = hw;
+        if (n & 1) { s[w] = LEAF(n - 1); c[w] = 0.0; w++; }
+        while (w > 1) {
+            int64_t e2 = w - (w & 1), h2 = e2 / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double hi1 = s[2 * i], hi2 = s[2 * i + 1];
+                double lo1 = c[2 * i], lo2 = c[2 * i + 1];
+                double sum = hi1 + hi2;
+                double bb = sum - hi1;
+                double e = (hi1 - (sum - bb)) + (hi2 - bb);
+                e = e + lo1 + lo2;
+                double s2 = sum + e;
+                s[i] = s2;
+                c[i] = e - (s2 - sum);
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[r] = s[0] + c[0];
+    }
+    free(s); free(c);
+    return 0;
+}
+"""
+
+_FUNCTIONS = (
+    "balanced_sweep_st",
+    "balanced_sweep_kahan",
+    "balanced_sweep_kbn",
+    "balanced_sweep_cp",
+    "balanced_sweep_dd",
+)
+
+_lock = threading.Lock()
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+def _compile_library() -> Optional[ctypes.CDLL]:
+    """Compile (or reuse) the kernel shared object; None on any failure."""
+    if os.environ.get("REPRO_NO_CKERNELS"):
+        return None
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        return None
+    digest = hashlib.blake2b(_C_SOURCE.encode(), digest_size=16).hexdigest()
+    cache_dir = os.environ.get("REPRO_CKERNEL_CACHE") or os.path.join(
+        tempfile.gettempdir(), "repro-ckernels"
+    )
+    so_path = os.path.join(cache_dir, f"balanced-{digest}.so")
+    try:
+        if not os.path.exists(so_path):
+            os.makedirs(cache_dir, exist_ok=True)
+            with tempfile.TemporaryDirectory(dir=cache_dir) as td:
+                src = os.path.join(td, "kernels.c")
+                with open(src, "w") as f:
+                    f.write(_C_SOURCE)
+                tmp_so = os.path.join(td, "kernels.so")
+                # -ffp-contract=off: no FMA contraction; every rounding in
+                # the source happens exactly as written, matching NumPy.
+                subprocess.run(
+                    [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                     src, "-o", tmp_so],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+                os.replace(tmp_so, so_path)  # atomic within cache_dir
+        lib = ctypes.CDLL(so_path)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    argtypes = [
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_int64),
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    for name in _FUNCTIONS:
+        fn = getattr(lib, name)
+        fn.argtypes = argtypes
+        fn.restype = ctypes.c_int
+    return lib
+
+
+def _get_lib() -> Optional[ctypes.CDLL]:
+    global _lib, _load_attempted
+    if not _load_attempted:
+        with _lock:
+            if not _load_attempted:
+                _lib = _compile_library()
+                _load_attempted = True
+    return _lib
+
+
+def kernels_available() -> bool:
+    """True when the compiled kernels loaded (compiler present, not gated)."""
+    return _get_lib() is not None
+
+
+def has_kernel(vops) -> bool:
+    """True when ``vops`` advertises a compiled balanced sweep and it loads."""
+    return getattr(vops, "ckernel", None) is not None and _get_lib() is not None
+
+
+_NULL_IDX = ctypes.POINTER(ctypes.c_int64)()
+
+
+def _call(name: str, data: np.ndarray, idx, n_rows: int, n: int,
+          out: np.ndarray) -> None:
+    lib = _get_lib()
+    assert lib is not None, "compiled kernels not available"
+    fn = getattr(lib, "balanced_sweep_" + name)
+    data_p = data.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+    idx_p = (
+        _NULL_IDX
+        if idx is None
+        else idx.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+    )
+    out_p = out.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+    status = fn(data_p, idx_p, n_rows, n, out_p)
+    if status != 0:  # pragma: no cover - allocation failure
+        raise MemoryError(f"balanced_sweep_{name} scratch allocation failed")
+
+
+def sweep_matrix(mat: np.ndarray, vops, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Balanced-tree values of every row of a ``(P, n)`` operand matrix.
+
+    Bitwise-equal to the NumPy ``balanced_ensemble_vops`` sweep; requires
+    ``has_kernel(vops)`` and ``n >= 2``.
+    """
+    mat = np.ascontiguousarray(mat, dtype=np.float64)
+    n_rows, n = mat.shape
+    if out is None:
+        out = np.empty(n_rows, dtype=np.float64)
+    _call(vops.ckernel, mat, None, n_rows, n, out)
+    return out
+
+
+def sweep_indexed(
+    data: np.ndarray,
+    idx: np.ndarray,
+    vops,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Like :func:`sweep_matrix` but row r's leaves are ``data[idx[r]]``.
+
+    The leaf gather happens inside the kernel, so the permuted operand
+    matrix is never materialised.  Indices are **not** bounds-checked here;
+    callers validate untrusted index matrices up front.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    idx = np.ascontiguousarray(idx, dtype=np.int64)
+    n_rows, n = idx.shape
+    if out is None:
+        out = np.empty(n_rows, dtype=np.float64)
+    _call(vops.ckernel, data, idx, n_rows, n, out)
+    return out

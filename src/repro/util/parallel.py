@@ -32,15 +32,23 @@ def map_parallel(
     items: Sequence[T],
     *,
     workers: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, in-process when small or when ``workers<=1``.
 
     Falls back to a serial loop for short item lists where pool startup would
     dominate, and always preserves input order in the result list.
+
+    When ``chunksize`` is ``None`` it is derived as
+    ``max(1, len(items) // (workers * 4))``: large enough that many small
+    grid cells amortise the per-item IPC round trip, small enough (~4 chunks
+    of slack per worker) that uneven cell costs still balance.  Pass an
+    explicit integer to override.
     """
     workers = default_workers() if workers is None else workers
     if workers <= 1 or len(items) <= 2:
         return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = max(1, len(items) // (workers * 4))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
