@@ -32,6 +32,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.exact.superacc import exact_sum_fraction
 from repro.generators.conditioned import generate_sum_set
 from repro.metrics.errors import ErrorStats, error_stats
 from repro.metrics.properties import condition_number
@@ -66,12 +67,14 @@ def _run_cell(payload: tuple) -> GridCellResult:
     k = math.inf if k == "inf" else float(k)
     set_seed = derive_seed(base_seed, "set", n, int(dr), repr(k))
     data = generate_sum_set(n, k, dr, seed=set_seed).values
+    # one superaccumulator pass per cell, shared by every algorithm's stats
+    exact = exact_sum_fraction(data)
     stats: dict[str, ErrorStats] = {}
     for code in codes:
         alg = get_algorithm(code)
         ens_seed = derive_seed(base_seed, "trees", n, int(dr), repr(k), code)
         values = evaluate_ensemble(data, shape, alg, n_trees, seed=ens_seed)
-        stats[code] = error_stats(values, data)
+        stats[code] = error_stats(values, data, exact=exact)
     return GridCellResult(
         n=n,
         condition=k,

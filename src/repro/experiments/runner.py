@@ -26,6 +26,8 @@ import time
 from pathlib import Path
 from typing import Callable, Mapping
 
+import numpy as np
+
 from repro.experiments.config import ExperimentResult, resolve_scale
 
 __all__ = ["EXPERIMENTS", "EXTENSIONS", "run_experiment", "main"]
@@ -83,7 +85,11 @@ EXTENSIONS = ("extshapes", "extfaults", "extdot", "extenum", "extselect", "extal
 
 
 def _json_safe(value):
-    # normalise numpy scalars (np.bool_, np.float64, np.int64) first
+    # multi-element ndarrays first: .item() raises ValueError on size > 1,
+    # so lower them to lists and recurse before the scalar normalisation
+    if isinstance(value, np.ndarray):
+        return _json_safe(value.tolist())
+    # normalise numpy scalars (np.bool_, np.float64, np.int64) next
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
         try:
             value = value.item()
@@ -172,6 +178,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "experiment": result.experiment_id,
                 "title": result.title,
                 "scale": result.scale,
+                "elapsed_seconds": elapsed,
                 "checks": _json_safe(dict(result.checks)),
                 "rows": _json_safe(list(result.rows)),
             }

@@ -42,16 +42,23 @@ class ErrorStats:
         return self.n_distinct == 1
 
 
-def error_stats(values: "Sequence[float] | np.ndarray", data: np.ndarray) -> ErrorStats:
+def error_stats(
+    values: "Sequence[float] | np.ndarray",
+    data: np.ndarray,
+    exact: "Fraction | None" = None,
+) -> ErrorStats:
     """Error statistics of ``values`` (ensemble of computed sums of ``data``).
 
     The exact reference is computed once with the superaccumulator; each
-    error is rounded exactly once.
+    error is rounded exactly once.  Callers evaluating several ensembles of
+    the *same* data (e.g. one per algorithm in a grid cell) may pass the
+    precomputed ``exact`` Fraction to skip the superaccumulator pass.
     """
     values = np.asarray(values, dtype=np.float64).ravel()
     if values.size == 0:
         raise ValueError("need at least one computed value")
-    exact = exact_sum_fraction(np.asarray(data, dtype=np.float64))
+    if exact is None:
+        exact = exact_sum_fraction(np.asarray(data, dtype=np.float64))
     abs_exact = abs(float(exact)) if exact != 0 else 0.0
     distinct = np.unique(values)
     if distinct.size == 1:

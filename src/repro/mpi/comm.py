@@ -15,6 +15,28 @@ structure a real ``MPI_Reduce`` with a custom op would, including:
 
 API shape follows mpi4py's lowercase conventions loosely (``reduce``,
 ``allreduce``, ``max_allreduce``) adapted to the SPMD-at-once calling style.
+
+Execution engines
+-----------------
+Every collective accepts ``engine``:
+
+* ``"object"`` — the reference path: one accumulator per rank
+  (``op.local``) and one Python ``op.combine`` per tree node.
+* ``"vector"`` — the compiled fast path: all rank-local states in one
+  :meth:`~repro.summation.base.VectorOps.fold` sweep over a zero-padded
+  ``(R, M)`` chunk matrix, then the rank tree executed as a compiled level
+  schedule (:mod:`repro.trees.schedule`, structural-key cached) with one
+  batched ``merge_at`` per dependency level.  Requires the op's algorithm
+  to expose VectorOps; raises otherwise.
+* ``"auto"`` (default) — ``"vector"`` when the op supports it, else
+  ``"object"``.
+
+The two engines are bitwise-equal by contract (fold rows match
+``op.local`` states; grouping merges into levels cannot change results
+because each slot is written once), and the collective-engine property
+tests pin that across algorithms, ragged chunk sizes and tree shapes.
+``reduce_batch`` amortises packing, compilation and level sweeps across a
+whole stream of same-shape reductions — the heavy-traffic serving path.
 """
 
 from __future__ import annotations
@@ -28,6 +50,7 @@ from repro.mpi.nondet import arrival_order_tree, sample_arrival_times
 from repro.mpi.ops import ReductionOp
 from repro.mpi.topology import MachineTopology, topology_aware_tree, tree_cost
 from repro.summation.base import SumContext
+from repro.trees.schedule import compile_tree
 from repro.trees.shapes import balanced, serial
 from repro.trees.tree import ReductionTree
 from repro.util.chunking import split_indices
@@ -94,22 +117,23 @@ class SimComm:
         chunks: Sequence[np.ndarray],
         op: ReductionOp,
         tree: "ReductionTree | str" = "topology",
+        engine: str = "auto",
     ) -> ReduceResult:
         """Deterministic global reduction down a fixed tree of ranks.
 
         ``chunks[r]`` is rank ``r``'s local data.  ``tree`` may be a
         ready-made rank tree or one of ``"balanced"``, ``"serial"``,
         ``"topology"`` (topology-aware when a topology exists, else
-        balanced).
+        balanced).  ``engine`` selects the execution path (see module
+        docs); both paths are bitwise-equal.
         """
         self._check_size(chunks)
         op = self._contextualize(op, chunks)
         tree = self._resolve_tree(tree)
-        accs: list = [op.local(chunk) for chunk in chunks]
-        slots: list = accs + [None] * (self.n_ranks - 1)
-        for a, b, out in tree.iter_steps():
-            slots[out] = op.combine(slots[a], slots[b])
-        value = op.finalize(slots[tree.root_slot])
+        if self._use_vector(op, engine):
+            value = self._execute_vector(chunks, op, tree)
+        else:
+            value = self._execute_object(chunks, op, tree)
         cost = tree_cost(tree, self.topology) if self.topology else 0.0
         return ReduceResult(
             value=value, tree=tree, simulated_time=cost, algorithm_code=op.code
@@ -120,9 +144,10 @@ class SimComm:
         chunks: Sequence[np.ndarray],
         op: ReductionOp,
         tree: "ReductionTree | str" = "topology",
+        engine: str = "auto",
     ) -> list[float]:
         """Reduce then broadcast: every rank sees the same value (bitwise)."""
-        result = self.reduce(chunks, op, tree)
+        result = self.reduce(chunks, op, tree, engine)
         return [result.value] * self.n_ranks
 
     def reduce_nondeterministic(
@@ -133,6 +158,7 @@ class SimComm:
         jitter: float = 0.25,
         fault_prob: float = 0.0,
         fault_delay: float = 25.0,
+        engine: str = "auto",
     ) -> ReduceResult:
         """One *run* of an arrival-order reduction (tree varies per call).
 
@@ -151,17 +177,91 @@ class SimComm:
         )
         run = arrival_order_tree(schedule, self.topology)
         tree = run.tree
-        accs: list = [op.local(chunk) for chunk in chunks]
-        slots: list = accs + [None] * (self.n_ranks - 1)
-        for a, b, out in tree.iter_steps():
-            slots[out] = op.combine(slots[a], slots[b])
-        value = op.finalize(slots[tree.root_slot])
+        if self._use_vector(op, engine):
+            value = self._execute_vector(chunks, op, tree)
+        else:
+            value = self._execute_object(chunks, op, tree)
         return ReduceResult(
             value=value,
             tree=tree,
             simulated_time=run.completion_time,
             algorithm_code=op.code,
         )
+
+    def reduce_batch(
+        self,
+        batches: Sequence[Sequence[np.ndarray]],
+        op: ReductionOp,
+        tree: "ReductionTree | str" = "topology",
+        engine: str = "auto",
+    ) -> list[ReduceResult]:
+        """Reduce a stream of independent collectives sharing ``op`` + tree.
+
+        ``batches[i]`` is one reduction's per-rank chunk list.  On the vector
+        engine all ``B * n_ranks`` chunks are packed into one padded matrix,
+        the local phase is a single :meth:`VectorOps.fold` sweep, and the
+        rank tree runs once with a ``(B, n_ranks)`` batch axis broadcasting
+        through every level — amortising packing, compilation and kernel
+        dispatch across the whole stream.  Each element of the returned list
+        is bitwise-equal to ``self.reduce(batches[i], op, tree)``.
+        """
+        tree = self._resolve_tree(tree)
+        for chunks in batches:
+            self._check_size(chunks)
+        if not batches:
+            return []
+        if not self._use_vector(op, engine):
+            return [self.reduce(chunks, op, tree, engine="object") for chunks in batches]
+        vops = op.vector_ops
+        flat: list = []
+        for chunks in batches:
+            flat.extend(chunks)
+        states = op.local_states(flat)
+        n_batches = len(batches)
+        states = tuple(c.reshape(n_batches, self.n_ranks) for c in states)
+        root = compile_tree(tree).reduce_states(states, vops)
+        values = np.asarray(vops.result(root), dtype=np.float64).reshape(n_batches)
+        cost = tree_cost(tree, self.topology) if self.topology else 0.0
+        return [
+            ReduceResult(
+                value=float(v), tree=tree, simulated_time=cost, algorithm_code=op.code
+            )
+            for v in values
+        ]
+
+    # -- engines ---------------------------------------------------------------
+    def _use_vector(self, op: ReductionOp, engine: str) -> bool:
+        if engine == "auto":
+            return op.supports_vector
+        if engine == "vector":
+            if not op.supports_vector:
+                raise ValueError(
+                    f"algorithm {op.code!r} does not support the vector engine "
+                    "(no VectorOps, or it needs a per-reduction context)"
+                )
+            return True
+        if engine == "object":
+            return False
+        raise ValueError(f"unknown engine {engine!r} (use 'auto', 'vector' or 'object')")
+
+    def _execute_object(
+        self, chunks: Sequence[np.ndarray], op: ReductionOp, tree: ReductionTree
+    ) -> float:
+        """Reference path: per-rank accumulators + per-node Python merges."""
+        accs: list = [op.local(chunk) for chunk in chunks]
+        slots: list = accs + [None] * (self.n_ranks - 1)
+        for a, b, out in tree.iter_steps():
+            slots[out] = op.combine(slots[a], slots[b])
+        return op.finalize(slots[tree.root_slot])
+
+    def _execute_vector(
+        self, chunks: Sequence[np.ndarray], op: ReductionOp, tree: ReductionTree
+    ) -> float:
+        """Compiled path: one fold sweep + one level-scheduled tree walk."""
+        vops = op.vector_ops
+        states = op.local_states(chunks)
+        root = compile_tree(tree).reduce_states(states, vops)
+        return float(np.asarray(vops.result(root), dtype=np.float64))
 
     # -- helpers ---------------------------------------------------------------
     def _check_size(self, seq: Sequence) -> None:

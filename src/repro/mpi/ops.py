@@ -16,7 +16,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.summation.base import Accumulator, SumContext, SummationAlgorithm
+from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
+from repro.trees import _ckernels
+from repro.util.chunking import pack_ragged
 
 __all__ = ["ReductionOp", "make_reduction_op"]
 
@@ -43,11 +45,56 @@ class ReductionOp:
             self.algorithm, SumContext(max_abs=global_max_abs, n_hint=n_hint)
         )
 
+    @property
+    def vector_ops(self) -> "VectorOps | None":
+        """The algorithm's batched state algebra (None = object path only)."""
+        return self.algorithm.vector_ops
+
+    @property
+    def supports_vector(self) -> bool:
+        """True when the collective fast path can execute this op: the
+        algorithm exposes VectorOps and needs no per-reduction context
+        (context-needing algorithms keep their pre-pass on the object
+        path)."""
+        return self.algorithm.vector_ops is not None and not self.algorithm.needs_context
+
     def local(self, chunk: np.ndarray) -> Accumulator:
         """Rank-local phase: fold a chunk into a fresh accumulator."""
         acc = self.algorithm.make_accumulator(self.context)
         acc.add_array(np.asarray(chunk, dtype=np.float64))
         return acc
+
+    def local_matrix(self, matrix: np.ndarray, lengths: np.ndarray):
+        """Vectorised rank-local phase: all rank states from a padded
+        ``(R, M)`` chunk matrix in one sweep, each row bitwise-equal to
+        :meth:`local` on the corresponding chunk (see
+        :meth:`repro.summation.base.VectorOps.fold`).  Routes through the
+        fused compiled kernel when the algebra ships one."""
+        vops = self._require_vector_ops()
+        if _ckernels.has_fold_kernel(vops):
+            return _ckernels.fold_matrix(matrix, lengths, vops)
+        return vops.fold(matrix, lengths)
+
+    def local_states(self, chunks):
+        """Vectorised rank-local phase straight from a chunk list.
+
+        Same contract as :meth:`local_matrix` but the compiled kernel reads
+        each chunk in place through a pointer table — the padded matrix is
+        never materialised.  The NumPy fallback packs first.
+        """
+        vops = self._require_vector_ops()
+        if _ckernels.has_fold_kernel(vops):
+            return _ckernels.fold_chunks(chunks, vops)
+        matrix, lengths = pack_ragged(chunks)
+        return vops.fold(matrix, lengths)
+
+    def _require_vector_ops(self) -> VectorOps:
+        vops = self.algorithm.vector_ops
+        if vops is None:
+            raise TypeError(
+                f"algorithm {self.code!r} has no VectorOps; use the object path"
+            )
+        return vops
 
     def combine(self, a: Accumulator, b: Accumulator) -> Accumulator:
         """Op callback: merge ``b`` into ``a`` and return ``a``."""

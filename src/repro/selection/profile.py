@@ -30,7 +30,7 @@ from repro.fp.eft import two_sum, two_sum_array
 from repro.fp.properties import exponent
 from repro.metrics.properties import SetProfile
 
-__all__ = ["StreamProfile", "profile_chunk", "profile_stream"]
+__all__ = ["StreamProfile", "profile_chunk", "profile_stream", "profile_batch"]
 
 
 @dataclass
@@ -54,9 +54,10 @@ class StreamProfile:
         a = np.abs(chunk)
         self.n += int(chunk.size)
         self.max_abs = max(self.max_abs, float(a.max()))
-        nz = a[a != 0.0]  # repro: allow[FP001] -- drop exact zeros
-        if nz.size:
-            self.min_abs_nonzero = min(self.min_abs_nonzero, float(nz.min()))
+        # masked min instead of materialising a[a != 0] — one pass, no copy
+        mn = float(np.min(a, initial=math.inf, where=(a > 0.0)))
+        if mn < self.min_abs_nonzero:
+            self.min_abs_nonzero = mn
         # pairwise numpy sums are accurate enough for the magnitudes, but
         # the signed sum needs composite precision to keep k̂ from saturating
         self._add_abs(float(np.sum(a)))  # repro: allow[FP002] -- magnitude sum has no cancellation; pairwise is accurate enough
@@ -148,3 +149,100 @@ def profile_stream(chunks: "list[np.ndarray]") -> StreamProfile:
     for c in chunks:
         total.merge(profile_chunk(c))
     return total
+
+
+def _cp_sum_rows(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`_cp_sum`: ``(hi, lo)`` vectors, each row bitwise-equal
+    to ``_cp_sum(matrix[r])`` (NumPy applies the same pairwise reduction to
+    the contiguous last axis of a matrix as to a 1-D array)."""
+    s = matrix.copy()
+    n_rows = matrix.shape[0]
+    lo = np.zeros(n_rows, dtype=np.float64)
+    while s.shape[1] > 1:
+        if s.shape[1] % 2:
+            tail = s[:, -1:]
+            s = s[:, :-1]
+        else:
+            tail = None
+        t, err = two_sum_array(s[:, 0::2], s[:, 1::2])
+        lo += np.sum(err, axis=1)  # repro: allow[FP002,FP003]
+        s = t if tail is None else np.concatenate([t, tail], axis=1)
+    hi = s[:, 0].copy() if s.shape[1] else np.zeros(n_rows, dtype=np.float64)
+    return hi, lo
+
+
+def profile_batch(batches) -> "list[StreamProfile] | None":
+    """Sketch a whole stream of same-shape distributed sets in bulk.
+
+    ``batches[i]`` is one reduction's per-rank chunk list.  When every chunk
+    across the stream has the same length (the serving-path common case) the
+    per-chunk statistics are computed as row sweeps over one packed matrix
+    and the per-item rank merges replay the :meth:`StreamProfile.merge`
+    recurrence vectorised across items — every returned sketch is
+    bitwise-equal to ``AdaptiveReducer.profile`` on the same item.  Returns
+    ``None`` for ragged streams (callers fall back to the per-item loop).
+    """
+    n_items = len(batches)
+    if n_items == 0:
+        return []
+    n_ranks = len(batches[0])
+    arrays: list[np.ndarray] = []
+    for chunks in batches:
+        if len(chunks) != n_ranks:
+            return None
+        for c in chunks:
+            arrays.append(np.asarray(c, dtype=np.float64).ravel())
+    if n_ranks == 0:
+        return [StreamProfile() for _ in range(n_items)]
+    width = arrays[0].size
+    if any(a.size != width for a in arrays):
+        return None
+    matrix = np.concatenate(arrays).reshape(n_items * n_ranks, width) if width else (
+        np.zeros((n_items * n_ranks, 0), dtype=np.float64)
+    )
+    # per-chunk statistics, one vectorised pass over all rows
+    a = np.abs(matrix)
+    if width:
+        row_max = a.max(axis=1)
+        row_min = np.min(a, axis=1, initial=math.inf, where=(a > 0.0))
+        row_abs = np.sum(a, axis=1)  # repro: allow[FP002] -- magnitude sum has no cancellation; pairwise is accurate enough
+    else:
+        row_max = np.zeros(matrix.shape[0], dtype=np.float64)
+        row_min = np.full(matrix.shape[0], math.inf)
+        row_abs = np.zeros(matrix.shape[0], dtype=np.float64)
+    cp_hi, cp_lo = _cp_sum_rows(matrix)
+    # profile_chunk from the fresh state: abs two_sum(0, v) is exact for
+    # v >= 0, the signed sum replays _add_signed from zero
+    chunk_sh, err0 = two_sum_array(0.0, cp_hi)
+    chunk_sl = 0.0 + (err0 + cp_lo)
+
+    def col(v: np.ndarray, r: int) -> np.ndarray:
+        return v.reshape(n_items, n_ranks)[:, r]
+
+    # the rank-merge chain of AdaptiveReducer.profile, vectorised over items
+    max_tot = np.zeros(n_items, dtype=np.float64)
+    min_tot = np.full(n_items, math.inf)
+    ah = np.zeros(n_items, dtype=np.float64)
+    al = np.zeros(n_items, dtype=np.float64)
+    sh = np.zeros(n_items, dtype=np.float64)
+    sl = np.zeros(n_items, dtype=np.float64)
+    for r in range(n_ranks):
+        max_tot = np.maximum(max_tot, col(row_max, r))
+        min_tot = np.minimum(min_tot, col(row_min, r))
+        ah, err = two_sum_array(ah, col(row_abs, r))
+        al = (al + err) + 0.0  # other.abs_sum_lo is exactly zero
+        sh, err = two_sum_array(sh, col(chunk_sh, r))
+        sl = sl + (err + col(chunk_sl, r))
+    n_total = n_ranks * width
+    return [
+        StreamProfile(
+            n=n_total,
+            max_abs=float(max_tot[i]),
+            min_abs_nonzero=float(min_tot[i]),
+            abs_sum_hi=float(ah[i]),
+            abs_sum_lo=float(al[i]),
+            sum_hi=float(sh[i]),
+            sum_lo=float(sl[i]),
+        )
+        for i in range(n_items)
+    ]

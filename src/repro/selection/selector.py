@@ -22,7 +22,8 @@ applications (and our benches) can audit what was chosen and why.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -31,7 +32,7 @@ from repro.metrics.properties import SetProfile
 from repro.mpi.comm import ReduceResult, SimComm
 from repro.mpi.ops import make_reduction_op
 from repro.selection.policy import AnalyticPolicy, SelectionDecision
-from repro.selection.profile import StreamProfile, profile_chunk
+from repro.selection.profile import StreamProfile, profile_batch, profile_chunk
 from repro.summation.base import SumContext
 from repro.summation.registry import get_algorithm
 from repro.trees.tree import ReductionTree
@@ -73,6 +74,9 @@ class AdaptiveReducer:
         self.comm = comm
         self.policy = policy if policy is not None else AnalyticPolicy()
         self.threshold = threshold
+        self._decision_cache: dict = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def profile(self, chunks: Sequence[np.ndarray]) -> StreamProfile:
         """Step 1: sketch + allreduce-merge."""
@@ -127,3 +131,116 @@ class AdaptiveReducer:
             profile_seconds=sw_profile.elapsed,
             reduce_seconds=sw_reduce.elapsed,
         )
+
+    # -- batched serving path --------------------------------------------------
+    def reduce_many(
+        self,
+        batches: Sequence[Sequence[np.ndarray]],
+        *,
+        threshold: "float | None" = None,
+        tree: "ReductionTree | str" = "topology",
+    ) -> "list[AdaptiveResult]":
+        """Adaptively reduce a stream of independent reductions in bulk.
+
+        The serving path: uniform-width streams profile as one vectorised
+        sweep (:func:`repro.selection.profile.profile_batch`, bitwise-equal
+        to per-item profiling; ragged streams fall back to the loop), the
+        selection step is memoised in a decision cache keyed by the profile
+        signature (``n``, condition-number decade, dynamic range,
+        threshold) — the decade granularity selection actually operates at —
+        and items choosing the same algorithm execute together through
+        :meth:`SimComm.reduce_batch`, so packing, schedule compilation and
+        kernel dispatch are paid once per algorithm instead of once per
+        item.  Context-needing algorithms (PR) keep their per-item pre-pass.
+
+        Each item's value is bitwise-equal to a standalone :meth:`reduce`
+        with the same decision; ``profile_seconds``/``reduce_seconds`` are
+        the *amortised* per-item costs (phase total / number of items).
+        """
+        t = self.threshold if threshold is None else threshold
+        if t < 0:
+            raise ValueError("threshold must be >= 0")
+        if not batches:
+            return []
+        with Stopwatch() as sw_profile:
+            # uniform-width streams profile as one vectorised sweep; the
+            # batched sketches are bitwise-equal to the per-item loop
+            sketches = profile_batch(batches)
+            if sketches is None:
+                sketches = [self.profile(chunks) for chunks in batches]
+            decisions = [self._select_cached(sk, t) for sk in sketches]
+        groups: "dict[str, list[int]]" = {}
+        for i, decision in enumerate(decisions):
+            groups.setdefault(decision.code, []).append(i)
+        results: "list[ReduceResult | None]" = [None] * len(batches)
+        with Stopwatch() as sw_reduce:
+            for code, indices in groups.items():
+                algorithm = get_algorithm(code)
+                if algorithm.needs_context:
+                    for i in indices:
+                        sk = sketches[i]
+                        op = make_reduction_op(
+                            algorithm, SumContext(max_abs=sk.max_abs, n_hint=sk.n)
+                        )
+                        results[i] = self.comm.reduce(batches[i], op, tree)
+                else:
+                    op = make_reduction_op(algorithm)
+                    group_results = self.comm.reduce_batch(
+                        [batches[i] for i in indices], op, tree
+                    )
+                    for i, rr in zip(indices, group_results):
+                        results[i] = rr
+        n_items = len(batches)
+        profile_each = sw_profile.elapsed / n_items
+        reduce_each = sw_reduce.elapsed / n_items
+        return [
+            AdaptiveResult(
+                value=rr.value,
+                decision=decision,
+                reduce_result=rr,
+                profile_seconds=profile_each,
+                reduce_seconds=reduce_each,
+            )
+            for rr, decision in zip(results, decisions)
+        ]
+
+    def _select_cached(self, sketch: StreamProfile, threshold: float) -> SelectionDecision:
+        """Policy query memoised at decision granularity.
+
+        Cache hits splice the item's own profile into the cached decision so
+        the audit trail stays per-item; ``predicted_std`` is the bucket
+        representative's (selection is decade-granular by design, Fig. 12).
+        """
+        key = self._decision_key(sketch, threshold)
+        cached = self._decision_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return replace(cached, profile=sketch.as_set_profile())
+        self._cache_misses += 1
+        decision = self.policy.select(sketch.as_set_profile(), threshold)
+        self._decision_cache[key] = decision
+        return decision
+
+    @staticmethod
+    def _decision_key(sketch: StreamProfile, threshold: float) -> tuple:
+        k = sketch.condition_estimate()
+        if math.isinf(k):
+            decade: "int | str" = "inf"
+        elif k > 0.0:
+            decade = int(math.floor(math.log10(k)))
+        else:
+            decade = 0
+        return (sketch.n, decade, sketch.dynamic_range_estimate(), float(threshold))
+
+    def decision_cache_info(self) -> dict:
+        """Cache statistics: ``{"size", "hits", "misses"}``."""
+        return {
+            "size": len(self._decision_cache),
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+        }
+
+    def clear_decision_cache(self) -> None:
+        self._decision_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0

@@ -10,7 +10,9 @@ algorithm, each algorithm is exposed in up to three forms:
    what the simulated-MPI substrate registers as a reduction operator.
 2. :class:`VectorOps` — the same accumulator state as parallel component
    arrays with elementwise ``merge``, used by the level-wise evaluator to run
-   ensembles of 2**20-leaf trees in seconds.
+   ensembles of 2**20-leaf trees in seconds, and (via :meth:`VectorOps.fold`)
+   by the collective fast path to produce every rank's local state in one
+   batched sweep.
 3. ``SummationAlgorithm.sum_array`` — an optimised whole-array kernel used
    for rank-local reductions and the Fig. 4/5 timing study.
 
@@ -119,6 +121,44 @@ class VectorOps(abc.ABC):
         tests pin.
         """
         return self.merge(self.init(a_values), self.init(b_values))
+
+    def fold(
+        self, matrix: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """Vectorised rank-local phase: fold every row of a padded chunk
+        matrix into one accumulator state per row.
+
+        ``matrix`` is ``(R, M)`` float64 with row ``r`` holding rank ``r``'s
+        chunk in its first ``lengths[r]`` columns and zeros after; the return
+        value is an ``n_components``-tuple of ``(R,)`` arrays, row ``r``'s
+        state bitwise-equal to the object path
+        ``make_accumulator(); add_array(chunk_r)`` — the contract the
+        collective fast path (:meth:`repro.mpi.comm.SimComm.reduce`) relies
+        on and the engine property tests pin.
+
+        The base implementation is a masked serial column sweep: column
+        ``j`` is merged into the running states as a batch of singleton
+        operands, with an ``np.where`` guard so padding columns are bitwise
+        inert.  That reproduces the scalar ``add``-per-element accumulate
+        order, which matches the object path only for algorithms whose
+        ``add_array`` *is* the scalar loop and whose ``merge`` against a
+        singleton state reproduces ``add``; every algorithm that overrides
+        ``add_array`` with a blocked kernel must override ``fold`` to match
+        it (all bundled VectorOps algebras do).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("fold expects a (R, M) chunk matrix")
+        n_rows, width = matrix.shape
+        lengths = np.asarray(lengths, dtype=np.int64)
+        state = tuple(np.zeros(n_rows, dtype=np.float64) for _ in range(self.n_components))
+        for j in range(width):
+            merged = self.merge(state, self.init(matrix[:, j]))
+            active = j < lengths
+            state = tuple(
+                np.where(active, m, s) for m, s in zip(merged, state)
+            )
+        return state
 
     def merge_at(
         self,

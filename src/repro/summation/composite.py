@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.fp.eft import two_sum, two_sum_array
 from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
-from repro.summation.kahan import _pad_pow2
+from repro.summation.kahan import _pad_pow2, _pad_pow2_cols, _twosum_carry_fold
 
 __all__ = ["CompositeAccumulator", "CompositePrecisionSum"]
 
@@ -51,14 +51,9 @@ class CompositeAccumulator(Accumulator):
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.size == 0:
             return
-        s = _pad_pow2(x)
-        e = np.zeros_like(s)
-        while s.size > 1:
-            t, err = two_sum_array(s[0::2], s[1::2])
-            e = e[0::2] + e[1::2] + err
-            s = t
-        self.s, delta = two_sum(self.s, float(s[0]))
-        self.e += delta + float(e[0])
+        s, e = _twosum_carry_fold(_pad_pow2(x))
+        self.s, delta = two_sum(self.s, float(s))
+        self.e += delta + float(e)
 
     def merge(self, other: "CompositeAccumulator") -> None:  # type: ignore[override]
         self.s, delta = two_sum(self.s, other.s)
@@ -85,6 +80,13 @@ class _CompositeVectorOps(VectorOps):
         # the generic path computes (0.0 + 0.0) + delta, whose only bitwise
         # effect is normalising a -0.0 error term to +0.0 — keep that
         return (s, delta + 0.0)
+
+    def fold(self, matrix, lengths):
+        # the elementwise image of CompositeAccumulator.add_array: carry
+        # fold per row, then the block TwoSum into the zero state
+        s_blk, e_blk = _twosum_carry_fold(_pad_pow2_cols(matrix))
+        s, delta = two_sum_array(0.0, s_blk)
+        return (s, 0.0 + (delta + e_blk))
 
     def result(self, state):
         return state[0] + state[1]

@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.exact.superacc import ExactSum
 from repro.fp.double_double import dd_add_array, dd_sum
-from repro.fp.eft import fast_two_sum, two_sum
+from repro.fp.eft import fast_two_sum, two_sum, two_sum_array
 from repro.summation.base import Accumulator, SumContext, SummationAlgorithm, VectorOps
+from repro.summation.kahan import _pad_pow2_cols
 
 __all__ = ["DoubleDoubleAccumulator", "DoubleDoubleSum", "ExactOracleSum"]
 
@@ -67,6 +68,24 @@ class _DDVectorOps(VectorOps):
         # leaf lo-components are exactly zero; scalar zeros broadcast to the
         # same doubles (x + 0.0 + 0.0 normalises -0.0 just like zero arrays)
         return dd_add_array(a_values, 0.0, b_values, 0.0)
+
+    def fold(self, matrix, lengths):
+        # the elementwise image of DoubleDoubleAccumulator.add_array: the
+        # dd_sum pairwise fold per row (zero columns pair into exact zero
+        # double-doubles, so pow2 padding reproduces dd_sum's odd-level
+        # zero appends bit-for-bit), dd_sum's final renormalisation, then
+        # merge_parts replayed op-for-op from the zero state
+        hi = _pad_pow2_cols(matrix)
+        lo = np.zeros_like(hi)
+        while hi.shape[-1] > 1:
+            hi, lo = dd_add_array(
+                hi[..., 0::2], lo[..., 0::2], hi[..., 1::2], lo[..., 1::2]
+            )
+        hi, lo = two_sum_array(hi[..., 0], lo[..., 0])  # DoubleDouble.normalized
+        s, e = two_sum_array(0.0, hi)
+        e = e + (0.0 + lo)
+        s2 = s + e
+        return (s2, e - (s2 - s))  # repro: allow[FP004] -- FastTwoSum renormalisation, as in merge_parts
 
     def result(self, state):
         return state[0] + state[1]

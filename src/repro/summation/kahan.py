@@ -50,15 +50,19 @@ class KahanAccumulator(Accumulator):
 
     def add_array(self, x: np.ndarray) -> None:
         """Vectorised kernel: TwoSum pairwise fold with the per-level error
-        masses compensated back in scalar form — the "fold the estimate back
-        at each step" structure of Kahan, at NumPy speed (~8 flops/element).
+        masses summed flat (one ``np.sum`` per level), then both block
+        results compensated back in with scalar adds — the "fold the
+        estimate back at each step" structure of Kahan, at NumPy speed
+        (~8 flops/element).  The flat error sum is what keeps K measurably
+        cheaper than CP's carried-error fold, preserving the paper's
+        ST < K < CP cost ranking (Fig. 4).
         """
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.size == 0:
             return
-        s, e = _block_twosum_fold(x)
-        self.add(s)
-        self.add(e)
+        s, e = _twosum_sum_fold(_pad_pow2(x))
+        self.add(float(s))
+        self.add(float(e))
 
     def merge(self, other: "KahanAccumulator") -> None:  # type: ignore[override]
         # Combine both pending compensations with the *incoming* partial sum
@@ -92,14 +96,65 @@ def _pad_pow2(x: np.ndarray) -> np.ndarray:
     return out
 
 
-def _block_twosum_fold(x: np.ndarray) -> Tuple[float, float]:
-    """Pairwise-reduce with TwoSum, returning (sum, total error mass)."""
-    s = _pad_pow2(x)
-    err_total = 0.0
-    while s.size > 1:
-        s, e = two_sum_array(s[0::2], s[1::2])
-        err_total += float(np.sum(e))  # repro: allow[FP002,FP003] -- per-level error mass is magnitude-homogeneous
-    return float(s[0]), err_total
+def _pad_pow2_cols(matrix: np.ndarray) -> np.ndarray:
+    """Copy a ``(R, M)`` matrix zero-padded along columns to a power of two.
+
+    The pairwise kernels below are padding-invariant under zero columns
+    (TwoSum against zero is exact and the carry halving pairs zeros with
+    zeros), so rows of any true length fold to the same bits as their
+    individually pow2-padded 1-D counterparts — the property the collective
+    fast path's ragged-chunk packing relies on.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n_rows, width = matrix.shape
+    size = 1 if width == 0 else 1 << (width - 1).bit_length()
+    out = np.zeros((n_rows, size), dtype=np.float64)
+    out[:, :width] = matrix
+    return out
+
+
+def _twosum_carry_fold(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Pairwise TwoSum reduction along the last axis with a carried error
+    component per partial sum, returning ``(sum, error)`` with the last axis
+    collapsed.
+
+    This is the shared blocked kernel behind the Neumaier and
+    composite-precision ``add_array`` implementations *and* their
+    :meth:`~repro.summation.base.VectorOps.fold` fast paths: the error of
+    every level's TwoSum is folded pairwise alongside the sums, so the same
+    code (and the same bits) serve a 1-D chunk and a whole ``(R, M)`` rank
+    matrix.  Expects a power-of-two last axis (see :func:`_pad_pow2_cols`).
+    """
+    s = x
+    c = np.zeros_like(s)
+    while s.shape[-1] > 1:
+        t, e = two_sum_array(s[..., 0::2], s[..., 1::2])
+        c = c[..., 0::2] + c[..., 1::2] + e
+        s = t
+    return s[..., 0], c[..., 0]
+
+
+def _twosum_sum_fold(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Pairwise TwoSum reduction along the last axis with each level's error
+    mass collapsed flat by one ``np.sum``, returning ``(sum, error)``.
+
+    Kahan's blocked kernel: one add per element for the error channel
+    instead of :func:`_twosum_carry_fold`'s carried pairwise combine — the
+    cost gap that keeps K measurably cheaper than CP at the block level.
+    Works on a 1-D chunk and a ``(R, M)`` rank matrix alike; the two agree
+    bitwise because NumPy's last-axis pairwise reduction over a contiguous
+    row matches the 1-D reduction, level error entries are never ``-0.0``
+    (TwoSum's error of an exact sum is ``+0.0``), and zero-column padding
+    therefore only appends inert ``+0.0`` terms on power-of-two boundaries
+    that leave the pairwise grouping of real entries intact.  Expects a
+    power-of-two last axis.
+    """
+    s = x
+    err_total = np.zeros(s.shape[:-1], dtype=np.float64)
+    while s.shape[-1] > 1:
+        s, e = two_sum_array(s[..., 0::2], s[..., 1::2])
+        err_total += np.sum(e, axis=-1)  # repro: allow[FP002,FP003] -- per-level error mass is magnitude-homogeneous
+    return s[..., 0], err_total
 
 
 class _KahanVectorOps(VectorOps):
@@ -123,6 +178,19 @@ class _KahanVectorOps(VectorOps):
         c = np.subtract(t, a_values)
         np.subtract(c, b_values, out=c)  # repro: allow[FP004] -- the Kahan merge recurrence itself
         return (t, c)
+
+    def fold(self, matrix, lengths):
+        # the elementwise image of KahanAccumulator.add_array: flat-error
+        # fold per row, then the two scalar Kahan adds replayed op-for-op
+        # from the zero state (zero-column padding is inert under both)
+        s_blk, e_blk = _twosum_sum_fold(_pad_pow2_cols(matrix))
+        y = s_blk - 0.0
+        t = 0.0 + y
+        c = (t - 0.0) - y  # repro: allow[FP004] -- the Kahan recurrence itself
+        y = e_blk - c
+        s = t + y
+        c = (s - t) - y  # repro: allow[FP004] -- the Kahan recurrence itself
+        return (s, c)
 
     def result(self, state):
         return state[0]
@@ -173,14 +241,9 @@ class NeumaierAccumulator(Accumulator):
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.size == 0:
             return
-        s = _pad_pow2(x)
-        c = np.zeros_like(s)
-        while s.size > 1:
-            t, e = two_sum_array(s[0::2], s[1::2])
-            c = c[0::2] + c[1::2] + e
-            s = t
-        bc = float(c[0])
-        self.add(float(s[0]))
+        s, c = _twosum_carry_fold(_pad_pow2(x))
+        bc = float(c)
+        self.add(float(s))
         self.c += bc
 
     def merge(self, other: "NeumaierAccumulator") -> None:  # type: ignore[override]
@@ -228,6 +291,20 @@ class _NeumaierVectorOps(VectorOps):
         # the generic path computes (0.0 + comp) + 0.0, whose only bitwise
         # effect is normalising a -0.0 compensation to +0.0 — keep that
         return (t, comp + 0.0)
+
+    def fold(self, matrix, lengths):
+        # the elementwise image of NeumaierAccumulator.add_array: carry fold
+        # per row, one Neumaier add of the block sum from the zero state
+        # (the magnitude branch becomes a where-select), then the block
+        # carry joined to the compensation
+        s_blk, c_blk = _twosum_carry_fold(_pad_pow2_cols(matrix))
+        t = 0.0 + s_blk
+        comp = np.where(
+            np.abs(0.0) >= np.abs(s_blk),
+            (0.0 - t) + s_blk,  # repro: allow[FP004] -- the Neumaier recurrence itself
+            (s_blk - t) + 0.0,  # repro: allow[FP004] -- the Neumaier recurrence itself
+        )
+        return (t, (0.0 + comp) + c_blk)
 
     def result(self, state):
         return state[0] + state[1]

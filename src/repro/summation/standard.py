@@ -61,6 +61,20 @@ class _StandardVectorOps(VectorOps):
     def merge_leaves(self, a_values, b_values):
         return (a_values + b_values,)
 
+    def fold(self, matrix, lengths):
+        # cumsum along the padded axis IS the scalar left-to-right
+        # recurrence per row; a zero start column pins the -0.0 first-element
+        # case to the accumulator's ``0.0 + x`` and trailing zero padding
+        # cannot perturb a running prefix that starts at +0.0
+        matrix = np.asarray(matrix, dtype=np.float64)
+        n_rows = matrix.shape[0]
+        if matrix.shape[1] == 0:
+            return (np.zeros(n_rows, dtype=np.float64),)
+        guarded = np.concatenate(
+            [np.zeros((n_rows, 1), dtype=np.float64), matrix], axis=1
+        )
+        return (np.cumsum(guarded, axis=1)[:, -1],)  # repro: allow[FP003] -- sequential cumsum is ST's defining order
+
     def result(self, state):
         return state[0]
 

@@ -139,6 +139,37 @@ class CompiledSchedule:
         root = tuple(buf[:, self.root_slot] for buf in buffers)
         return np.asarray(vops.result(root), dtype=np.float64)
 
+    def reduce_states(
+        self, states: Tuple[np.ndarray, ...], vops: VectorOps
+    ) -> Tuple[np.ndarray, ...]:
+        """Reduce ready-made per-leaf accumulator states to the root state.
+
+        ``states`` is a component tuple whose *last* axis indexes leaves
+        (length ``n_leaves``); leading axes are independent ensemble lanes
+        (e.g. the batch axis of :meth:`repro.mpi.comm.SimComm.reduce_batch`)
+        that broadcast through every merge.  This is :meth:`execute` minus
+        the leaf lifting — the entry point for the collective fast path,
+        where leaf states are rank-local partial reductions produced by
+        :meth:`~repro.summation.base.VectorOps.fold` rather than raw
+        operands.  Returns the root state components with the leaf axis
+        collapsed; results are bitwise-equal to walking the source tree's
+        merge schedule node by node.
+        """
+        n = states[0].shape[-1]
+        if n != self.n_leaves:
+            raise ValueError(f"{n} leaf states for a {self.n_leaves}-leaf schedule")
+        if n == 1:
+            return tuple(c[..., 0] for c in states)
+        lead = states[0].shape[:-1]
+        buffers = tuple(
+            np.zeros(lead + (self.n_nodes,), dtype=np.float64) for _ in states
+        )
+        for buf, comp in zip(buffers, states):
+            buf[..., :n] = comp
+        for left, right, out in self.levels:
+            vops.merge_at(buffers, left, right, out)
+        return tuple(buf[..., self.root_slot] for buf in buffers)
+
 
 def _compile(tree: ReductionTree, key: tuple) -> CompiledSchedule:
     """Group the merge schedule into dependency levels (one O(n) pass)."""

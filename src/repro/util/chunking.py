@@ -12,7 +12,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["iter_chunks", "safe_block_len", "split_indices"]
+__all__ = ["iter_chunks", "pack_ragged", "safe_block_len", "split_indices"]
 
 #: Mantissa width of IEEE binary64 (including the implicit bit).
 _MANTISSA_BITS = 53
@@ -32,6 +32,27 @@ def iter_chunks(n: int, block: int) -> Iterator[slice]:
         raise ValueError("block must be positive")
     for start in range(0, n, block):
         yield slice(start, min(start + block, n))
+
+
+def pack_ragged(chunks) -> "tuple[np.ndarray, np.ndarray]":
+    """Pack ragged 1-D chunks into a zero-padded ``(R, M)`` float64 matrix.
+
+    Returns ``(matrix, lengths)`` with ``M = max(len(chunk))`` (0 when every
+    chunk is empty) and ``lengths[r]`` the true element count of chunk ``r``.
+    The collective fast path feeds this to
+    :meth:`repro.summation.base.VectorOps.fold`, whose kernels treat the
+    zero padding as bitwise inert.
+    """
+    arrays = [np.asarray(c, dtype=np.float64).ravel() for c in chunks]
+    lengths = np.array([a.size for a in arrays], dtype=np.int64)
+    width = int(lengths.max()) if len(arrays) else 0
+    if len(arrays) and int(lengths.min()) == width:
+        # uniform widths (the common collective case): one fused copy
+        return np.concatenate(arrays).reshape(len(arrays), width), lengths
+    matrix = np.zeros((len(arrays), width), dtype=np.float64)
+    for r, a in enumerate(arrays):
+        matrix[r, : a.size] = a
+    return matrix, lengths
 
 
 def split_indices(n: int, parts: int) -> list[slice]:
