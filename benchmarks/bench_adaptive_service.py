@@ -30,6 +30,7 @@ or under pytest, where the speedup floors are asserted::
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
@@ -40,6 +41,7 @@ import numpy as np
 
 from repro.mpi.comm import SimComm
 from repro.mpi.ops import make_reduction_op
+from repro.obs import get_registry
 from repro.selection.selector import AdaptiveReducer
 from repro.summation import get_algorithm
 from repro.trees import _ckernels
@@ -183,9 +185,29 @@ def run_all(repeats: int = 5) -> dict:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Adaptive-service bench (collective + serving path)."
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs metrics for the run and write the registry "
+        "snapshot (JSON) here; inspect with repro-metrics",
+    )
+    args = parser.parse_args(argv)
+    registry = get_registry()
+    if args.metrics_out:
+        registry.enable()
     payload = run_all()
+    payload["metrics_enabled"] = registry.enabled
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
+    if args.metrics_out:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(registry.to_json() + "\n")
+        print(f"metrics snapshot written to {metrics_path}")
     for c in payload["cases"]:
         if c["case"] == "collective_reduce":
             print(

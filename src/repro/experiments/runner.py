@@ -133,6 +133,13 @@ def main(argv: "list[str] | None" = None) -> int:
         "cells fan out with picklable seed payloads, so results are "
         "bitwise independent of this value)",
     )
+    run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs runtime metrics for the run and write the "
+        "registry snapshot (JSON) here; inspect with repro-metrics",
+    )
     rep_p = sub.add_parser("report", help="aggregate JSON outputs into markdown")
     rep_p.add_argument("directory", help="directory holding *_<scale>.json files")
     rep_p.add_argument("-o", "--output", default=None, help="write report here")
@@ -158,6 +165,10 @@ def main(argv: "list[str] | None" = None) -> int:
         import os
 
         os.environ["REPRO_WORKERS"] = str(max(1, args.workers))
+    if args.metrics_out:
+        from repro.obs import get_registry
+
+        get_registry().enable()
     if args.experiment == "all":
         targets = list(EXPERIMENTS) + list(EXTENSIONS)
     else:
@@ -185,6 +196,13 @@ def main(argv: "list[str] | None" = None) -> int:
             (out_dir / f"{exp_id}_{result.scale}.json").write_text(
                 json.dumps(payload, indent=2)
             )
+    if args.metrics_out:
+        from repro.obs import get_registry
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(get_registry().to_json() + "\n")
+        print(f"metrics snapshot written to {path}")
     return 1 if failures else 0
 
 

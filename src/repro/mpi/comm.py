@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.mpi.nondet import arrival_order_tree, sample_arrival_times
 from repro.mpi.ops import ReductionOp
+from repro.obs import get_registry
 from repro.mpi.topology import MachineTopology, topology_aware_tree, tree_cost
 from repro.summation.base import SumContext
 from repro.trees.schedule import compile_tree
@@ -57,6 +58,8 @@ from repro.util.chunking import split_indices
 from repro.util.rng import SeedLike, resolve_rng
 
 __all__ = ["ReduceResult", "SimComm"]
+
+_OBS = get_registry()
 
 
 @dataclass(frozen=True)
@@ -108,9 +111,16 @@ class SimComm:
 
     # -- collectives --------------------------------------------------------
     def max_allreduce(self, local_values: Sequence[float]) -> float:
-        """Exact, order-independent max reduction (PR's "pre" pass)."""
+        """Exact, order-independent max reduction (PR's "pre" pass).
+
+        NaN handling is deterministic: a NaN contribution from *any* rank
+        poisons the result regardless of operand order.  (Python's ``max``
+        is order-dependent under NaN — ``max(nan, x) != max(x, nan)`` — which
+        would make PR's pre-pass context depend on rank ordering; NumPy's
+        ``np.max`` propagates NaN unconditionally.)
+        """
         self._check_size(local_values)
-        return float(max(local_values))
+        return float(np.max(np.asarray(local_values, dtype=np.float64)))
 
     def reduce(
         self,
@@ -130,7 +140,13 @@ class SimComm:
         self._check_size(chunks)
         op = self._contextualize(op, chunks)
         tree = self._resolve_tree(tree)
-        if self._use_vector(op, engine):
+        use_vector = self._use_vector(op, engine)
+        if _OBS.enabled:
+            _OBS.counter(
+                "repro_comm_dispatch_total",
+                engine="vector" if use_vector else "object",
+            ).inc()
+        if use_vector:
             value = self._execute_vector(chunks, op, tree)
         else:
             value = self._execute_object(chunks, op, tree)
@@ -177,7 +193,13 @@ class SimComm:
         )
         run = arrival_order_tree(schedule, self.topology)
         tree = run.tree
-        if self._use_vector(op, engine):
+        use_vector = self._use_vector(op, engine)
+        if _OBS.enabled:
+            _OBS.counter(
+                "repro_comm_dispatch_total",
+                engine="vector" if use_vector else "object",
+            ).inc()
+        if use_vector:
             value = self._execute_vector(chunks, op, tree)
         else:
             value = self._execute_object(chunks, op, tree)
@@ -211,7 +233,17 @@ class SimComm:
         if not batches:
             return []
         if not self._use_vector(op, engine):
+            # per-item object fallback: each delegated reduce() records its
+            # own engine="object" dispatch, so totals still sum to one
+            # dispatch per collective
+            if _OBS.enabled:
+                _OBS.counter("repro_comm_batch_fallback_total").inc()
             return [self.reduce(chunks, op, tree, engine="object") for chunks in batches]
+        if _OBS.enabled:
+            _OBS.counter("repro_comm_batch_calls_total").inc()
+            _OBS.counter("repro_comm_dispatch_total", engine="batch").inc(
+                len(batches)
+            )
         vops = op.vector_ops
         flat: list = []
         for chunks in batches:

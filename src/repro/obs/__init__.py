@@ -1,0 +1,24 @@
+"""repro.obs — dependency-free runtime telemetry for the serving path.
+
+See :mod:`repro.obs.registry` for the metric model and the hot-path
+guarding contract, and ``docs/API.md`` ("Observability") for the metric
+name catalogue each instrumented layer emits.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+]

@@ -1,0 +1,161 @@
+"""``repro-metrics``: summarise a metrics snapshot written by ``--metrics-out``.
+
+Usage::
+
+    repro-metrics metrics.json                 # human-readable summary
+    repro-metrics metrics.json --prometheus    # re-render as Prometheus text
+    repro-metrics metrics.json --assert-nonzero repro_selector_selections_total
+
+``--assert-nonzero`` exits non-zero unless every named counter (summed over
+its label sets) is > 0 — the CI bench-smoke gate uses it to prove the
+instrumented serving bench actually recorded traffic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+__all__ = ["main", "summarize", "counter_total"]
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def counter_total(snapshot: dict, name: str) -> float:
+    """Sum of a counter/gauge across all its label sets (0 if absent)."""
+    values = [
+        sample["value"]
+        for section in ("counters", "gauges")
+        for sample in snapshot.get(section, {}).get(name, [])
+    ]
+    values.extend(
+        sample["count"] for sample in snapshot.get("histograms", {}).get(name, [])
+    )
+    return math.fsum(values)
+
+
+def _quantile(buckets: "list", count: int, q: float) -> "float | None":
+    """Upper-bound estimate of the q-quantile from cumulative buckets."""
+    if count == 0:
+        return None
+    target = q * count
+    for le, cumulative in buckets:
+        if cumulative >= target:
+            return None if le == "+Inf" else float(le)
+    return None
+
+
+def summarize(snapshot: dict) -> str:
+    """Human-readable one-line-per-sample summary of a snapshot dict."""
+    lines: "list[str]" = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            for sample in counters[name]:
+                lines.append(
+                    f"  {name}{_fmt_labels(sample['labels'])} = {sample['value']}"
+                )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            for sample in gauges[name]:
+                lines.append(
+                    f"  {name}{_fmt_labels(sample['labels'])} = {sample['value']}"
+                )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            for sample in histograms[name]:
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                p50 = _quantile(sample["buckets"], count, 0.50)
+                p99 = _quantile(sample["buckets"], count, 0.99)
+                detail = f"count={count} mean={mean:.3e}s"
+                if p50 is not None:
+                    detail += f" p50<={p50:g}s"
+                if p99 is not None:
+                    detail += f" p99<={p99:g}s"
+                lines.append(f"  {name}{_fmt_labels(sample['labels'])}  {detail}")
+    if not lines:
+        return "(empty snapshot)"
+    return "\n".join(lines)
+
+
+def _render_prometheus_from_snapshot(snapshot: dict) -> str:
+    """Rebuild Prometheus text from a snapshot dict (round-trip path)."""
+    from repro.obs.registry import MetricsRegistry
+
+    reg = MetricsRegistry(enabled=True)
+    for name, samples in snapshot.get("counters", {}).items():
+        for s in samples:
+            reg.counter(name, **s["labels"]).inc(int(s["value"]))
+    for name, samples in snapshot.get("gauges", {}).items():
+        for s in samples:
+            reg.gauge(name, **s["labels"]).set(s["value"])
+    for name, samples in snapshot.get("histograms", {}).items():
+        for s in samples:
+            bounds = [float(le) for le, _ in s["buckets"] if le != "+Inf"]
+            hist = reg.histogram(name, buckets=bounds, **s["labels"])
+            prev = 0
+            for i, (_le, cumulative) in enumerate(s["buckets"]):
+                hist._counts[i] = int(cumulative) - prev
+                prev = int(cumulative)
+            hist._count = int(s["count"])
+            hist._sum = float(s["sum"])
+    return reg.render_prometheus()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description="Summarise a repro.obs metrics snapshot (JSON).",
+    )
+    parser.add_argument("snapshot", help="path to a --metrics-out JSON file")
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead of the summary",
+    )
+    parser.add_argument(
+        "--assert-nonzero",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="exit 1 unless this metric's total is > 0 (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        snapshot = json.loads(Path(args.snapshot).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro-metrics: cannot read snapshot: {exc}", file=sys.stderr)
+        return 2
+
+    if args.prometheus:
+        print(_render_prometheus_from_snapshot(snapshot), end="")
+    else:
+        print(summarize(snapshot))
+
+    failures = 0
+    for name in args.assert_nonzero:
+        total = counter_total(snapshot, name)
+        if total > 0:
+            print(f"assert-nonzero ok: {name} = {total:g}")
+        else:
+            print(f"assert-nonzero FAILED: {name} = {total:g}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -29,8 +29,19 @@ import numpy as np
 from repro.fp.eft import two_sum, two_sum_array
 from repro.fp.properties import exponent
 from repro.metrics.properties import SetProfile
+from repro.obs import get_registry
 
 __all__ = ["StreamProfile", "profile_chunk", "profile_stream", "profile_batch"]
+
+_OBS = get_registry()
+
+
+def _record_profile_path(path: str, n_items: int) -> None:
+    """Count which profiling path a stream took (batched sweep vs ragged
+    per-item fallback) and how many items rode it."""
+    if _OBS.enabled:
+        _OBS.counter("repro_profile_batch_total", path=path).inc()
+        _OBS.counter("repro_profile_items_total", path=path).inc(n_items)
 
 
 @dataclass
@@ -189,13 +200,16 @@ def profile_batch(batches) -> "list[StreamProfile] | None":
     arrays: list[np.ndarray] = []
     for chunks in batches:
         if len(chunks) != n_ranks:
+            _record_profile_path("ragged_fallback", n_items)
             return None
         for c in chunks:
             arrays.append(np.asarray(c, dtype=np.float64).ravel())
     if n_ranks == 0:
+        _record_profile_path("batched", n_items)
         return [StreamProfile() for _ in range(n_items)]
     width = arrays[0].size
     if any(a.size != width for a in arrays):
+        _record_profile_path("ragged_fallback", n_items)
         return None
     matrix = np.concatenate(arrays).reshape(n_items * n_ranks, width) if width else (
         np.zeros((n_items * n_ranks, 0), dtype=np.float64)
@@ -234,6 +248,7 @@ def profile_batch(batches) -> "list[StreamProfile] | None":
         sh, err = two_sum_array(sh, col(chunk_sh, r))
         sl = sl + (err + col(chunk_sl, r))
     n_total = n_ranks * width
+    _record_profile_path("batched", n_items)
     return [
         StreamProfile(
             n=n_total,

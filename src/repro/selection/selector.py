@@ -23,6 +23,7 @@ applications (and our benches) can audit what was chosen and why.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence
 
@@ -31,6 +32,7 @@ import numpy as np
 from repro.metrics.properties import SetProfile
 from repro.mpi.comm import ReduceResult, SimComm
 from repro.mpi.ops import make_reduction_op
+from repro.obs import get_registry
 from repro.selection.policy import AnalyticPolicy, SelectionDecision
 from repro.selection.profile import StreamProfile, profile_batch, profile_chunk
 from repro.summation.base import SumContext
@@ -39,6 +41,14 @@ from repro.trees.tree import ReductionTree
 from repro.util.timing import Stopwatch
 
 __all__ = ["Policy", "AdaptiveResult", "AdaptiveReducer"]
+
+_OBS = get_registry()
+
+#: default decision-cache capacity: one serving process sees a bounded set
+#: of (n, k-decade, dr, threshold) signatures in steady state; 4096 covers
+#: the whole Fig. 12 grid cross every threshold the benches use with room
+#: to spare, while bounding a pathological high-cardinality stream
+DEFAULT_DECISION_CACHE_SIZE = 4096
 
 
 class Policy(Protocol):
@@ -68,15 +78,20 @@ class AdaptiveReducer:
         policy: "Policy | None" = None,
         *,
         threshold: float = 1e-13,
+        cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
     ) -> None:
         if threshold < 0:
             raise ValueError("threshold must be >= 0")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
         self.comm = comm
         self.policy = policy if policy is not None else AnalyticPolicy()
         self.threshold = threshold
-        self._decision_cache: dict = {}
+        self.cache_size = int(cache_size)
+        self._decision_cache: "OrderedDict[tuple, SelectionDecision]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_evictions = 0
 
     def profile(self, chunks: Sequence[np.ndarray]) -> StreamProfile:
         """Step 1: sketch + allreduce-merge."""
@@ -99,18 +114,23 @@ class AdaptiveReducer:
         modelling a production run whose tree the application cannot pin.
         """
         t = self.threshold if threshold is None else threshold
+        if t < 0:
+            raise ValueError("threshold must be >= 0")
         with Stopwatch() as sw_profile:
             sketch = self.profile(chunks)
-            if nondeterministic and getattr(self.policy, "supports_shape_hint", False):
-                # arrival-order trees have unknown (chain-heavy) shapes:
-                # profile the tree-shape parameter conservatively, as the
-                # paper's list of profiled quantities (n, k, dr, tree shape)
-                # prescribes
-                decision = self.policy.select(
-                    sketch.as_set_profile(), t, shape="unknown"
-                )
-            else:
-                decision = self.policy.select(sketch.as_set_profile(), t)
+            with Stopwatch() as sw_select:
+                if nondeterministic and getattr(
+                    self.policy, "supports_shape_hint", False
+                ):
+                    # arrival-order trees have unknown (chain-heavy) shapes:
+                    # profile the tree-shape parameter conservatively, as the
+                    # paper's list of profiled quantities (n, k, dr, tree
+                    # shape) prescribes
+                    decision = self.policy.select(
+                        sketch.as_set_profile(), t, shape="unknown"
+                    )
+                else:
+                    decision = self.policy.select(sketch.as_set_profile(), t)
         algorithm = get_algorithm(decision.code)
         # Reuse the profile's global max as PR's pre-pass: no extra data scan.
         context = (
@@ -124,6 +144,19 @@ class AdaptiveReducer:
                 result = self.comm.reduce_nondeterministic(chunks, op)
             else:
                 result = self.comm.reduce(chunks, op, tree)
+        if _OBS.enabled:
+            _OBS.counter(
+                "repro_selector_selections_total", algorithm=decision.code
+            ).inc()
+            _OBS.histogram("repro_selector_profile_seconds").observe(
+                sw_profile.elapsed
+            )
+            _OBS.histogram("repro_selector_select_seconds").observe(
+                sw_select.elapsed
+            )
+            _OBS.histogram("repro_selector_reduce_seconds").observe(
+                sw_reduce.elapsed
+            )
         return AdaptiveResult(
             value=result.value,
             decision=decision,
@@ -168,7 +201,8 @@ class AdaptiveReducer:
             sketches = profile_batch(batches)
             if sketches is None:
                 sketches = [self.profile(chunks) for chunks in batches]
-            decisions = [self._select_cached(sk, t) for sk in sketches]
+            with Stopwatch() as sw_select:
+                decisions = [self._select_cached(sk, t) for sk in sketches]
         groups: "dict[str, list[int]]" = {}
         for i, decision in enumerate(decisions):
             groups.setdefault(decision.code, []).append(i)
@@ -190,6 +224,20 @@ class AdaptiveReducer:
                     )
                     for i, rr in zip(indices, group_results):
                         results[i] = rr
+        if _OBS.enabled:
+            for code, indices in groups.items():
+                _OBS.counter(
+                    "repro_selector_selections_total", algorithm=code
+                ).inc(len(indices))
+            _OBS.histogram("repro_selector_profile_seconds").observe(
+                sw_profile.elapsed
+            )
+            _OBS.histogram("repro_selector_select_seconds").observe(
+                sw_select.elapsed
+            )
+            _OBS.histogram("repro_selector_reduce_seconds").observe(
+                sw_reduce.elapsed
+            )
         n_items = len(batches)
         profile_each = sw_profile.elapsed / n_items
         reduce_each = sw_reduce.elapsed / n_items
@@ -205,20 +253,36 @@ class AdaptiveReducer:
         ]
 
     def _select_cached(self, sketch: StreamProfile, threshold: float) -> SelectionDecision:
-        """Policy query memoised at decision granularity.
+        """Policy query memoised at decision granularity (capped LRU).
 
         Cache hits splice the item's own profile into the cached decision so
         the audit trail stays per-item; ``predicted_std`` is the bucket
         representative's (selection is decade-granular by design, Fig. 12).
+        The cache is an LRU capped at ``cache_size`` entries: a long-lived
+        serving process that sweeps many (n, k-decade, dr, threshold)
+        signatures evicts the coldest decision instead of growing without
+        bound.
         """
         key = self._decision_key(sketch, threshold)
         cached = self._decision_cache.get(key)
         if cached is not None:
             self._cache_hits += 1
+            self._decision_cache.move_to_end(key)
+            if _OBS.enabled:
+                _OBS.counter("repro_selector_decision_cache_hits_total").inc()
             return replace(cached, profile=sketch.as_set_profile())
         self._cache_misses += 1
+        if _OBS.enabled:
+            _OBS.counter("repro_selector_decision_cache_misses_total").inc()
         decision = self.policy.select(sketch.as_set_profile(), threshold)
         self._decision_cache[key] = decision
+        while len(self._decision_cache) > self.cache_size:
+            self._decision_cache.popitem(last=False)
+            self._cache_evictions += 1
+            if _OBS.enabled:
+                _OBS.counter(
+                    "repro_selector_decision_cache_evictions_total"
+                ).inc()
         return decision
 
     @staticmethod
@@ -233,14 +297,18 @@ class AdaptiveReducer:
         return (sketch.n, decade, sketch.dynamic_range_estimate(), float(threshold))
 
     def decision_cache_info(self) -> dict:
-        """Cache statistics: ``{"size", "hits", "misses"}``."""
+        """Cache statistics: ``{"size", "max_size", "hits", "misses",
+        "evictions"}``."""
         return {
             "size": len(self._decision_cache),
+            "max_size": self.cache_size,
             "hits": self._cache_hits,
             "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
         }
 
     def clear_decision_cache(self) -> None:
         self._decision_cache.clear()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_evictions = 0

@@ -35,6 +35,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = [
     "has_kernel",
     "has_fold_kernel",
@@ -684,13 +686,42 @@ _lock = threading.Lock()
 _lib: Optional[ctypes.CDLL] = None
 _load_attempted = False
 
+_OBS = get_registry()
+
+
+def _record_compile_event(outcome: str) -> None:
+    """Count one kernel-load outcome (compiled / reused / gated / ...).
+
+    Load happens once per process, so enabling metrics *before* the first
+    kernel-using call is what captures the event; the counter exists so
+    a serving snapshot can state which fast-path tier the process runs on.
+    """
+    if _OBS.enabled:
+        _OBS.counter("repro_ckernels_compile_events_total", outcome=outcome).inc()
+
+
+def _count_stale_kernels(cache_dir: str, so_path: str) -> int:
+    """Cached kernels whose content digest no longer matches this build."""
+    try:
+        entries = sorted(os.listdir(cache_dir))
+    except OSError:
+        return 0
+    want = os.path.basename(so_path)
+    return sum(
+        1
+        for name in entries
+        if name.startswith("balanced-") and name.endswith(".so") and name != want
+    )
+
 
 def _compile_library() -> Optional[ctypes.CDLL]:
     """Compile (or reuse) the kernel shared object; None on any failure."""
     if os.environ.get("REPRO_NO_CKERNELS"):
+        _record_compile_event("gated")
         return None
     cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if cc is None:
+        _record_compile_event("no_compiler")
         return None
     # -ffp-contract=off: no FMA contraction; every rounding in the source
     # happens exactly as written, matching NumPy.  -O3/-march=native only
@@ -707,6 +738,13 @@ def _compile_library() -> Optional[ctypes.CDLL]:
     so_path = os.path.join(cache_dir, f"balanced-{digest}.so")
     try:
         if not os.path.exists(so_path):
+            # any cached kernels under other digests were built from a
+            # different source/flag set: record the mismatch so snapshots
+            # can explain a surprise recompile in a warmed environment
+            stale = _count_stale_kernels(cache_dir, so_path)
+            if stale and _OBS.enabled:
+                _OBS.counter("repro_ckernels_digest_mismatch_total").inc(stale)
+            outcome = "compiled"
             os.makedirs(cache_dir, exist_ok=True)
             with tempfile.TemporaryDirectory(dir=cache_dir) as td:
                 src = os.path.join(td, "kernels.c")
@@ -730,9 +768,13 @@ def _compile_library() -> Optional[ctypes.CDLL]:
                         timeout=120,
                     )
                 os.replace(tmp_so, so_path)  # atomic within cache_dir
+        else:
+            outcome = "reused"
         lib = ctypes.CDLL(so_path)
     except (OSError, subprocess.SubprocessError):
+        _record_compile_event("failed")
         return None
+    _record_compile_event(outcome)
     argtypes = [
         ctypes.POINTER(ctypes.c_double),
         ctypes.POINTER(ctypes.c_int64),
@@ -776,14 +818,22 @@ def kernels_available() -> bool:
 
 def has_kernel(vops) -> bool:
     """True when ``vops`` advertises a compiled balanced sweep and it loads."""
-    return getattr(vops, "ckernel", None) is not None and _get_lib() is not None
+    advertised = getattr(vops, "ckernel", None) is not None
+    available = advertised and _get_lib() is not None
+    if advertised and not available and _OBS.enabled:
+        # the algebra *would* run compiled but can't: a NumPy fallback
+        # activation (gated, no compiler, or compile/load failure)
+        _OBS.counter("repro_ckernels_fallback_total", kernel="sweep").inc()
+    return available
 
 
 def has_fold_kernel(vops) -> bool:
     """True when ``vops``'s algebra has a compiled rank-local fold."""
-    return (
-        getattr(vops, "ckernel", None) in _FOLD_FUNCTIONS and _get_lib() is not None
-    )
+    advertised = getattr(vops, "ckernel", None) in _FOLD_FUNCTIONS
+    available = advertised and _get_lib() is not None
+    if advertised and not available and _OBS.enabled:
+        _OBS.counter("repro_ckernels_fallback_total", kernel="fold").inc()
+    return available
 
 
 _NULL_IDX = ctypes.POINTER(ctypes.c_int64)()

@@ -43,6 +43,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.summation.base import VectorOps
 from repro.trees.tree import ReductionTree
 
@@ -209,6 +210,8 @@ _cache_lock = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
 
+_OBS = get_registry()
+
 
 def compile_tree(tree: ReductionTree, *, cache: bool = True) -> CompiledSchedule:
     """Compiled level schedule for ``tree``, shared via the structural cache.
@@ -226,15 +229,28 @@ def compile_tree(tree: ReductionTree, *, cache: bool = True) -> CompiledSchedule
             if hit is not None:
                 _cache.move_to_end(key)
                 _cache_hits += 1
-                return hit
-            _cache_misses += 1
+            else:
+                _cache_misses += 1
+        if _OBS.enabled:
+            _OBS.counter(
+                "repro_schedule_cache_events_total",
+                event="hit" if hit is not None else "miss",
+            ).inc()
+        if hit is not None:
+            return hit
     compiled = _compile(tree, key)
     if cache:
+        evictions = 0
         with _cache_lock:
             _cache[key] = compiled
             _cache.move_to_end(key)
             while len(_cache) > SCHEDULE_CACHE_MAX:
                 _cache.popitem(last=False)
+                evictions += 1
+        if evictions and _OBS.enabled:
+            _OBS.counter(
+                "repro_schedule_cache_events_total", event="evict"
+            ).inc(evictions)
     return compiled
 
 

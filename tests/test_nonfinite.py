@@ -18,6 +18,7 @@ import pytest
 
 from repro.exact import ExactSum
 from repro.metrics import condition_number, dynamic_range
+from repro.mpi import SimComm
 from repro.summation import SumContext, get_algorithm
 
 NASTY = [math.nan, math.inf, -math.inf]
@@ -72,6 +73,32 @@ class TestMetricsReject:
     def test_dynamic_range(self):
         with pytest.raises(ValueError):
             dynamic_range(np.array([1.0, math.inf]))
+
+
+class TestCollectiveMaxAllreduce:
+    """Regression: ``SimComm.max_allreduce`` used Python ``max``, whose NaN
+    behaviour depends on operand order (``max(1.0, nan) == 1.0`` but
+    ``max(nan, 1.0)`` is nan) — PR's pre-pass context became rank-order
+    dependent.  A NaN summand must poison the max deterministically."""
+
+    def test_nan_poisons_max_in_any_position(self):
+        comm = SimComm(3)
+        for vals in (
+            [math.nan, 1.0, 2.0],
+            [1.0, math.nan, 2.0],
+            [2.0, 1.0, math.nan],
+        ):
+            assert math.isnan(comm.max_allreduce(vals))
+
+    def test_nan_max_is_order_independent(self):
+        comm = SimComm(2)
+        assert math.isnan(comm.max_allreduce([1.0, math.nan]))
+        assert math.isnan(comm.max_allreduce([math.nan, 1.0]))
+
+    def test_finite_max_unchanged(self):
+        comm = SimComm(3)
+        assert comm.max_allreduce([1.0, 5.0, 2.0]) == 5.0
+        assert comm.max_allreduce([math.inf, 1.0, 2.0]) == math.inf
 
 
 class TestIntervalLayer:

@@ -257,3 +257,10 @@ class TestAdaptiveReducer:
     def test_invalid_threshold(self, comm):
         with pytest.raises(ValueError):
             AdaptiveReducer(comm, threshold=-1.0)
+
+    def test_invalid_per_call_threshold(self, comm):
+        """Regression: ``reduce`` silently accepted a negative per-call
+        threshold while ``reduce_many`` rejected it."""
+        red = AdaptiveReducer(comm)
+        with pytest.raises(ValueError):
+            red.reduce(comm.scatter_array(np.ones(64)), threshold=-1e-13)
