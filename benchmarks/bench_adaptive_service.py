@@ -46,6 +46,7 @@ from repro.selection.selector import AdaptiveReducer
 from repro.summation import get_algorithm
 from repro.trees import _ckernels
 from repro.trees.shapes import balanced
+from repro.util.pool import default_workers, pool_info
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_adaptive.json"
@@ -180,6 +181,10 @@ def run_all(repeats: int = 5) -> dict:
         "numpy": np.__version__,
         "machine": platform.machine(),
         "ckernels": _ckernels.kernels_available(),
+        # serving-engine context: the worker count auto-parallel paths would
+        # use, and the persistent pool's reuse counters (starts vs dispatches)
+        "workers": default_workers(),
+        "pool_reuse": pool_info(),
         "cases": cases,
     }
 

@@ -50,6 +50,7 @@ from repro.trees import (
     random_shape,
 )
 from repro.trees import _ckernels
+from repro.util.pool import default_workers, pool_info
 from repro.util.rng import permutation_stream
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -117,12 +118,12 @@ def bench_balanced(code: str = "K", repeats: int = 3) -> dict:
     perms = _perm_matrix(n, n_trees, scale.seed + 1)
 
     ref = _seed_path_balanced(data, alg, perms)
-    out = evaluate_ensemble(data, "balanced", alg, n_trees, perms=perms)
+    out = evaluate_ensemble(data, "balanced", alg, n_trees, perms=perms, workers=1)
     assert np.array_equal(ref, out), "engine path diverged from seed path"
 
     t_seed = _best_of(lambda: _seed_path_balanced(data, alg, perms), repeats)
     t_engine = _best_of(
-        lambda: evaluate_ensemble(data, "balanced", alg, n_trees, perms=perms),
+        lambda: evaluate_ensemble(data, "balanced", alg, n_trees, perms=perms, workers=1),
         repeats,
     )
     return {
@@ -148,14 +149,14 @@ def bench_random_shape(code: str = "K", repeats: int = 3) -> dict:
     perms = _perm_matrix(n, n_trees, scale.seed + 3)
 
     ref = _seed_path_tree(tree, data, alg, perms)
-    out = evaluate_ensemble(data, tree, alg, n_trees, perms=perms)
+    out = evaluate_ensemble(data, tree, alg, n_trees, perms=perms, workers=1)
     assert np.array_equal(ref, out), "engine path diverged from node-walk"
 
     clear_schedule_cache()
     t_compile = _best_of(lambda: compile_tree(tree, cache=False), 1)
     t_seed = _best_of(lambda: _seed_path_tree(tree, data, alg, perms), repeats)
     t_engine = _best_of(
-        lambda: evaluate_ensemble(data, tree, alg, n_trees, perms=perms), repeats
+        lambda: evaluate_ensemble(data, tree, alg, n_trees, perms=perms, workers=1), repeats
     )
     return {
         "case": "random_shape_ensemble",
@@ -187,6 +188,12 @@ def run_all(repeats: int = 3) -> dict:
         "numpy": np.__version__,
         "machine": platform.machine(),
         "ckernels": _ckernels.kernels_available(),
+        # engine-vs-seed rows are pinned to workers=1 so the trajectory
+        # is machine-comparable; record what auto mode would have used
+        # and the persistent pool's reuse counters
+        "workers_timed": 1,
+        "workers_auto": default_workers(),
+        "pool_reuse": pool_info(),
         "cases": cases,
     }
 

@@ -8,9 +8,11 @@ permuting the assignment of summands to leaves.  ... the error in each sum is
 calculated with respect to an accurate reference sum ... we compute the
 standard deviation of the errors and shade the cell according to that value."
 
-Cells are independent, so the sweep fans out over a process pool via
-:func:`repro.util.parallel.map_parallel` (auto-derived chunksize; results
-keep axis order); workers receive only picklable parameter tuples and derive
+Cells are independent, so the sweep fans out via
+:func:`repro.util.parallel.map_parallel` onto the process-global persistent
+worker pool (:mod:`repro.util.pool`): workers stay warm between sweeps, so
+back-to-back grids pay process spin-up once, not per call.  Results keep
+axis order; workers receive only picklable parameter tuples and derive
 their RNG streams from stable integer seeds, making the sweep bitwise
 independent of worker count and chunking.  Inside each cell the ~1000-tree
 ensemble itself is batched: :func:`repro.trees.evaluate.evaluate_ensemble`

@@ -6,9 +6,11 @@ Usage::
     repro-experiments run fig7 [--scale ci|paper] [--out results/]
     repro-experiments run all  [--scale ci|paper] [--out results/] [--workers N]
 
-``--workers`` bounds the process pool the grid sweeps fan out over (it sets
-``REPRO_WORKERS`` for the run).  Workers receive picklable seed payloads, so
-every result is bitwise identical regardless of pool size.
+``--workers`` sizes the persistent worker pool (:mod:`repro.util.pool`)
+the grid sweeps fan out over (it sets ``REPRO_WORKERS`` for the run);
+the pool stays warm across experiments, so ``run all`` pays process
+spin-up once.  Workers receive picklable seed payloads, so every result
+is bitwise identical regardless of pool size.
 
 Each experiment prints its rows/series as text (the same content the paper's
 figure encodes) plus PASS/FAIL shape checks against the paper's qualitative
@@ -129,9 +131,10 @@ def main(argv: "list[str] | None" = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="process-pool size for grid sweeps (sets REPRO_WORKERS; "
-        "cells fan out with picklable seed payloads, so results are "
-        "bitwise independent of this value)",
+        help="persistent worker-pool size for grid sweeps (sets REPRO_WORKERS; "
+        "the pool stays warm across experiments, and cells fan out with "
+        "picklable seed payloads, so results are bitwise independent of "
+        "this value)",
     )
     run_p.add_argument(
         "--metrics-out",

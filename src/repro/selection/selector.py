@@ -38,6 +38,8 @@ from repro.selection.profile import StreamProfile, profile_batch, profile_chunk
 from repro.summation.base import SumContext
 from repro.summation.registry import get_algorithm
 from repro.trees.tree import ReductionTree
+from repro.util.chunking import split_indices
+from repro.util.pool import SharedArray, attach_shared, get_pool, shard_plan
 from repro.util.timing import Stopwatch
 
 __all__ = ["Policy", "AdaptiveResult", "AdaptiveReducer"]
@@ -172,6 +174,7 @@ class AdaptiveReducer:
         *,
         threshold: "float | None" = None,
         tree: "ReductionTree | str" = "topology",
+        workers: "int | None" = None,
     ) -> "list[AdaptiveResult]":
         """Adaptively reduce a stream of independent reductions in bulk.
 
@@ -186,6 +189,18 @@ class AdaptiveReducer:
         kernel dispatch are paid once per algorithm instead of once per
         item.  Context-needing algorithms (PR) keep their per-item pre-pass.
 
+        ``workers`` adds the multicore axis: the item stream splits into
+        contiguous shards, each shard runs the full profile → select →
+        grouped-reduce pipeline in a persistent worker process (operands
+        ship zero-copy through shared memory), and the reassembled results
+        are *bitwise-identical* to the serial path — every item's reduction
+        is independent, so sharding cannot change any value or decision.
+        ``workers=None`` defers to ``REPRO_WORKERS``/cpu-count behind an
+        adaptive bytes-and-items cutover (small batches never pay IPC);
+        an explicit ``workers >= 2`` always parallelises; ``workers<=1``
+        forces the serial path.  Parallel shards keep worker-local decision
+        caches, so :meth:`decision_cache_info` only reflects serial calls.
+
         Each item's value is bitwise-equal to a standalone :meth:`reduce`
         with the same decision; ``profile_seconds``/``reduce_seconds`` are
         the *amortised* per-item costs (phase total / number of items).
@@ -195,6 +210,11 @@ class AdaptiveReducer:
             raise ValueError("threshold must be >= 0")
         if not batches:
             return []
+        pool_workers, n_shards = shard_plan(
+            len(batches), _payload_bytes(batches), workers
+        )
+        if n_shards > 1:
+            return self._reduce_many_parallel(batches, t, tree, pool_workers, n_shards)
         with Stopwatch() as sw_profile:
             # uniform-width streams profile as one vectorised sweep; the
             # batched sketches are bitwise-equal to the per-item loop
@@ -251,6 +271,71 @@ class AdaptiveReducer:
             )
             for rr, decision in zip(results, decisions)
         ]
+
+    def _reduce_many_parallel(
+        self,
+        batches: Sequence[Sequence[np.ndarray]],
+        threshold: float,
+        tree: "ReductionTree | str",
+        pool_workers: int,
+        n_shards: int,
+    ) -> "list[AdaptiveResult]":
+        """Shard the stream over the persistent pool (bitwise = serial path).
+
+        All chunk bytes are packed once into a single shared-memory segment;
+        workers reconstruct their shard's chunk lists as zero-copy float64
+        views and run the serial :meth:`reduce_many` pipeline on them.
+        Chunks are normalised with the same ``np.asarray(..., float64)``
+        coercion the serial pipeline applies, so worker inputs are
+        bit-identical to what the serial path would profile and reduce.
+        """
+        flats: "list[np.ndarray]" = []
+        lengths: "list[int]" = []
+        ranks: "list[int]" = []
+        for chunks in batches:
+            ranks.append(len(chunks))
+            for c in chunks:
+                a = np.asarray(c, dtype=np.float64).ravel()
+                flats.append(a)
+                lengths.append(a.size)
+        flat = (
+            np.concatenate(flats) if flats else np.zeros(0, dtype=np.float64)
+        )
+        lengths_arr = np.asarray(lengths, dtype=np.int64)
+        ranks_arr = np.asarray(ranks, dtype=np.int64)
+        shards = split_indices(len(batches), n_shards)
+        pool = get_pool(pool_workers)
+        with SharedArray(flat) as shm:
+            payloads = [
+                (
+                    shm.handle,
+                    lengths_arr,
+                    ranks_arr,
+                    s.start,
+                    s.stop,
+                    self.comm,
+                    self.policy,
+                    threshold,
+                    self.cache_size,
+                    tree,
+                )
+                for s in shards
+            ]
+            shard_results = pool.map(
+                _reduce_many_shard, payloads, chunksize=1, path="reduce_many"
+            )
+        results: "list[AdaptiveResult]" = []
+        for part in shard_results:
+            results.extend(part)
+        if _OBS.enabled:
+            by_code: "dict[str, int]" = {}
+            for r in results:
+                by_code[r.decision.code] = by_code.get(r.decision.code, 0) + 1
+            for code, count in by_code.items():
+                _OBS.counter(
+                    "repro_selector_selections_total", algorithm=code
+                ).inc(count)
+        return results
 
     def _select_cached(self, sketch: StreamProfile, threshold: float) -> SelectionDecision:
         """Policy query memoised at decision granularity (capped LRU).
@@ -312,3 +397,52 @@ class AdaptiveReducer:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+
+
+def _payload_bytes(batches: Sequence[Sequence[np.ndarray]]) -> int:
+    """Total float64 bytes a stream would ship to workers (cutover input)."""
+    total = 0
+    for chunks in batches:
+        for c in chunks:
+            nbytes = getattr(c, "nbytes", None)
+            total += int(nbytes) if nbytes is not None else len(c) * 8
+    return total
+
+
+def _reduce_many_shard(payload: tuple) -> "list[AdaptiveResult]":
+    """Worker: run the serial serving pipeline on one contiguous shard.
+
+    Rebuilds the reducer from its picklable spec (communicator, policy,
+    threshold, cache size), attaches the shared operand segment, and slices
+    out zero-copy chunk views for items ``[start, stop)``.  Views never
+    escape: results carry only scalars, decisions and trees.
+    """
+    (
+        handle,
+        lengths,
+        ranks,
+        start,
+        stop,
+        comm,
+        policy,
+        threshold,
+        cache_size,
+        tree,
+    ) = payload
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    chunk_base = np.concatenate(([0], np.cumsum(ranks)))
+    with attach_shared(handle) as flat:
+        batches = []
+        for i in range(start, stop):
+            c0, c1 = int(chunk_base[i]), int(chunk_base[i + 1])
+            batches.append(
+                [flat[int(offsets[j]) : int(offsets[j + 1])] for j in range(c0, c1)]
+            )
+        reducer = AdaptiveReducer(
+            comm, policy, threshold=threshold, cache_size=cache_size
+        )
+        results = reducer.reduce_many(
+            batches, threshold=threshold, tree=tree, workers=1
+        )
+        del batches
+    return results

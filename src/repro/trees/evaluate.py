@@ -50,6 +50,7 @@ from repro.trees import _ckernels
 from repro.trees.schedule import compile_tree
 from repro.trees.serial_batch import serial_ensemble_standard, serial_ensemble_vops
 from repro.trees.tree import ReductionTree
+from repro.util.pool import SharedArray, attach_shared, get_pool, shard_plan
 from repro.util.rng import SeedLike, permutation_stream
 
 __all__ = [
@@ -213,6 +214,7 @@ def evaluate_ensemble(
     *,
     batch_elems: int = 1 << 24,
     perms: Optional[np.ndarray] = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Values of ``n_trees`` same-shape trees with permuted leaf assignments.
 
@@ -234,6 +236,16 @@ def evaluate_ensemble(
     used when several paths must consume bit-identical permutations (e.g.
     the perf-trajectory bench) or when assignments come from a recorded
     trace.  Indices are bounds-checked once up front.
+
+    ``workers`` shards the tree/permutation axis over the persistent
+    multicore pool (:mod:`repro.util.pool`): contiguous permutation-row
+    shards evaluate in worker processes against shared-memory views of the
+    data and permutation matrix, and the reassembled value vector is
+    bitwise-identical to the serial sweep — each tree's value is independent
+    of every other tree's.  ``workers=None`` defers to
+    ``REPRO_WORKERS``/cpu-count behind the adaptive bytes-and-items cutover;
+    an explicit ``workers >= 2`` always parallelises; deterministic
+    algorithms always use the compute-once-and-tile shortcut.
     """
     data = np.asarray(data, dtype=np.float64).ravel()
     n = data.size
@@ -275,6 +287,25 @@ def evaluate_ensemble(
         perm_iter: Iterable[np.ndarray] = iter(perm_arr)
     else:
         perm_iter = permutation_stream(n, n_trees, seed)
+
+    # multicore cutover: shard the permutation axis over the persistent pool
+    pool_workers, n_shards = shard_plan(
+        n_trees, n_trees * n * 8 + data.nbytes, workers
+    )
+    if n_shards > 1:
+        perm_matrix = (
+            perm_arr if perms is not None else np.stack(list(perm_iter))
+        )
+        return _ensemble_parallel(
+            data,
+            tree if tree is not None else kind,
+            algorithm,
+            perm_matrix,
+            context,
+            batch_elems,
+            pool_workers,
+            n_shards,
+        )
 
     vops = algorithm.vector_ops
 
@@ -330,6 +361,84 @@ def evaluate_ensemble(
 
 #: L2-sized row-block budget for the balanced matrix sweep (in float64 elems)
 _BALANCED_BLOCK_ELEMS = 1 << 18
+
+
+def _ensemble_parallel(
+    data: np.ndarray,
+    shape: ShapeLike,
+    algorithm: SummationAlgorithm,
+    perm_matrix: np.ndarray,
+    context: Optional[SumContext],
+    batch_elems: int,
+    pool_workers: int,
+    n_shards: int,
+) -> np.ndarray:
+    """Shard an ensemble's permutation rows over worker processes.
+
+    The data vector and the full permutation matrix move once into shared
+    memory; each worker evaluates a contiguous row shard through the normal
+    serial strategy dispatch (so every fast path — C sweeps, compiled
+    schedules, cumsum serial kernels — still applies inside the worker) and
+    returns only its value vector.  Concatenated shard outputs are
+    bitwise-identical to the serial sweep over the same permutation matrix.
+    """
+    from repro.util.chunking import split_indices
+
+    n_trees = perm_matrix.shape[0]
+    shards = split_indices(n_trees, n_shards)
+    pool = get_pool(pool_workers)
+    with SharedArray(np.ascontiguousarray(data)) as data_shm, SharedArray(
+        np.ascontiguousarray(perm_matrix)
+    ) as perm_shm:
+        payloads = [
+            (
+                data_shm.handle,
+                perm_shm.handle,
+                s.start,
+                s.stop,
+                shape,
+                algorithm,
+                context,
+                batch_elems,
+            )
+            for s in shards
+        ]
+        parts = pool.map(
+            _ensemble_shard, payloads, chunksize=1, path="ensemble"
+        )
+    return np.concatenate(parts)
+
+
+def _ensemble_shard(payload: tuple) -> np.ndarray:
+    """Worker: evaluate one contiguous block of permutation rows.
+
+    Operates on zero-copy views of the shared data/permutation segments;
+    the returned value vector is a fresh array, so no view escapes the
+    attach scope.
+    """
+    (
+        data_handle,
+        perm_handle,
+        start,
+        stop,
+        shape,
+        algorithm,
+        context,
+        batch_elems,
+    ) = payload
+    with attach_shared(data_handle) as data, attach_shared(perm_handle) as perms:
+        out = evaluate_ensemble(
+            data,
+            shape,
+            algorithm,
+            stop - start,
+            context=context,
+            batch_elems=batch_elems,
+            perms=perms[start:stop],
+            workers=1,
+        )
+        del data, perms
+    return out
 
 
 def _batched_balanced_indexed(

@@ -2,16 +2,19 @@
 
 The (k, dr) / (n, dr) / (n, k) grid experiments of Sec. V.C evaluate hundreds
 of cells, each of which sums a set over ~1000 permuted reduction trees.  Cells
-are independent, so we fan them out over a process pool.  Workers receive
-plain picklable payloads (integer seeds, parameter tuples) — never live
+are independent, so we fan them out over the process-global persistent pool
+of :mod:`repro.util.pool` — repeated sweeps (the runner's ``run all`` path
+executes four grid experiments back to back) reuse warm workers instead of
+paying ``ProcessPoolExecutor`` startup per call.  Workers receive plain
+picklable payloads (integer seeds, parameter tuples) — never live
 generators — so results are bitwise identical regardless of pool size.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
+
+from repro.util.pool import default_workers, get_pool, in_worker
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -19,25 +22,20 @@ R = TypeVar("R")
 __all__ = ["default_workers", "map_parallel"]
 
 
-def default_workers() -> int:
-    """Worker count: ``REPRO_WORKERS`` env var, else cpu_count − 1 (min 1)."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(1, int(env))
-    return max(1, (os.cpu_count() or 2) - 1)
-
-
 def map_parallel(
     fn: Callable[[T], R],
-    items: Sequence[T],
+    items: Iterable[T],
     *,
     workers: int | None = None,
     chunksize: int | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, in-process when small or when ``workers<=1``.
 
-    Falls back to a serial loop for short item lists where pool startup would
-    dominate, and always preserves input order in the result list.
+    Accepts any iterable (materialised exactly once), falls back to a serial
+    loop for short item lists where dispatch overhead would dominate, and
+    always preserves input order in the result list.  Parallel runs go
+    through the persistent :func:`repro.util.pool.get_pool` pool, so
+    back-to-back sweeps stop paying per-call executor construction.
 
     When ``chunksize`` is ``None`` it is derived as
     ``max(1, len(items) // (workers * 4))``: large enough that many small
@@ -45,10 +43,11 @@ def map_parallel(
     of slack per worker) that uneven cell costs still balance.  Pass an
     explicit integer to override.
     """
+    items = list(items)
     workers = default_workers() if workers is None else workers
-    if workers <= 1 or len(items) <= 2:
+    # nested dispatch inside a pool worker deadlocks the executors at exit
+    if workers <= 1 or len(items) <= 2 or in_worker():
         return [fn(item) for item in items]
     if chunksize is None:
         chunksize = max(1, len(items) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+    return get_pool(workers).map(fn, items, chunksize=chunksize, path="map")

@@ -1,0 +1,512 @@
+"""Persistent multicore serving pool with zero-copy shared-memory dispatch.
+
+The serving-path engines (``AdaptiveReducer.reduce_many``, ensemble sweeps,
+grid experiments) fan independent work units out over processes.  Before this
+module each fan-out built a fresh ``ProcessPoolExecutor`` — paying worker
+spawn plus a full interpreter/NumPy import per call — and shipped every array
+operand through the IPC pipe as pickled bytes.  Both costs are hoisted here:
+
+* **Persistent pool** — one process-global :class:`WorkerPool`, lazily
+  started on first dispatch and reused by every subsequent call (explicit
+  :func:`shutdown_pool` plus an ``atexit`` hook).  Worker count comes from
+  ``REPRO_WORKERS`` or cpu_count − 1; the start method prefers ``forkserver``
+  (fork-safety with threads, workers importable once then forked) and falls
+  back to ``spawn``, overridable via ``REPRO_POOL_START``.  A crashed worker
+  breaks a ``ProcessPoolExecutor`` irrecoverably, so :meth:`WorkerPool.map`
+  detects ``BrokenProcessPool``, rebuilds the executor, retries the batch
+  once (dispatched tasks are deterministic and idempotent by construction),
+  and counts the restart.
+* **Zero-copy payloads** — :class:`SharedArray` places one ndarray in a
+  ``multiprocessing.shared_memory`` segment (a single copy in); workers
+  attach with :func:`attach_shared` and operate on ndarray *views* of the
+  segment, so large ``float64`` batches never transit the pipe at all.  Only
+  tiny descriptors (segment name, dtype, shape, shard bounds) are pickled.
+* **Adaptive cutover** — :func:`shard_plan` keeps small batches serial: IPC
+  only pays for itself past a bytes-and-items threshold (tunable via
+  ``REPRO_PARALLEL_MIN_ITEMS`` / ``REPRO_PARALLEL_MIN_BYTES``), while an
+  explicit ``workers >= 2`` request always parallelises.
+
+Determinism contract: callers shard work into *contiguous* ranges and
+workers receive bit-identical operand bytes (``float64`` views of the packed
+segment), so every parallel result is bitwise-equal to the serial path —
+sharding selects *where* each independent item is computed, never *how*.
+The property tests in ``tests/test_parallel_determinism.py`` pin this across
+worker counts.
+
+Observability (parent-side, via :mod:`repro.obs`): tasks dispatched, shard
+sizes, pool starts/worker restarts, shared-memory bytes in flight, and
+dispatch/roundtrip latency histograms.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs import get_registry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "default_workers",
+    "in_worker",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
+    "pool_info",
+    "SharedArray",
+    "attach_shared",
+    "parallel_cutover",
+    "shard_plan",
+    "MIN_PARALLEL_ITEMS",
+    "MIN_PARALLEL_BYTES",
+    "MAX_AUTO_PARALLEL_BYTES",
+]
+
+_OBS = get_registry()
+
+#: auto-cutover floors: below either, serial always wins (IPC round trip plus
+#: shared-memory packing costs ~hundreds of microseconds; these floors keep
+#: that overhead under a few percent of the serial compute it displaces)
+MIN_PARALLEL_ITEMS = 8
+MIN_PARALLEL_BYTES = 1 << 21  # 2 MiB of float64 payload
+
+#: auto mode refuses to materialise/pack payloads beyond this (the caller can
+#: still force it with an explicit ``workers=``); guards against an implicit
+#: multi-GiB shared-memory copy of a paper-scale ensemble
+MAX_AUTO_PARALLEL_BYTES = 1 << 31
+
+#: shard-size histogram bounds (items per dispatched shard, not seconds)
+_SHARD_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                  1024.0, 4096.0, 16384.0, 65536.0)
+
+
+#: set in each pool worker by the executor initializer.  Nested dispatch is
+#: disabled inside workers: a shard function that (transitively) reaches an
+#: auto-parallel path — e.g. a grid cell calling ``evaluate_ensemble`` with
+#: ``REPRO_WORKERS`` inherited from the parent — must run it serially, or
+#: every worker forks its own pool and the executors deadlock joining their
+#: grandchildren at exit.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process, where nested dispatch is disabled."""
+    return _IN_WORKER
+
+
+def _env_int(name: str, default: int) -> int:
+    """Integer env override with warn-and-fallback on malformed values."""
+    env = os.environ.get(name)
+    if not env:
+        return default
+    try:
+        return int(env)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {name}={env!r}; using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env var, else cpu_count − 1 (min 1).
+
+    A malformed ``REPRO_WORKERS`` (e.g. ``abc``) warns and falls back to the
+    cpu-count default instead of raising from deep inside a sweep.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed REPRO_WORKERS={env!r}; "
+                "falling back to cpu_count - 1",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _start_method() -> str:
+    """Pool start method: ``REPRO_POOL_START`` override, else forkserver/spawn.
+
+    ``fork`` is accepted when explicitly requested (fastest on Linux), but
+    the default avoids it: forked children of a threaded parent deadlock, and
+    the serving path must stay safe under caller threads.
+    """
+    methods = mp.get_all_start_methods()
+    env = os.environ.get("REPRO_POOL_START")
+    if env:
+        if env in methods:
+            return env
+        warnings.warn(
+            f"ignoring unknown REPRO_POOL_START={env!r}; known: {methods}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+class WorkerPool:
+    """A lazily-started, restartable process pool bound to one worker count.
+
+    The executor is created on first :meth:`map` and survives across calls —
+    repeated grid sweeps and serving batches stop paying pool startup.  A
+    ``BrokenProcessPool`` (worker killed by the OS, segfault in a kernel,
+    out-of-memory) is detected, counted, and healed by rebuilding the
+    executor; the interrupted batch is retried once because every task the
+    serving layer dispatches is deterministic and side-effect-free.
+    """
+
+    def __init__(self, workers: "int | None" = None, *, start_method: "str | None" = None) -> None:
+        self.workers = max(1, int(workers)) if workers is not None else default_workers()
+        self.start_method = start_method or _start_method()
+        self._executor: "ProcessPoolExecutor | None" = None
+        self._lock = threading.RLock()
+        self.starts = 0
+        self.restarts = 0
+        self.tasks_dispatched = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                ctx = mp.get_context(self.start_method)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=ctx,
+                    initializer=_mark_worker,
+                )
+                self.starts += 1
+                if _OBS.enabled:
+                    _OBS.counter("repro_pool_starts_total").inc()
+                    _OBS.gauge("repro_pool_live_workers").inc(self.workers)
+            return self._executor
+
+    def _handle_broken(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                if _OBS.enabled:
+                    _OBS.gauge("repro_pool_live_workers").dec(self.workers)
+            self.restarts += 1
+            if _OBS.enabled:
+                _OBS.counter("repro_pool_worker_restarts_total").inc()
+
+    def shutdown(self) -> None:
+        """Stop the workers; the next :meth:`map` lazily restarts them."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+                if _OBS.enabled:
+                    _OBS.gauge("repro_pool_live_workers").dec(self.workers)
+
+    @property
+    def live(self) -> bool:
+        return self._executor is not None
+
+    def info(self) -> dict:
+        """Lifecycle counters: ``{"workers", "start_method", "live",
+        "starts", "restarts", "tasks_dispatched"}``."""
+        return {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "live": self.live,
+            "starts": self.starts,
+            "restarts": self.restarts,
+            "tasks_dispatched": self.tasks_dispatched,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        chunksize: "int | None" = None,
+        path: str = "map",
+    ) -> "list[R]":
+        """Ordered parallel map through the persistent executor.
+
+        ``path`` labels the dispatch in the pool metrics (``"map"``,
+        ``"reduce_many"``, ``"ensemble"``, ...).  Worker exceptions propagate
+        unchanged; only a *broken pool* (crashed worker) triggers the
+        rebuild-and-retry cycle.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if chunksize is None:
+            chunksize = max(1, len(items) // (self.workers * 4))
+        for attempt in (0, 1):
+            executor = self._ensure_executor()
+            t0 = time.perf_counter()
+            try:
+                iterator = executor.map(fn, items, chunksize=chunksize)
+                dispatch_s = time.perf_counter() - t0
+                results = list(iterator)
+            except BrokenProcessPool:
+                self._handle_broken()
+                if attempt:
+                    raise
+                continue
+            roundtrip_s = time.perf_counter() - t0
+            with self._lock:
+                self.tasks_dispatched += len(items)
+            if _OBS.enabled:
+                _OBS.counter("repro_pool_tasks_total", path=path).inc(len(items))
+                _OBS.histogram("repro_pool_dispatch_seconds").observe(dispatch_s)
+                _OBS.histogram("repro_pool_roundtrip_seconds").observe(roundtrip_s)
+                shard_hist = _OBS.histogram(
+                    "repro_pool_shard_items", buckets=_SHARD_BUCKETS
+                )
+                for size in _shard_sizes(len(items), chunksize):
+                    shard_hist.observe(size)
+            return results
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _shard_sizes(n_items: int, chunksize: int) -> "list[int]":
+    full, rem = divmod(n_items, max(1, chunksize))
+    return [chunksize] * full + ([rem] if rem else [])
+
+
+# -- the process-global pools --------------------------------------------------
+#
+# One persistent pool *per worker count*: benches and tests sweep workers in
+# {1, 2, 4, ...} back to back, and resizing a single pool would pay a full
+# worker spin-up on every alternation.  Distinct sizes in one process are few,
+# so keeping each warm costs little and makes every repeat dispatch cheap.
+
+_POOLS: "dict[int, WorkerPool]" = {}
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_pool(workers: "int | None" = None) -> WorkerPool:
+    """The process-global pool for this worker count, created on demand.
+
+    ``workers=None`` sizes the pool from :func:`default_workers`.  The
+    returned pool persists for the life of the process (or until
+    :func:`shutdown_pool`), so repeated dispatches skip executor startup.
+    """
+    want = max(1, int(workers)) if workers is not None else default_workers()
+    with _GLOBAL_LOCK:
+        pool = _POOLS.get(want)
+        if pool is None:
+            pool = WorkerPool(want)
+            _POOLS[want] = pool
+        return pool
+
+
+def shutdown_pool() -> None:
+    """Stop every global pool's workers (registered as an ``atexit`` hook).
+
+    Pool objects are dropped entirely, so a later :func:`get_pool` starts
+    fresh — used by tests and long-lived servers that want to release cores.
+    """
+    with _GLOBAL_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown()
+        _POOLS.clear()
+
+
+atexit.register(shutdown_pool)
+
+
+def pool_info() -> dict:
+    """Aggregate lifecycle counters across the global pools.
+
+    ``{"pools": [per-pool info], "live_workers", "starts", "restarts",
+    "tasks_dispatched"}`` — all-zero/empty if no pool was ever created.
+    """
+    with _GLOBAL_LOCK:
+        pools = [p.info() for p in _POOLS.values()]
+    return {
+        "pools": pools,
+        "live_workers": sum(p["workers"] for p in pools if p["live"]),
+        "starts": sum(p["starts"] for p in pools),
+        "restarts": sum(p["restarts"] for p in pools),
+        "tasks_dispatched": sum(p["tasks_dispatched"] for p in pools),
+    }
+
+
+# -- zero-copy shared-memory payloads ------------------------------------------
+
+
+class SharedArray:
+    """One ndarray in a shared-memory segment (parent-side owner).
+
+    One copy in at construction; workers attach views with
+    :func:`attach_shared`, so the bytes never transit the IPC pipe.  The
+    owner must call :meth:`close` (or use the instance as a context manager)
+    after the consuming futures complete — the segment is unlinked there and
+    the bytes-in-flight gauge returns to zero.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array)
+        self.nbytes = int(array.nbytes)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, self.nbytes)
+        )
+        if self.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+            view[...] = array
+            del view
+        #: picklable descriptor workers pass to :func:`attach_shared`
+        self.handle: tuple = (self._shm.name, array.dtype.str, array.shape)
+        if _OBS.enabled:
+            _OBS.gauge("repro_pool_shm_bytes_in_flight").inc(self.nbytes)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        if _OBS.enabled:
+            _OBS.gauge("repro_pool_shm_bytes_in_flight").dec(self.nbytes)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for tracking.
+
+    The parent owns the segment's lifetime; letting the worker's resource
+    tracker register an attach-only handle produces spurious unlink attempts
+    and "leaked shared_memory" warnings at worker exit.  Python 3.13 exposes
+    ``track=False``; earlier versions need the registration briefly no-op'd.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - depends on Python version
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original  # type: ignore[assignment]
+
+
+class attach_shared:
+    """Worker-side context manager: ndarray view of a :class:`SharedArray`.
+
+    ``with attach_shared(handle) as arr:`` yields a zero-copy view; every
+    reference into the view must be dropped before the block exits (results
+    returned from workers are fresh scalars/arrays, never views).
+    """
+
+    def __init__(self, handle: tuple) -> None:
+        self._name, self._dtype, self._shape = handle
+        self._shm: "shared_memory.SharedMemory | None" = None
+        self._view: "np.ndarray | None" = None
+
+    def __enter__(self) -> np.ndarray:
+        self._shm = _attach_segment(self._name)
+        self._view = np.ndarray(
+            self._shape, dtype=np.dtype(self._dtype), buffer=self._shm.buf
+        )
+        return self._view
+
+    def __exit__(self, *exc) -> None:
+        self._view = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - lingering view reference
+                import gc
+
+                gc.collect()
+                try:
+                    self._shm.close()
+                except BufferError:
+                    pass
+            self._shm = None
+
+
+# -- serial/parallel cutover ---------------------------------------------------
+
+
+def parallel_cutover(n_items: int, total_bytes: int, workers: int) -> bool:
+    """Auto-mode decision: is this payload worth the IPC round trip?
+
+    Calibrated against the measured fixed costs of a warm dispatch (~1 ms
+    round trip plus one memcpy of the payload into shared memory): both the
+    item floor and the byte floor must clear, and the payload must stay
+    under the auto-materialisation cap.
+    """
+    if _IN_WORKER or workers <= 1 or n_items < 2:
+        return False
+    if total_bytes > _env_int("REPRO_PARALLEL_MAX_BYTES", MAX_AUTO_PARALLEL_BYTES):
+        return False
+    return (
+        n_items >= _env_int("REPRO_PARALLEL_MIN_ITEMS", MIN_PARALLEL_ITEMS)
+        and total_bytes >= _env_int("REPRO_PARALLEL_MIN_BYTES", MIN_PARALLEL_BYTES)
+    )
+
+
+def shard_plan(
+    n_items: int, total_bytes: int, workers: "int | None"
+) -> "tuple[int, int]":
+    """Plan a dispatch: ``(pool_workers, n_shards)``.
+
+    ``n_shards == 1`` means "run serial, don't touch the pool".  An explicit
+    ``workers >= 2`` always parallelises (the caller asked); ``workers`` of
+    ``None`` defers to :func:`default_workers` gated by
+    :func:`parallel_cutover`, so small batches never pay IPC.
+    """
+    if n_items < 2:
+        return (1, 1)
+    if workers is None:
+        w = default_workers()
+        if not parallel_cutover(n_items, total_bytes, w):
+            return (1, 1)
+    else:
+        w = int(workers)
+        if w <= 1:
+            return (1, 1)
+        if _IN_WORKER:
+            warnings.warn(
+                "nested parallel dispatch inside a pool worker is disabled; "
+                "running this batch serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return (1, 1)
+    return (w, min(w, n_items))

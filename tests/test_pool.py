@@ -1,0 +1,220 @@
+"""Persistent worker pool: lifecycle, shm dispatch, cutover, env handling."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.obs import get_registry
+from repro.util.parallel import default_workers, map_parallel
+from repro.util.pool import (
+    MIN_PARALLEL_BYTES,
+    MIN_PARALLEL_ITEMS,
+    SharedArray,
+    attach_shared,
+    get_pool,
+    parallel_cutover,
+    pool_info,
+    shard_plan,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _crash_or_square(x: int) -> int:
+    if x < 0:
+        os._exit(13)  # simulate a worker killed mid-task (OOM, segfault)
+    return x * x
+
+
+def _probe_nested_dispatch(_: int) -> tuple:
+    """Runs inside a pool worker: nested dispatch must stay serial there."""
+    from repro.util import pool
+    from repro.util.parallel import map_parallel
+
+    os.environ["REPRO_WORKERS"] = "4"  # what a runner parent would export
+    auto_plan = pool.shard_plan(1000, 1 << 30, None)
+    nested = map_parallel(_square, range(6), workers=4)
+    return (pool.in_worker(), auto_plan, nested)
+
+
+class TestDefaultWorkers:
+    def test_env_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_malformed_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            workers = default_workers()
+        assert workers == max(1, (os.cpu_count() or 2) - 1)
+
+    def test_unset_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == max(1, (os.cpu_count() or 2) - 1)
+
+
+class TestMapParallel:
+    def test_accepts_any_iterable(self):
+        out = map_parallel(_square, (i for i in range(10)), workers=2)
+        assert out == [i * i for i in range(10)]
+
+    def test_serial_fallback_keeps_unpicklable_fn(self):
+        # lambdas cannot cross process boundaries; <= 2 items stays in-process
+        assert map_parallel(lambda x: x + 1, iter([1, 2]), workers=4) == [2, 3]
+
+    def test_workers_one_is_serial(self):
+        out = map_parallel(lambda x: -x, range(10), workers=1)
+        assert out == [-i for i in range(10)]
+
+    def test_repeated_calls_reuse_persistent_pool(self):
+        first = map_parallel(_square, range(8), workers=2)
+        pool = get_pool(2)
+        starts_after_first = pool.starts
+        dispatched = pool.tasks_dispatched
+        second = map_parallel(_square, range(8), workers=2)
+        assert first == second == [i * i for i in range(8)]
+        assert pool.starts == starts_after_first  # no executor rebuild
+        assert pool.tasks_dispatched == dispatched + 8
+
+
+class TestPoolLifecycle:
+    def test_get_pool_is_per_size_singleton(self):
+        a = get_pool(2)
+        b = get_pool(2)
+        c = get_pool(3)
+        assert a is b
+        assert c is not a and c.workers == 3
+
+    def test_pool_info_aggregates(self):
+        get_pool(2).map(_square, [1, 2, 3], chunksize=1)
+        info = pool_info()
+        assert info["tasks_dispatched"] >= 3
+        assert any(p["workers"] == 2 for p in info["pools"])
+
+    def test_crashed_worker_detected_and_pool_restarts(self):
+        pool = get_pool(2)
+        assert pool.map(_square, [1, 2, 3, 4], chunksize=1) == [1, 4, 9, 16]
+        restarts_before = pool.restarts
+        with pytest.raises(BrokenProcessPool):
+            pool.map(_crash_or_square, [1, 2, -1, 3], chunksize=1)
+        assert pool.restarts >= restarts_before + 1
+        # the pool heals: the next dispatch transparently restarts workers
+        assert pool.map(_square, [5, 6, 7, 8], chunksize=1) == [25, 36, 49, 64]
+        assert pool.live
+
+
+class TestNestedDispatch:
+    def test_workers_never_fork_their_own_pools(self):
+        """A grid cell inside a worker reaching an auto-parallel path (e.g.
+        evaluate_ensemble with REPRO_WORKERS inherited from the parent) must
+        run serially — nested pools deadlock the executors at exit."""
+        out = get_pool(2).map(_probe_nested_dispatch, [0, 1], chunksize=1)
+        for in_w, auto_plan, nested in out:
+            assert in_w is True
+            assert auto_plan == (1, 1)
+            assert nested == [i * i for i in range(6)]
+
+    def test_parent_process_is_not_marked(self):
+        from repro.util.pool import in_worker
+
+        assert in_worker() is False
+
+
+class TestSharedMemory:
+    def test_roundtrip_view(self):
+        arr = np.arange(32, dtype=np.float64).reshape(4, 8) * 1.5
+        with SharedArray(arr) as block:
+            with attach_shared(block.handle) as view:
+                assert view.dtype == np.float64
+                assert view.shape == (4, 8)
+                assert np.array_equal(view, arr)
+
+    def test_integer_matrix_roundtrip(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        with SharedArray(arr) as block:
+            with attach_shared(block.handle) as view:
+                assert view.dtype == np.int64
+                assert np.array_equal(view, arr)
+
+    def test_empty_array(self):
+        with SharedArray(np.zeros(0, dtype=np.float64)) as block:
+            with attach_shared(block.handle) as view:
+                assert view.size == 0
+
+    def test_bytes_in_flight_gauge_returns_to_zero(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.enable()
+        try:
+            gauge = registry.gauge("repro_pool_shm_bytes_in_flight")
+            base = gauge.value
+            block = SharedArray(np.ones(1024, dtype=np.float64))
+            assert gauge.value == base + 8192
+            block.close()
+            assert gauge.value == base
+            block.close()  # idempotent
+            assert gauge.value == base
+        finally:
+            if not was_enabled:
+                registry.disable()
+
+    def test_pool_metrics_recorded_when_enabled(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.enable()
+        try:
+            tasks = registry.counter("repro_pool_tasks_total", path="map")
+            before = tasks.value
+            map_parallel(_square, range(8), workers=2)
+            assert tasks.value == before + 8
+            assert registry.histogram("repro_pool_roundtrip_seconds").count > 0
+            assert registry.histogram("repro_pool_dispatch_seconds").count > 0
+        finally:
+            if not was_enabled:
+                registry.disable()
+
+
+class TestCutover:
+    def test_single_item_always_serial(self):
+        assert shard_plan(1, 1 << 30, 8) == (1, 1)
+
+    def test_explicit_workers_force_parallel(self):
+        assert shard_plan(2, 16, 4) == (4, 2)
+        assert shard_plan(100, 16, 4) == (4, 4)
+
+    def test_explicit_one_forces_serial(self):
+        assert shard_plan(1000, 1 << 30, 1) == (1, 1)
+
+    def test_auto_small_batches_stay_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert shard_plan(MIN_PARALLEL_ITEMS - 1, 1 << 30, None) == (1, 1)
+        assert shard_plan(1000, MIN_PARALLEL_BYTES - 1, None) == (1, 1)
+
+    def test_auto_large_batches_parallelise(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        plan = shard_plan(1000, MIN_PARALLEL_BYTES, None)
+        assert plan == (4, 4)
+
+    def test_auto_respects_materialisation_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert not parallel_cutover(1000, (1 << 31) + 1, 4)
+
+    def test_cutover_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_ITEMS", "2")
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "16")
+        assert parallel_cutover(2, 16, 4)
+
+    def test_malformed_cutover_env_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_ITEMS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_MIN_ITEMS"):
+            assert parallel_cutover(MIN_PARALLEL_ITEMS, MIN_PARALLEL_BYTES, 4)
