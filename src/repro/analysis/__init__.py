@@ -11,14 +11,20 @@ pass that catches those hazards statically:
   :class:`Finding`, severity levels, the rule registry (mirroring
   :mod:`repro.summation.registry`) and the ``# repro: allow[RULE-ID]``
   inline-suppression syntax.
-* :mod:`repro.analysis.rules` — the concrete FP001–FP008 rules.
+* :mod:`repro.analysis.rules` — the concrete rules: syntactic FP001–FP008
+  plus catalogue metadata for the whole-program FP009–FP013.
 * :mod:`repro.analysis.engine` — file walking, suppression and baseline
-  filtering.
+  filtering; ``lint_paths(..., flow=True)`` merges the whole-program pass.
+* :mod:`repro.analysis.flow` — the interprocedural layer: call-graph
+  construction, taint dataflow (rules FP009–FP013) and the serving-path
+  determinism certificates.
 * :mod:`repro.analysis.baseline` — the JSON baseline (accepted legacy
   findings) used by ``repro-lint --baseline``.
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 output for CI code scanning.
 * :mod:`repro.analysis.cli` — the ``repro-lint`` console entry point.
 * :mod:`repro.analysis.determinism` — a *static* audit of operator
-  commutativity × tree-nondeterminism combinations, consumed by
+  commutativity × tree-nondeterminism combinations, consumed (together with
+  :func:`repro.analysis.flow.serving_flow_verdict`) by
   :func:`repro.selection.certify.certify`.
 """
 

@@ -4,13 +4,18 @@ Usage::
 
     repro-lint src tests examples                    # text report, exit 1 on findings
     repro-lint src --format json                     # machine-readable
+    repro-lint src --format sarif                    # CI code-scanning artifact
+    repro-lint src --flow                            # + whole-program FP009-FP013
+    repro-lint src --flow --certificates certs.json  # determinism certificates
     repro-lint src --baseline .repro-lint-baseline.json
     repro-lint src --baseline b.json --write-baseline  # (re)record current findings
     repro-lint --list-rules                          # rule catalogue
     repro-lint src --select FP001,FP006              # subset of rules
 
-Exit codes: 0 clean (after suppressions/baseline), 1 findings or syntax
-errors, 2 usage errors.
+Exit codes: 0 clean (after suppressions/baseline), 1 findings, 2 parse
+errors or usage errors.  Parse errors outrank findings: a file the linter
+cannot read is a file it cannot vouch for, and a baseline must never be
+written over one.
 """
 
 from __future__ import annotations
@@ -29,11 +34,18 @@ __all__ = ["main", "build_parser", "run"]
 
 _DEFAULT_PATHS = ("src", "tests", "examples")
 
+#: distinct exit status for parse/usage errors (argparse uses 2 as well)
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_ERROR = 0, 1, 2
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="AST-based FP-safety & determinism linter (rules FP001-FP008).",
+        description=(
+            "AST-based FP-safety & determinism linter "
+            "(syntactic rules FP001-FP008; whole-program flow rules "
+            "FP009-FP013 with --flow)."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -43,9 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the whole-program flow pass (call-graph taint "
+            "analysis, rules FP009-FP013, determinism certificates)"
+        ),
+    )
+    parser.add_argument(
+        "--certificates",
+        metavar="FILE",
+        help=(
+            "with --flow: write the serving-entrypoint determinism "
+            "certificates (JSON) to FILE ('-' for stdout)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -94,8 +122,40 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
 
 def _print_rules() -> None:
     for rule in all_rules():
-        print(f"{rule.id}  [{rule.severity}]  {rule.title}")
+        kind = " (flow)" if getattr(rule, "flow", False) else ""
+        print(f"{rule.id}  [{rule.severity}]{kind}  {rule.title}")
         print(f"       {rule.rationale}")
+
+
+def _flow_summary_lines(result: LintResult) -> List[str]:
+    analysis = result.flow
+    if analysis is None:
+        return []
+    from repro.analysis.flow import flow_certificates
+
+    lines = [
+        f"flow: {len(analysis.graph.modules)} module(s), "
+        f"{len(analysis.graph.functions)} function(s), "
+        f"{analysis.graph.n_edges} edge(s) in {analysis.elapsed_s:.2f}s"
+    ]
+    for cert in flow_certificates(analysis):
+        if not cert["resolved"]:
+            lines.append(
+                f"certificate {cert['entrypoint']}: UNRESOLVED "
+                "(entrypoint not in the analyzed tree)"
+            )
+            continue
+        counts = cert["counts"]
+        status = "clean" if cert["clean"] else "UNGUARDED"
+        lines.append(
+            f"certificate {cert['entrypoint']}: {status} "
+            f"({cert['n_functions']} function(s); "
+            f"{counts['sources_unguarded']} unguarded / "
+            f"{counts['sources_guarded']} guarded source(s); "
+            f"{counts['hazards_unguarded']} unguarded / "
+            f"{counts['hazards_guarded']} guarded hazard(s))"
+        )
+    return lines
 
 
 def _report_text(result: LintResult, statistics: bool) -> None:
@@ -108,6 +168,8 @@ def _report_text(result: LintResult, statistics: bool) -> None:
         print()
         for rule_id in sorted(counts):
             print(f"{rule_id}: {counts[rule_id]}")
+    for line in _flow_summary_lines(result):
+        print(line)
     tail = (
         f"{len(result.findings)} finding(s) in {result.n_files} file(s)"
         f" ({result.n_suppressed} suppressed, {len(result.baselined)} baselined)"
@@ -126,7 +188,35 @@ def _report_json(result: LintResult) -> None:
         "files": result.n_files,
         "clean": result.clean,
     }
+    if result.flow is not None:
+        from repro.analysis.flow import flow_certificates
+
+        analysis = result.flow
+        payload["flow"] = {
+            "modules": len(analysis.graph.modules),
+            "functions": len(analysis.graph.functions),
+            "edges": analysis.graph.n_edges,
+            "elapsed_seconds": analysis.elapsed_s,
+            "certificates": flow_certificates(analysis),
+        }
     print(json.dumps(payload, indent=2))
+
+
+def _report_sarif(result: LintResult) -> None:
+    from repro.analysis.sarif import sarif_json
+
+    print(sarif_json(result))
+
+
+def _write_certificates(result: LintResult, target: str) -> None:
+    from repro.analysis.flow import flow_certificates
+    from repro.analysis.flow.certificate import certificates_to_json
+
+    text = certificates_to_json(flow_certificates(result.flow))
+    if target == "-":
+        print(text)
+    else:
+        Path(target).write_text(text + "\n")
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:
@@ -135,10 +225,12 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list_rules:
         _print_rules()
-        return 0
+        return EXIT_CLEAN
 
     if args.write_baseline and not args.baseline:
         parser.error("--write-baseline requires --baseline FILE")
+    if args.certificates and not args.flow:
+        parser.error("--certificates requires --flow")
 
     baseline = None
     if args.baseline and not args.write_baseline:
@@ -169,20 +261,38 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         select=_split_ids(args.select),
         ignore=_split_ids(args.ignore),
         min_severity=Severity[args.min_severity.upper()],
+        flow=args.flow,
     )
 
     if args.write_baseline:
+        if result.parse_errors:
+            # refusing beats silently blessing a tree we couldn't read
+            for err in result.parse_errors:
+                print(err.format_text(), file=sys.stderr)
+            print(
+                "refusing to write a baseline while files fail to parse",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
         Baseline.from_findings(result.findings).save(args.baseline)
         print(
             f"wrote {len(result.findings)} finding(s) to baseline {args.baseline}"
         )
-        return 0
+        return EXIT_CLEAN
 
     if args.format == "json":
         _report_json(result)
+    elif args.format == "sarif":
+        _report_sarif(result)
     else:
         _report_text(result, args.statistics)
-    return 0 if result.clean else 1
+
+    if args.certificates:
+        _write_certificates(result, args.certificates)
+
+    if result.parse_errors:
+        return EXIT_ERROR
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
 
 
 def main() -> None:  # pragma: no cover - console wrapper

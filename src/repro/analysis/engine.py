@@ -40,6 +40,9 @@ class LintResult:
     n_suppressed: int = 0
     n_files: int = 0
     parse_errors: List[Finding] = field(default_factory=list)
+    #: whole-program analysis (set when the run included ``--flow``);
+    #: typed loosely to keep the engine importable without the flow package
+    flow: "object | None" = None
 
     @property
     def clean(self) -> bool:
@@ -129,8 +132,15 @@ def lint_paths(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     min_severity: Severity = Severity.INFO,
+    flow: bool = False,
 ) -> LintResult:
-    """Lint a set of files/directories and return a filtered result."""
+    """Lint a set of files/directories and return a filtered result.
+
+    With ``flow=True`` the whole-program pass (:mod:`repro.analysis.flow`)
+    runs over the same discovered file set; its FP009–FP013 findings merge
+    into the result *before* baseline partitioning, so the baseline and
+    suppression machinery treat syntactic and flow findings identically.
+    """
     active = list(rules) if rules is not None else all_rules()
     if select:
         wanted = set(select)
@@ -141,13 +151,27 @@ def lint_paths(
 
     result = LintResult()
     collected: List[Finding] = []
-    for path in discover_files(paths):
+    files = discover_files(paths)
+    for path in files:
         findings, n_sup, err = lint_file(path, active)
         result.n_files += 1
         result.n_suppressed += n_sup
         if err is not None:
             result.parse_errors.append(err)
         collected.extend(f for f in findings if f.severity >= min_severity)
+
+    if flow:
+        from repro.analysis.flow import analyze_files
+
+        analysis = analyze_files(files)
+        result.flow = analysis
+        result.n_suppressed += analysis.n_suppressed
+        active_ids = {r.id for r in active}
+        collected.extend(
+            f
+            for f in analysis.findings
+            if f.rule_id in active_ids and f.severity >= min_severity
+        )
 
     collected.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     if baseline is not None:

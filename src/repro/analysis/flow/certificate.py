@@ -1,0 +1,208 @@
+"""Determinism certificates: machine-checkable records that no unguarded
+nondeterminism source reaches a serving entrypoint.
+
+The empirical :class:`repro.selection.certify.Certificate` *samples*
+reproducibility; the static audit in :mod:`repro.analysis.determinism`
+*derives* it for one operator.  A flow certificate closes the remaining
+gap: the code *between* the caller and the kernel.  For each serving
+entrypoint it records the call closure the flow pass explored, every
+nondeterminism source found there (guarded ones included, with their
+suppression status — a certificate that hid guarded sources would be
+unreviewable), every concurrency hazard, and a single ``clean`` bit CI can
+gate on.
+
+Schema (one JSON object per entrypoint)::
+
+    {
+      "schema": "repro-flow-certificate/1",
+      "entrypoint": "AdaptiveReducer.reduce_many",
+      "qname": "repro.selection.selector:AdaptiveReducer.reduce_many",
+      "resolved": true,
+      "clean": true,
+      "n_functions": 63,          # closure size actually explored
+      "sources": [                # every source in the closure
+        {"kind": "env-read", "detail": "os.environ.get(...)",
+         "site": "src/repro/util/pool.py:117", "guarded": true,
+         "chain": "repro.selection.selector:AdaptiveReducer.reduce_many -> ..."}
+      ],
+      "hazards": [ ... same shape, rule ids FP010-FP013 ... ],
+      "counts": {"sources_unguarded": 0, "sources_guarded": 2,
+                 "hazards_unguarded": 0, "hazards_guarded": 1}
+    }
+
+``clean`` is true iff no *unguarded* source and no *unguarded* hazard sits
+in the closure.  Guarded entries carry the inline-suppression paper trail
+in the repository itself (``# repro: allow[FPnnn] -- reason``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.analysis.flow.dataflow import (
+    FlowAnalysis,
+    _chain,
+    _format_chain,
+    _is_test_path,
+    analyze_files,
+)
+
+__all__ = [
+    "SERVING_ENTRYPOINTS",
+    "flow_certificates",
+    "certify_serving_path",
+    "serving_flow_verdict",
+]
+
+SCHEMA = "repro-flow-certificate/1"
+
+#: the serving surface the certificates cover: public reduction entrypoints
+SERVING_ENTRYPOINTS = (
+    ("AdaptiveReducer.reduce", "repro.selection.selector:AdaptiveReducer.reduce"),
+    ("AdaptiveReducer.reduce_many", "repro.selection.selector:AdaptiveReducer.reduce_many"),
+    ("evaluate_ensemble", "repro.trees.evaluate:evaluate_ensemble"),
+    ("SimComm.reduce_batch", "repro.mpi.comm:SimComm.reduce_batch"),
+)
+
+
+def _site(path: str, lineno: int) -> str:
+    return f"{path}:{lineno}"
+
+
+def _certificate_for(
+    analysis: FlowAnalysis, display: str, qname: str
+) -> dict:
+    graph = analysis.graph
+    if qname not in graph.functions:
+        return {
+            "schema": SCHEMA,
+            "entrypoint": display,
+            "qname": qname,
+            "resolved": False,
+            "clean": False,
+            "n_functions": 0,
+            "sources": [],
+            "hazards": [],
+            "counts": {},
+        }
+    parents = analysis.closure(qname)
+    closure = set(parents)
+
+    sources: List[dict] = []
+    for fq in sorted(closure):
+        facts = analysis.facts.get(fq)
+        if facts is None:
+            continue
+        for fact in facts.sources:
+            if _is_test_path(fact.path):
+                continue
+            guarded = analysis.is_guarded("FP009", fact.path, fact.lineno)
+            sources.append(
+                {
+                    "kind": fact.kind,
+                    "detail": fact.detail,
+                    "site": _site(fact.path, fact.lineno),
+                    "guarded": guarded,
+                    "chain": _format_chain(graph, _chain(parents, fact.qname)),
+                }
+            )
+
+    hazards: List[dict] = []
+    for hz in analysis.hazards:
+        if hz.qname not in closure:
+            continue
+        guarded = analysis.is_guarded(hz.rule_id, hz.path, hz.lineno)
+        hazards.append(
+            {
+                "rule": hz.rule_id,
+                "site": _site(hz.path, hz.lineno),
+                "guarded": guarded,
+                "chain": _format_chain(graph, _chain(parents, hz.qname)),
+                "message": hz.message,
+            }
+        )
+    # FP010 records are anchored at access sites inside closure functions
+    for fq, path, lineno, guarded, message in analysis.fp010_entries:
+        if fq not in closure:
+            continue
+        hazards.append(
+            {
+                "rule": "FP010",
+                "site": _site(path, lineno),
+                "guarded": guarded,
+                "chain": _format_chain(graph, _chain(parents, fq)),
+                "message": message,
+            }
+        )
+
+    sources.sort(key=lambda s: (s["site"], s["kind"]))
+    hazards.sort(key=lambda h: (h["site"], h["rule"]))
+    n_src_unguarded = sum(1 for s in sources if not s["guarded"])
+    n_hz_unguarded = sum(1 for h in hazards if not h["guarded"])
+    return {
+        "schema": SCHEMA,
+        "entrypoint": display,
+        "qname": qname,
+        "resolved": True,
+        "clean": n_src_unguarded == 0 and n_hz_unguarded == 0,
+        "n_functions": len(closure),
+        "sources": sources,
+        "hazards": hazards,
+        "counts": {
+            "sources_unguarded": n_src_unguarded,
+            "sources_guarded": len(sources) - n_src_unguarded,
+            "hazards_unguarded": n_hz_unguarded,
+            "hazards_guarded": len(hazards) - n_hz_unguarded,
+        },
+    }
+
+
+def flow_certificates(analysis: FlowAnalysis) -> List[dict]:
+    """One certificate per serving entrypoint, from an existing analysis."""
+    return [
+        _certificate_for(analysis, display, qname)
+        for display, qname in SERVING_ENTRYPOINTS
+    ]
+
+
+# -- the cached whole-package audit (what `certify` consumes) ------------------
+
+_CACHE: Dict[str, List[dict]] = {}
+
+
+def certify_serving_path(root: "Path | None" = None) -> List[dict]:
+    """Certificates for the serving entrypoints over the installed package.
+
+    The analysis runs once per process per root (the package source is
+    immutable for the life of the process) and is shared by every
+    :func:`repro.selection.certify.certify` call.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    key = str(Path(root).resolve())
+    if key not in _CACHE:
+        files = sorted(
+            f for f in Path(root).rglob("*.py") if "__pycache__" not in f.parts
+        )
+        analysis = analyze_files(files)
+        _CACHE[key] = flow_certificates(analysis)
+    return _CACHE[key]
+
+
+def serving_flow_verdict(root: "Path | None" = None) -> str:
+    """``"clean"`` | ``"unguarded"`` | ``"unavailable"`` for the serving path."""
+    try:
+        certs = certify_serving_path(root)
+    except Exception:  # pragma: no cover - source tree unreadable
+        return "unavailable"
+    if not certs or not all(c.get("resolved") for c in certs):
+        return "unavailable"
+    return "clean" if all(c["clean"] for c in certs) else "unguarded"
+
+
+def certificates_to_json(certs: Sequence[dict]) -> str:
+    return json.dumps(list(certs), indent=2, sort_keys=False)

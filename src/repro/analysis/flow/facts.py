@@ -1,0 +1,338 @@
+"""Per-function fact extraction: nondeterminism sources, reduction sinks,
+and module-global accesses.
+
+Facts are *syntactic and local* — one pass over each function body, nested
+defs excluded (they are functions of their own).  The dataflow pass in
+:mod:`repro.analysis.flow.dataflow` then propagates them along call edges;
+keeping extraction local means an unresolved call can only shorten a
+reported chain, never hide a source.
+
+Source kinds
+------------
+``unseeded-rng``
+    ``np.random.default_rng()`` with no argument or a literal ``None``, and
+    any legacy global-state RNG (``np.random.rand``, ``random.random``, ...).
+    ``default_rng(seed)`` with a *variable* argument is trusted: the
+    repo-wide convention (:func:`repro.util.rng.resolve_rng`) threads seeds
+    explicitly, and the unseeded case is ``resolve_rng(None)`` — which is
+    flagged at its own literal-``None`` call sites.
+``wall-clock``
+    ``time.time`` / ``time.time_ns`` / ``datetime.now`` / ``utcnow`` /
+    ``today``.  ``perf_counter`` and ``monotonic`` are deliberately *not*
+    sources: they are telemetry clocks (Stopwatch) whose values feed metrics,
+    not reductions.
+``env-read``
+    ``os.environ.get`` / ``os.environ[...]`` / ``os.getenv`` inside a
+    function body.  Module-level reads are import-time configuration and are
+    not flagged.
+``unordered-iter``
+    Iteration order of a hash-ordered or filesystem-ordered construct
+    escaping into a sequence or a loop: ``for x in set(...)``,
+    ``list({...})``, comprehensions over sets, unsorted ``os.listdir``.
+    Anything wrapped in ``sorted``/``min``/``max`` is order-pinned and
+    exempt.  Plain ``dict`` iteration is *not* a source: dicts preserve
+    insertion order (guaranteed since Python 3.7).
+``pool-order``
+    Completion-order primitives: ``as_completed``, ``imap_unordered``,
+    ``wait(..., return_when=FIRST_COMPLETED)``.  Results arriving in
+    completion order re-associate any subsequent reduction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.flow.callgraph import (
+    MUTATOR_METHODS,
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    iter_own_nodes,
+)
+
+__all__ = ["SourceFact", "SinkFact", "GlobalAccess", "FunctionFacts", "extract_facts"]
+
+_LEGACY_RNG_ATTRS = {
+    "rand", "randn", "random", "randint", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "seed", "normal", "uniform",
+    "standard_normal", "exponential", "poisson", "bytes",
+}
+_RANDOM_MODULE_FNS = {
+    "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+    "choice", "choices", "shuffle", "sample", "seed", "betavariate",
+    "expovariate", "triangular",
+}
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+}
+_FS_ITER = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_ORDER_PINNERS = {"sorted", "min", "max", "sum", "len", "frozenset", "set"}
+_POOL_ORDER = {"as_completed", "imap_unordered"}
+
+#: syntactic reducer callees (mirrors FP002/FP006 vocabulary)
+_REDUCER_NAMES = {"sum", "fsum", "math.fsum", "np.sum", "numpy.sum", "functools.reduce"}
+_REDUCER_ATTRS = {"sum", "fsum", "reduce", "allreduce", "reduce_batch",
+                  "reduce_nondeterministic", "sum_array", "fold", "reduce_many"}
+#: resolved method names that are reduction entry/commit points
+_SINK_METHOD_NAMES = {"reduce", "allreduce", "reduce_batch",
+                      "reduce_nondeterministic", "reduce_many", "sum_array",
+                      "evaluate_ensemble", "fold"}
+
+
+@dataclass(frozen=True)
+class SourceFact:
+    """One nondeterminism source at one site inside one function."""
+
+    kind: str  # unseeded-rng | wall-clock | env-read | unordered-iter | pool-order
+    qname: str  # owning function
+    path: str
+    lineno: int
+    col: int
+    detail: str  # human-readable description of the construct
+
+
+@dataclass(frozen=True)
+class SinkFact:
+    """One reduction site inside one function."""
+
+    qname: str
+    path: str
+    lineno: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """A read or write of a module-level name from function scope."""
+
+    module: str
+    name: str
+    qname: str
+    path: str
+    lineno: int
+    is_write: bool
+
+
+@dataclass
+class FunctionFacts:
+    """Everything fact extraction learned about one function."""
+
+    sources: List[SourceFact] = field(default_factory=list)
+    sinks: List[SinkFact] = field(default_factory=list)
+    global_accesses: List[GlobalAccess] = field(default_factory=list)
+
+
+def _call_detail(name: str) -> str:
+    return f"{name}(...)"
+
+
+class _FactScanner:
+    def __init__(self, graph: CallGraph, mod: ModuleInfo, fn: FunctionInfo) -> None:
+        self.graph = graph
+        self.mod = mod
+        self.fn = fn
+        self.facts = FunctionFacts()
+        self._declared_globals: set = set()
+
+    def scan(self) -> FunctionFacts:
+        node = self.fn.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in iter_own_nodes(node):
+                if isinstance(sub, ast.Global):
+                    self._declared_globals.update(sub.names)
+        for sub in iter_own_nodes(node):
+            self._scan_node(sub)
+        return self.facts
+
+    # -- helpers --------------------------------------------------------------
+    def _src(self, kind: str, node: ast.AST, detail: str) -> None:
+        self.facts.sources.append(
+            SourceFact(
+                kind=kind,
+                qname=self.fn.qname,
+                path=self.fn.path,
+                lineno=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                detail=detail,
+            )
+        )
+
+    def _sink(self, node: ast.AST, detail: str) -> None:
+        self.facts.sinks.append(
+            SinkFact(
+                qname=self.fn.qname,
+                path=self.fn.path,
+                lineno=getattr(node, "lineno", self.fn.lineno),
+                detail=detail,
+            )
+        )
+
+    def _global_access(self, name: str, node: ast.AST, is_write: bool) -> None:
+        self.facts.global_accesses.append(
+            GlobalAccess(
+                module=self.mod.name,
+                name=name,
+                qname=self.fn.qname,
+                path=self.fn.path,
+                lineno=getattr(node, "lineno", self.fn.lineno),
+                is_write=is_write,
+            )
+        )
+
+    # -- node dispatch --------------------------------------------------------
+    def _scan_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._scan_call(node)
+        elif isinstance(node, ast.Subscript):
+            name = dotted_name(node.value)
+            if name == "os.environ" and isinstance(node.ctx, ast.Load):
+                self._src("env-read", node, "os.environ[...]")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            detail = _unordered_iter_detail(node.iter)
+            if detail:
+                self._src("unordered-iter", node, f"loop over {detail}")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                detail = _unordered_iter_detail(gen.iter)
+                if detail:
+                    self._src("unordered-iter", node, f"comprehension over {detail}")
+        elif isinstance(node, ast.Name):
+            self._scan_name(node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._scan_store_targets(node)
+
+    def _scan_name(self, node: ast.Name) -> None:
+        if node.id not in self.mod.mutable_globals:
+            return
+        if isinstance(node.ctx, ast.Load):
+            self._global_access(node.id, node, is_write=False)
+        elif isinstance(node.ctx, ast.Store) and node.id in self._declared_globals:
+            self._global_access(node.id, node, is_write=True)
+
+    def _scan_store_targets(self, node: ast.AST) -> None:
+        """Catch container mutation through subscripts: ``GLOBAL[k] = v``."""
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                if target.value.id in self.mod.mutable_globals:
+                    self._global_access(target.value.id, node, is_write=True)
+
+    def _scan_call(self, call: ast.Call) -> None:
+        name = dotted_name(call.func) or ""
+        leaf = name.split(".")[-1]
+
+        # unseeded / legacy RNG ------------------------------------------------
+        if leaf == "default_rng":
+            if not call.args or (
+                isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+            ):
+                self._src("unseeded-rng", call, "default_rng() without a seed")
+        elif name.startswith(("np.random.", "numpy.random.")) and leaf in _LEGACY_RNG_ATTRS:
+            self._src("unseeded-rng", call, _call_detail(name))
+        elif name.startswith("random.") and leaf in _RANDOM_MODULE_FNS:
+            sym = self.mod.symbols.get("random")
+            if sym is None or sym == ("module", "random"):
+                self._src("unseeded-rng", call, _call_detail(name))
+
+        # wall clock -----------------------------------------------------------
+        if name in _WALL_CLOCK:
+            self._src("wall-clock", call, _call_detail(name))
+
+        # environment ----------------------------------------------------------
+        if name in ("os.environ.get", "os.getenv", "environ.get"):
+            self._src("env-read", call, _call_detail(name))
+
+        # completion order -----------------------------------------------------
+        if leaf in _POOL_ORDER:
+            self._src("pool-order", call, _call_detail(name))
+        elif leaf == "wait":
+            for kw in call.keywords:
+                kw_name = dotted_name(kw.value) or ""
+                if kw.arg == "return_when" and kw_name.endswith("FIRST_COMPLETED"):
+                    self._src("pool-order", call, "wait(return_when=FIRST_COMPLETED)")
+
+        # unordered iteration escaping into a sequence -------------------------
+        if leaf in ("list", "tuple") and call.args:
+            detail = _unordered_iter_detail(call.args[0])
+            if detail:
+                self._src("unordered-iter", call, f"{leaf}({detail})")
+
+        # reduction sinks ------------------------------------------------------
+        self._scan_sink(call, name, leaf)
+
+        # container mutator methods on module globals --------------------------
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in MUTATOR_METHODS
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id in self.mod.mutable_globals
+        ):
+            self._global_access(call.func.value.id, call, is_write=True)
+
+    def _scan_sink(self, call: ast.Call, name: str, leaf: str) -> None:
+        if name in _REDUCER_NAMES and call.args:
+            self._sink(call, _call_detail(name))
+            return
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _REDUCER_ATTRS:
+            self._sink(call, _call_detail(name or call.func.attr))
+            return
+        if leaf in _SINK_METHOD_NAMES:
+            self._sink(call, _call_detail(name))
+
+
+def _unordered_iter_detail(node: ast.expr) -> Optional[str]:
+    """Description of the unordered construct whose order escapes, if any.
+
+    Unlike the flat walk FP006 used to do, subtrees rooted at an
+    order-pinning call (``sorted`` and friends) are pruned — ``sorted(set(
+    xs))`` pins the order no matter how deep the set sits.
+    """
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        leaf = name.split(".")[-1]
+        if leaf in _ORDER_PINNERS and leaf not in ("set", "frozenset"):
+            return None
+        if leaf in ("set", "frozenset"):
+            return f"{leaf}(...)"
+        if name in _FS_ITER:
+            return f"{name}(...)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "iterdir":
+            return "<path>.iterdir()"
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            detail = _unordered_iter_detail(arg)
+            if detail:
+                return detail
+        return None
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        detail = _unordered_iter_detail(child)
+        if detail:
+            return detail
+    return None
+
+
+def extract_facts(graph: CallGraph) -> Dict[str, FunctionFacts]:
+    """Run fact extraction over every function in the graph."""
+    out: Dict[str, FunctionFacts] = {}
+    for fq in sorted(graph.functions):
+        fn = graph.functions[fq]
+        mod = graph.modules.get(fn.module)
+        if mod is None:
+            out[fq] = FunctionFacts()
+            continue
+        out[fq] = _FactScanner(graph, mod, fn).scan()
+    return out

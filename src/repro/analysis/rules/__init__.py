@@ -1,8 +1,15 @@
-"""Concrete FP001–FP008 rules, registered on import.
+"""Concrete FP001–FP013 rules, registered on import.
 
 Mirrors :mod:`repro.summation.registry`: each rule module defines a class,
 this package instantiates and registers one of each, and
 :func:`repro.analysis.base.all_rules` is the authoritative catalogue.
+
+FP001–FP008 are file-local syntactic rules run by the per-file engine;
+FP009–FP013 are *flow* rules — their findings come from the whole-program
+pass in :mod:`repro.analysis.flow` (``repro-lint --flow``), and the classes
+here carry the catalogue metadata (id, severity, rationale) plus a
+``flow = True`` marker so the CLI, baselines and suppressions treat both
+kinds uniformly.
 """
 
 from repro.analysis.base import register
@@ -14,6 +21,11 @@ from repro.analysis.rules.fp005_dtype_downcast import DtypeDowncast
 from repro.analysis.rules.fp006_nondet_iter import NondeterministicIteration
 from repro.analysis.rules.fp007_test_tolerance import ExactFloatAssert
 from repro.analysis.rules.fp008_rng_hazards import SharedRngAndMutableDefaults
+from repro.analysis.rules.fp009_flow_nondet_source import FlowNondeterminismSource
+from repro.analysis.rules.fp010_worker_global import WorkerSharedGlobal
+from repro.analysis.rules.fp011_shared_view_escape import SharedViewEscape
+from repro.analysis.rules.fp012_shared_write import SharedMemoryWrite
+from repro.analysis.rules.fp013_unlocked_mutation import UnlockedPrivateMutation
 
 __all__ = [
     "FloatLiteralEquality",
@@ -24,6 +36,11 @@ __all__ = [
     "NondeterministicIteration",
     "ExactFloatAssert",
     "SharedRngAndMutableDefaults",
+    "FlowNondeterminismSource",
+    "WorkerSharedGlobal",
+    "SharedViewEscape",
+    "SharedMemoryWrite",
+    "UnlockedPrivateMutation",
 ]
 
 for _rule in (
@@ -35,5 +52,10 @@ for _rule in (
     NondeterministicIteration(),
     ExactFloatAssert(),
     SharedRngAndMutableDefaults(),
+    FlowNondeterminismSource(),
+    WorkerSharedGlobal(),
+    SharedViewEscape(),
+    SharedMemoryWrite(),
+    UnlockedPrivateMutation(),
 ):
     register(_rule)

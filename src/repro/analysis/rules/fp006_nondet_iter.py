@@ -32,29 +32,43 @@ _REDUCERS = {"sum", "math.fsum", "fsum", "np.sum", "numpy.sum"}
 _FS_SOURCES = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
 
 
+#: calls that pin (or collapse) iteration order: anything unordered *inside*
+#: them cannot leak hash/filesystem order into the surrounding reduction
+_ORDER_PINNERS = {"sorted", "min", "max", "len"}
+
+
 def _unordered_source(node: ast.AST) -> Optional[str]:
-    """Name of the unordered construct feeding the expression, if any."""
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Call):
-            name = call_name(sub)
-            if name in {"set", "frozenset"}:
-                return f"{name}(...)"
-            if name in _FS_SOURCES:
-                return f"{name}(...)"
-            if isinstance(sub.func, ast.Attribute) and sub.func.attr == "iterdir":
-                return "<path>.iterdir()"
-        if isinstance(sub, ast.SetComp):
-            return "a set comprehension"
-        if isinstance(sub, ast.Set):
-            return "a set literal"
+    """Name of the unordered construct feeding the expression, if any.
+
+    The traversal prunes subtrees rooted at an order-pinning call, so
+    ``sorted(set(xs))`` is clean *wherever* it appears — including nested
+    inside a generator expression or an ``np.array(...)`` wrapper, which a
+    flat ``ast.walk`` used to flag falsely.
+    """
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in _ORDER_PINNERS:
+            return None  # order is total below this point
+        if name in {"set", "frozenset"}:
+            return f"{name}(...)"
+        if name in _FS_SOURCES:
+            return f"{name}(...)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "iterdir":
+            return "<path>.iterdir()"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    for child in ast.iter_child_nodes(node):
+        src = _unordered_source(child)
+        if src:
+            return src
     return None
 
 
 def _sorted_wrapped(node: ast.AST) -> bool:
-    """True when every unordered construct sits inside a sorted() call."""
-    # Cheap containment check: if the expression's outermost call is sorted,
-    # its argument order is total regardless of what feeds it.
-    return isinstance(node, ast.Call) and call_name(node) in {"sorted", "min", "max"}
+    """True when the expression's outermost call pins a total order."""
+    return isinstance(node, ast.Call) and call_name(node) in _ORDER_PINNERS
 
 
 class NondeterministicIteration(Rule):

@@ -1,0 +1,40 @@
+"""FP009: nondeterminism source reachable from a reduction (interprocedural).
+
+The flow analogue of FP006/FP008: those rules see one file; FP009 follows
+call edges.  An unseeded RNG, a wall-clock read, an ``os.environ`` lookup,
+hash-ordered iteration or a completion-order primitive anywhere in the call
+closure of a reduction-bearing function makes that reduction's result a
+function of process state, not of its inputs — exactly the reassociation
+hazard the paper quantifies, arrived at through software instead of the
+network.
+
+Findings are *emitted by the flow engine* (``repro-lint --flow``), not by
+:meth:`check` — this class exists so the rule has a stable id, severity and
+rationale in the shared catalogue (``--list-rules``, ``--select``, docs,
+baselines and suppressions all key off it).  Each finding is anchored at
+the source site and carries the full source→sink call chain; suppressing
+the source line retires every chain through it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class FlowNondeterminismSource(Rule):
+    id = "FP009"
+    title = "nondeterminism source reachable from a reduction (flow)"
+    severity = Severity.ERROR
+    rationale = (
+        "an unseeded RNG, wall-clock, env read, unordered iteration or "
+        "completion-order wait in the call closure of a reduction makes the "
+        "result depend on process state; guard the source or suppress with "
+        "a reason at the source line"
+    )
+    #: emitted by repro.analysis.flow, not by the per-file engine
+    flow = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

@@ -1,0 +1,40 @@
+"""FP010: module-level mutable state touched inside pool workers without
+worker-state registration.
+
+A ``ProcessPoolExecutor`` worker is a separate process: module-level dicts,
+lists and caches mutated there diverge silently from the parent's copy (and
+from every sibling's).  Reads are just as hazardous when the parent mutates
+the container after pool start — forkserver/spawn workers materialise the
+module fresh and see a different snapshot than a forked worker would.
+
+The sanctioned protocol is :func:`repro.util.pool.register_worker_state`:
+state registered there is built *inside* each worker by a factory the
+analyzer can see (or by an executor ``initializer=``), so every process
+constructs the same value from the same inputs.  Accesses whose only
+writers live in the closure of registered initializers do not fire.
+
+Findings are emitted by the flow engine (``repro-lint --flow``); this class
+anchors the id/severity/rationale in the shared catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class WorkerSharedGlobal(Rule):
+    id = "FP010"
+    title = "module-level mutable state in pool workers without registration"
+    severity = Severity.WARNING
+    rationale = (
+        "pool workers are separate processes; unregistered module-level "
+        "mutable state diverges per process — register a factory via "
+        "repro.util.pool.register_worker_state or document why per-worker "
+        "divergence cannot change results"
+    )
+    flow = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

@@ -1,0 +1,34 @@
+"""FP011: shared-memory view escaping its ``attach_shared`` lifetime scope.
+
+``with attach_shared(handle) as view:`` maps another process's shared
+memory; ``__exit__`` unmaps it.  Returning the view, yielding it, storing
+it (or a slice of it — NumPy slices alias the same pages) on ``self`` or a
+module global hands out a pointer into memory that is about to disappear:
+the crash arrives later, in unrelated code, as garbage values or a
+segfault.  Results leaving a shard function must be fresh arrays
+(``np.array(view[...])``) or scalars.
+
+Findings are emitted by the flow engine (``repro-lint --flow``); this class
+anchors the id/severity/rationale in the shared catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class SharedViewEscape(Rule):
+    id = "FP011"
+    title = "attach_shared view escapes its mapping scope"
+    severity = Severity.ERROR
+    rationale = (
+        "ndarray views of an attached shared-memory segment dangle once the "
+        "context manager unmaps it; copy before returning/storing — a "
+        "dangling view is a use-after-free dressed as an array"
+    )
+    flow = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

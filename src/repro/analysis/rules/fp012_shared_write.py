@@ -1,0 +1,34 @@
+"""FP012: write through an attached shared-memory view.
+
+``attach_shared`` is the consumer side of the shard protocol: the owner
+packed the operand bytes before dispatch, and every shard reads the same
+pages concurrently.  A store through the view (``view[i] = x``,
+``view += ...``, ``view.fill(...)``, ``np.add(..., out=view)``) is a
+cross-process data race — it mutates operands a sibling shard may not have
+read yet, re-associating someone else's reduction mid-flight and breaking
+the bitwise parallel==serial contract the pool advertises.
+
+Findings are emitted by the flow engine (``repro-lint --flow``); this class
+anchors the id/severity/rationale in the shared catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class SharedMemoryWrite(Rule):
+    id = "FP012"
+    title = "write to attached shared memory outside the owning shard"
+    severity = Severity.ERROR
+    rationale = (
+        "attached views alias operand pages every shard reads concurrently; "
+        "writing through them races siblings and silently changes reduction "
+        "inputs — compute into a local copy and return fresh data"
+    )
+    flow = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

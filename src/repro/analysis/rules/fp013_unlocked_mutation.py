@@ -1,0 +1,35 @@
+"""FP013: private-state mutation off the owning lock.
+
+A class that creates ``self._lock = threading.Lock()`` (or ``RLock``) in
+``__init__`` has declared its underscore-private state lock-protected —
+the obs registry and the worker pool both rely on that discipline for
+exact counters under concurrent ``reduce_many`` streams.  Any write to
+``self._x`` outside a ``with self._lock:`` block in such a class is a
+torn-update hazard that no test reliably catches: the metrics stay
+*approximately* right, which is the worst kind of wrong for a
+reproducibility audit trail.
+
+Findings are emitted by the flow engine (``repro-lint --flow``); this class
+anchors the id/severity/rationale in the shared catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, Severity
+
+
+class UnlockedPrivateMutation(Rule):
+    id = "FP013"
+    title = "lock-owning class mutates private state outside its lock"
+    severity = Severity.WARNING
+    rationale = (
+        "a class holding self._lock declares its private state "
+        "lock-protected; mutating it unlocked tears updates under the "
+        "concurrent serving streams the pool and obs layers serve"
+    )
+    flow = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output for ``repro-lint`` (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is what CI code-scanning
+surfaces ingest; emitting it makes FP001–FP013 findings first-class review
+annotations instead of buried job logs.  One run object, one rule entry per
+registered rule (so even clean runs publish the catalogue), one result per
+finding; parse errors (FP000) ride along at error level.
+
+Only the stable core of the spec is produced — tool metadata, rule
+metadata, results with a single physical location — which every consumer
+(GitHub code scanning, ``sarif-tools``, VS Code viewers) understands.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.base import Finding, Severity, all_rules
+from repro.analysis.engine import LintResult
+
+__all__ = ["to_sarif", "sarif_json"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _rule_entries() -> List[dict]:
+    entries = [
+        {
+            "id": "FP000",
+            "name": "ParseError",
+            "shortDescription": {"text": "file failed to parse"},
+            "fullDescription": {
+                "text": "a file the linter cannot parse is a file it cannot vouch for"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    ]
+    for rule in all_rules():
+        entries.append(
+            {
+                "id": rule.id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": _LEVEL[rule.severity]},
+            }
+        )
+    return entries
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVEL[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLintFingerprint/v1": finding.fingerprint()},
+    }
+
+
+def to_sarif(result: LintResult) -> dict:
+    """Lower a :class:`LintResult` to a SARIF 2.1.0 log dict."""
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/",
+                        "rules": _rule_entries(),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [
+                    _result(f) for f in result.parse_errors + result.findings
+                ],
+            }
+        ],
+    }
+
+
+def sarif_json(result: LintResult) -> str:
+    return json.dumps(to_sarif(result), indent=2)

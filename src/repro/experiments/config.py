@@ -129,6 +129,9 @@ SCALES: Mapping[str, Scale] = {
 
 def resolve_scale(name: "str | None" = None) -> Scale:
     """Scale by explicit name, else ``REPRO_SCALE`` env var, else ``ci``."""
+    # The scale preset picks experiment *sizes* (n, trees, grid axes), never
+    # a reduction algorithm or order; every scale is internally reproducible.
+    # repro: allow[FP009] -- sizes knob only, reduction semantics unaffected
     name = name or os.environ.get("REPRO_SCALE", "ci")
     try:
         return SCALES[name]

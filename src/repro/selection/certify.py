@@ -50,6 +50,11 @@ class Certificate:
     #: static determinism verdict from repro.analysis.determinism:
     #: "bitwise" means order-independence is *derived*, not just sampled.
     static_verdict: str = ""
+    #: whole-program flow verdict from repro.analysis.flow: "clean" means no
+    #: unguarded nondeterminism source reaches any serving entrypoint;
+    #: "unguarded" means at least one does; "unavailable" means the package
+    #: source could not be analyzed in this environment.
+    flow_verdict: str = ""
 
     def to_json(self) -> str:
         payload = {
@@ -66,6 +71,7 @@ class Certificate:
             "shapes": list(self.shapes),
             "seed": self.seed,
             "static_verdict": self.static_verdict,
+            "flow_verdict": self.flow_verdict,
         }
         return json.dumps(payload, indent=2)
 
@@ -86,6 +92,7 @@ class Certificate:
             shapes=tuple(d["shapes"]),
             seed=int(d["seed"]),
             static_verdict=str(d.get("static_verdict", "")),
+            flow_verdict=str(d.get("flow_verdict", "")),
         )
 
 
@@ -134,6 +141,12 @@ def certify(
     # assert bitwise reproducibility over *all* reduction orders, not just
     # the ensemble's sample of them.
     static_report = audit_shapes(algorithm_code, shapes, permuted_leaves=True)
+    # Whole-program flow audit: does any unguarded nondeterminism source
+    # reach a serving entrypoint?  Analyzed once per process and cached —
+    # the package source is immutable for the life of the process.
+    from repro.analysis.flow import serving_flow_verdict
+
+    flow_verdict = serving_flow_verdict()
 
     worst_rel = 0.0
     worst_spread = 0.0
@@ -166,4 +179,5 @@ def certify(
         shapes=tuple(shapes),
         seed=seed,
         static_verdict=str(static_report.verdict),
+        flow_verdict=flow_verdict,
     )

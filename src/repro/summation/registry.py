@@ -60,9 +60,13 @@ for _alg in (
 def get_algorithm(code: str) -> SummationAlgorithm:
     """Look up an algorithm by its code (``"ST"``, ``"K"``, ``"CP"``, ``"PR"``, ...)."""
     try:
+        # repro: allow[FP010] -- read-only in workers: the registry is filled
+        # by the import-time register() loop above, identically in every
+        # process, and frozen thereafter
         return _REGISTRY[code]
     except KeyError:
         raise KeyError(
+            # repro: allow[FP010] -- same import-time-frozen registry read
             f"unknown summation algorithm {code!r}; known: {sorted(_REGISTRY)}"
         ) from None
 

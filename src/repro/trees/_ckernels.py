@@ -716,6 +716,9 @@ def _count_stale_kernels(cache_dir: str, so_path: str) -> int:
 
 def _compile_library() -> Optional[ctypes.CDLL]:
     """Compile (or reuse) the kernel shared object; None on any failure."""
+    # Build gate only: disabling C kernels falls back to the Python fold the
+    # kernels are digest-verified bitwise-equal to.
+    # repro: allow[FP009] -- build gate, fallback is bitwise-equal
     if os.environ.get("REPRO_NO_CKERNELS"):
         _record_compile_event("gated")
         return None
@@ -732,6 +735,9 @@ def _compile_library() -> Optional[ctypes.CDLL]:
     digest = hashlib.blake2b(
         (_C_SOURCE + "\0" + " ".join(flags)).encode(), digest_size=16
     ).hexdigest()
+    # Cache *location* only; the kernel loaded from any directory is the same
+    # digest-addressed, bitwise-verified object.
+    # repro: allow[FP009] -- cache path knob, kernel bytes digest-pinned
     cache_dir = os.environ.get("REPRO_CKERNEL_CACHE") or os.path.join(
         tempfile.gettempdir(), "repro-ckernels"
     )

@@ -245,6 +245,10 @@ def compile_tree(tree: ReductionTree, *, cache: bool = True) -> CompiledSchedule
             _cache[key] = compiled
             _cache.move_to_end(key)
             while len(_cache) > SCHEDULE_CACHE_MAX:
+                # Per-process memo cache: a given key always maps to a
+                # bitwise-identical compiled plan, so worker copies cannot
+                # diverge in value — only in what they have cached.
+                # repro: allow[FP010] -- memo cache, key -> bitwise-same plan
                 _cache.popitem(last=False)
                 evictions += 1
         if evictions and _OBS.enabled:

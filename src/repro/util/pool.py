@@ -70,6 +70,8 @@ __all__ = [
     "attach_shared",
     "parallel_cutover",
     "shard_plan",
+    "register_worker_state",
+    "worker_state",
     "MIN_PARALLEL_ITEMS",
     "MIN_PARALLEL_BYTES",
     "MAX_AUTO_PARALLEL_BYTES",
@@ -112,8 +114,65 @@ def in_worker() -> bool:
     return _IN_WORKER
 
 
+# -- registered worker state ---------------------------------------------------
+#
+# Module-level mutable state read inside pool workers is a determinism trap:
+# forkserver/spawn workers materialise modules fresh, so whatever the parent
+# mutated after import is silently absent in the worker.  The sanctioned
+# protocol is to register a *factory* at import time — import runs in every
+# process, so every worker (and the parent) builds the same value from the
+# same inputs — and fetch it with :func:`worker_state` where needed.  The
+# flow analyzer (rule FP010) recognises exactly this protocol: accesses to
+# state whose only writers are registered factories/initializers don't fire.
+
+_WORKER_STATE_FACTORIES: "dict[str, Callable[[], object]]" = {}
+_WORKER_STATE: "dict[str, object]" = {}
+
+
+def register_worker_state(name: str, factory: "Callable[[], object]") -> "Callable[[], object]":
+    """Register ``factory`` as the per-process builder for ``name``.
+
+    Call at module import time (so the registration exists in every
+    process).  The factory runs lazily, at most once per process, on the
+    first :func:`worker_state` lookup.  Re-registering a name replaces the
+    factory and drops any value already materialised in *this* process.
+    Returns the factory, so it stacks as a decorator.
+    """
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} is not callable")
+    # repro: allow[FP010] -- this IS the registration protocol: both dicts are
+    # (re)built identically in every process by import-time registration calls
+    _WORKER_STATE_FACTORIES[name] = factory
+    _WORKER_STATE.pop(name, None)  # repro: allow[FP010] -- see above
+    return factory
+
+
+def worker_state(name: str) -> object:
+    """The per-process value registered under ``name`` (built on first use).
+
+    Safe to call in the parent and in workers; each process materialises its
+    own copy via the registered factory, which is what makes the state
+    deterministic across start methods.
+    """
+    if name not in _WORKER_STATE:
+        try:
+            factory = _WORKER_STATE_FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                f"no worker state registered under {name!r}; call "
+                "register_worker_state(name, factory) at module import time"
+            ) from None
+        # repro: allow[FP010] -- lazy per-process materialisation is the
+        # protocol itself; the factory was registered at import in every process
+        _WORKER_STATE[name] = factory()
+    return _WORKER_STATE[name]  # repro: allow[FP010] -- see above
+
+
 def _env_int(name: str, default: int) -> int:
     """Integer env override with warn-and-fallback on malformed values."""
+    # Cutover/placement knob: decides WHERE shards run, never how a reduction
+    # associates; parallel==serial is bitwise by contract.
+    # repro: allow[FP009] -- placement knob only, reduction order unaffected
     env = os.environ.get(name)
     if not env:
         return default
@@ -134,6 +193,9 @@ def default_workers() -> int:
     A malformed ``REPRO_WORKERS`` (e.g. ``abc``) warns and falls back to the
     cpu-count default instead of raising from deep inside a sweep.
     """
+    # Worker-count knob: changes shard placement only; every shard receives
+    # bit-identical operand bytes regardless of the count.
+    # repro: allow[FP009] -- placement knob only, reduction order unaffected
     env = os.environ.get("REPRO_WORKERS")
     if env:
         try:
@@ -156,6 +218,9 @@ def _start_method() -> str:
     the serving path must stay safe under caller threads.
     """
     methods = mp.get_all_start_methods()
+    # Start-method knob: affects worker spawn mechanics, not reduction order;
+    # results are bitwise-equal across start methods.
+    # repro: allow[FP009] -- spawn mechanics only, reduction order unaffected
     env = os.environ.get("REPRO_POOL_START")
     if env:
         if env in methods:
@@ -317,6 +382,11 @@ def get_pool(workers: "int | None" = None) -> WorkerPool:
         pool = _POOLS.get(want)
         if pool is None:
             pool = WorkerPool(want)
+            # Statically pool-reachable, dynamically parent-only: inside a
+            # worker shard_plan() returns (1, 1) (see _IN_WORKER), so the
+            # parallel branch that calls get_pool never runs there and
+            # worker-side _POOLS stays empty.
+            # repro: allow[FP010] -- parent-only in practice; workers serial
             _POOLS[want] = pool
         return pool
 

@@ -165,6 +165,27 @@ GOOD["FP006"] = [
         "def f(xs):\n"
         "    return sum(sorted(set(xs)))\n",  # order pinned before reducing
     ),
+    (
+        # regression: sorted(set(...)) NESTED under another call used to be
+        # flagged by the flat walk — the pin holds wherever it appears
+        _PLAIN,
+        "import numpy as np\n"
+        "def f(xs):\n"
+        "    return np.sum(np.array(sorted(set(xs))))\n",
+    ),
+    (
+        _PLAIN,
+        "def g(xs):\n"
+        "    return sum(v * v for v in sorted(set(xs)))\n",
+    ),
+    (
+        _PLAIN,
+        "def h(d):\n"
+        "    total = 0.0\n"
+        "    for name in sorted(set(d)):\n"
+        "        total += len(name)\n"
+        "    return total\n",
+    ),
 ]
 
 BAD["FP007"] = [

@@ -42,6 +42,9 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for i in range(1, 9):
         assert f"FP00{i}" in out
+    for i in range(9, 14):
+        assert f"FP{i:03d}" in out
+    assert "(flow)" in out
 
 
 def test_select_and_ignore(tmp_path):
@@ -87,7 +90,58 @@ def test_usage_errors_exit_two(tmp_path):
     assert exc.value.code == 2
 
 
-def test_syntax_error_exits_one(tmp_path, capsys):
+def test_syntax_error_exits_two(tmp_path, capsys):
+    """Parse errors outrank findings: exit 2, distinct from exit 1."""
     target = _file(tmp_path, "def f(:\n")
-    assert run([target]) == 1
+    assert run([target]) == 2
     assert "FP000" in capsys.readouterr().out
+
+
+def test_write_baseline_refuses_parse_errors(tmp_path, capsys):
+    """A baseline must never bless a tree the linter could not read."""
+    bad = _file(tmp_path, _BAD)
+    broken = _file(tmp_path / "b", "def f(:\n")
+    baseline = tmp_path / "baseline.json"
+    assert run([bad, broken, "--baseline", str(baseline), "--write-baseline"]) == 2
+    captured = capsys.readouterr()
+    assert "refusing" in captured.err
+    assert not baseline.exists()
+
+
+def test_sarif_format(tmp_path, capsys):
+    assert run([_file(tmp_path, _BAD), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    (sarif_run,) = log["runs"]
+    rule_ids = {r["id"] for r in sarif_run["tool"]["driver"]["rules"]}
+    # the full catalogue ships even on clean runs: FP000 + all 13 rules
+    assert {"FP000", "FP001", "FP009", "FP013"} <= rule_ids
+    (result,) = sarif_run["results"]
+    assert result["ruleId"] == "FP001" and result["level"] == "error"
+    assert result["partialFingerprints"]["reproLintFingerprint/v1"]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+
+
+def test_flow_mode_reports_certificates(tmp_path, capsys):
+    assert run([_file(tmp_path, _CLEAN), "--flow"]) == 0
+    out = capsys.readouterr().out
+    assert "flow:" in out
+    # entrypoints are not in a one-file fixture tree: reported, not hidden
+    assert out.count("UNRESOLVED") == 4
+
+
+def test_flow_certificates_written_to_file(tmp_path, capsys):
+    target = _file(tmp_path, _CLEAN)
+    certs_path = tmp_path / "certs.json"
+    assert run([target, "--flow", "--certificates", str(certs_path)]) == 0
+    capsys.readouterr()
+    certs = json.loads(certs_path.read_text())
+    assert len(certs) == 4
+    assert all(c["schema"] == "repro-flow-certificate/1" for c in certs)
+
+
+def test_certificates_require_flow(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        run([_file(tmp_path, _CLEAN), "--certificates", "-"])
+    assert exc.value.code == 2

@@ -28,13 +28,20 @@ def test_good_snippets_stay_quiet(rule_id, tmp_path):
         assert rule_id not in seen, f"{rule_id} good snippet #{i} flagged"
 
 
-def test_registry_has_all_eight_rules():
+def test_registry_has_all_thirteen_rules():
+    from repro.analysis.flow import FLOW_RULE_IDS
+
     ids = [r.id for r in all_rules()]
-    assert ids == RULE_IDS  # sorted, deduplicated, exactly FP001..FP008
-    for rule_id in RULE_IDS:
+    # sorted, deduplicated: syntactic FP001..FP008 then flow FP009..FP013
+    assert ids == RULE_IDS + list(FLOW_RULE_IDS)
+    for rule_id in ids:
         rule = get_rule(rule_id)
         assert rule.id == rule_id
         assert rule.title and rule.rationale
+    # flow rules are catalogue entries only for the per-file engine
+    assert [r.id for r in all_rules() if getattr(r, "flow", False)] == list(
+        FLOW_RULE_IDS
+    )
 
 
 def test_unknown_rule_id_raises():

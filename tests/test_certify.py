@@ -38,6 +38,14 @@ class TestCertify:
         b = certify(data, "K", 1e-8, n_trees=30, seed=7)
         assert a == b
 
+    def test_flow_verdict_embedded_and_clean(self):
+        """certify() carries the whole-program flow audit: the serving path
+        has no unguarded nondeterminism source, statically."""
+        data = generate_sum_set(256, 1.0, 8, seed=12).values
+        cert = certify(data, "PR", 0.0, n_trees=5, seed=13)
+        assert cert.flow_verdict == "clean"
+        assert '"flow_verdict": "clean"' in cert.to_json()
+
     def test_json_roundtrip(self):
         data = zero_sum_set(512, dr=16, seed=8)
         cert = certify(data, "CP", 1e-13, n_trees=20, seed=9)

@@ -18,7 +18,9 @@ from repro.util.pool import (
     get_pool,
     parallel_cutover,
     pool_info,
+    register_worker_state,
     shard_plan,
+    worker_state,
 )
 
 
@@ -218,3 +220,42 @@ class TestCutover:
         monkeypatch.setenv("REPRO_PARALLEL_MIN_ITEMS", "lots")
         with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_MIN_ITEMS"):
             assert parallel_cutover(MIN_PARALLEL_ITEMS, MIN_PARALLEL_BYTES, 4)
+
+
+class TestWorkerState:
+    """The sanctioned protocol for module state that pool workers may read."""
+
+    def test_factory_runs_lazily_and_once(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"table": [1, 2, 3]}
+
+        register_worker_state("t_lazy", build)
+        assert calls == []  # registration alone never materialises
+        first = worker_state("t_lazy")
+        second = worker_state("t_lazy")
+        assert first is second and first["table"] == [1, 2, 3]
+        assert calls == [1]
+
+    def test_unregistered_name_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="register_worker_state"):
+            worker_state("t_never_registered")
+
+    def test_reregistration_drops_the_cached_value(self):
+        register_worker_state("t_swap", lambda: "old")
+        assert worker_state("t_swap") == "old"
+        register_worker_state("t_swap", lambda: "new")
+        assert worker_state("t_swap") == "new"
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(TypeError, match="not callable"):
+            register_worker_state("t_bad", 42)
+
+    def test_returns_the_factory_for_decorator_stacking(self):
+        def build():
+            return 7
+
+        assert register_worker_state("t_deco", build) is build
+        assert worker_state("t_deco") == 7

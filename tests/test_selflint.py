@@ -2,7 +2,9 @@
 
 The acceptance contract for :mod:`repro.analysis`: ``repro-lint src tests
 examples`` exits 0 against the committed baseline, and exits non-zero the
-moment any FP001-FP008 violation is (re)introduced.  Keeping this as a
+moment any FP001-FP008 violation is (re)introduced; with ``--flow`` the
+same holds for the whole-program FP009-FP013 rules and the serving-path
+determinism certificates.  Keeping this as a
 tier-1 test makes the linter self-enforcing — a PR that adds a bare ``sum()``
 to a summation kernel fails CI even if the author never ran the CLI.
 """
@@ -48,3 +50,20 @@ def test_introduced_violations_fail_the_gate(tmp_path):
     assert not result.clean
     assert {f.rule_id for f in result.findings} == set(RULE_IDS)
     assert run([str(tmp_path), "--baseline", str(BASELINE)]) == 1
+
+
+def test_flow_gate_is_clean():
+    """The whole-program pass (FP009-FP013) finds nothing unguarded, and
+    every serving-entrypoint certificate resolves clean."""
+    from repro.analysis.flow import flow_certificates
+
+    result = lint_paths(SWEEP, baseline=Baseline.load(BASELINE), flow=True)
+    formatted = "\n".join(f.format_text() for f in result.findings)
+    assert result.clean, f"flow gate no longer clean:\n{formatted}"
+    certs = flow_certificates(result.flow)
+    assert certs and all(c["resolved"] and c["clean"] for c in certs), certs
+
+
+def test_cli_flow_gate_exits_zero():
+    argv = [str(p) for p in SWEEP] + ["--baseline", str(BASELINE), "--flow"]
+    assert run(argv) == 0
