@@ -61,7 +61,7 @@ OUTPUT = REPO_ROOT / "BENCH_serving_scale.json"
 #: serving workloads per scale: (items, ranks, chunk_len) for reduce_many,
 #: (n, n_trees) for the ensemble sweep
 WORKLOADS = {
-    "ci": {"reduce": (48, 8, 512), "ensemble": (2048, 192)},
+    "ci": {"reduce": (48, 8, 512), "ensemble": (4096, 512)},
     "paper": {"reduce": (256, 48, 4096), "ensemble": (65_536, 1000)},
 }
 
@@ -70,6 +70,55 @@ def worker_sweep() -> "list[int]":
     """The sweep points: 1, 2, 4 and cpu_count - 1, deduplicated."""
     cpu = os.cpu_count() or 1
     return sorted({1, 2, 4, max(1, cpu - 1)})
+
+
+def _physical_core_count() -> "int | None":
+    """Unique (physical id, core id) pairs from /proc/cpuinfo, else None."""
+    pairs = set()
+    phys = core = None
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("physical id"):
+                    phys = line.split(":", 1)[1].strip()
+                elif line.startswith("core id"):
+                    core = line.split(":", 1)[1].strip()
+                elif not line.strip():
+                    if phys is not None and core is not None:
+                        pairs.add((phys, core))
+                    phys = core = None
+    except OSError:
+        return None
+    if phys is not None and core is not None:
+        pairs.add((phys, core))
+    return len(pairs) or None
+
+
+def machine_info() -> dict:
+    """True core counts, not just ``os.cpu_count()``.
+
+    ``logical_cores`` is what the OS advertises (SMT threads included);
+    ``usable_cores`` is this process's scheduling affinity — on a
+    container-pinned CI runner this is the honest parallelism budget and
+    the number every oversubscription flag is computed against;
+    ``physical_cores`` deduplicates hyperthread siblings (falls back to the
+    logical count when /proc/cpuinfo doesn't expose the topology).
+    """
+    logical = os.cpu_count() or 1
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable = logical
+    physical = _physical_core_count() or logical
+    return {
+        "logical_cores": logical,
+        "usable_cores": usable,
+        "physical_cores": physical,
+    }
+
+
+def usable_cores() -> int:
+    return machine_info()["usable_cores"]
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -102,6 +151,7 @@ def bench_reduce_many(scale: str = "ci", repeats: int = 3) -> dict:
     reducer = AdaptiveReducer(comm, threshold=1e-13)
     serial = reducer.reduce_many(batches, tree="balanced", workers=1)
 
+    usable = usable_cores()
     rows = []
     t1 = None
     for w in worker_sweep():
@@ -121,6 +171,9 @@ def bench_reduce_many(scale: str = "ci", repeats: int = 3) -> dict:
                 "items_per_s": len(batches) / t,
                 "speedup_vs_1": (t1 / t) if t1 else None,
                 "bitwise_equal_serial": True,
+                # more workers than schedulable cores: the wall time measures
+                # contention, not scaling — excluded from speedup-floor gating
+                "oversubscribed": w > usable,
             }
         )
     items, ranks, chunk_len = WORKLOADS[scale]["reduce"]
@@ -142,6 +195,7 @@ def bench_ensemble(scale: str = "ci", repeats: int = 3) -> dict:
     perms = np.stack(list(permutation_stream(n, n_trees, seed=7)))
     serial = evaluate_ensemble(data, "balanced", alg, n_trees, perms=perms, workers=1)
 
+    usable = usable_cores()
     rows = []
     t1 = None
     for w in worker_sweep():
@@ -163,6 +217,7 @@ def bench_ensemble(scale: str = "ci", repeats: int = 3) -> dict:
                 "trees_per_s": n_trees / t,
                 "speedup_vs_1": (t1 / t) if t1 else None,
                 "bitwise_equal_serial": True,
+                "oversubscribed": w > usable,
             }
         )
     return {
@@ -218,7 +273,9 @@ def run_all(scale: str = "ci", repeats: int = 3) -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        # kept for schema compatibility; the honest numbers live in "cores"
         "cpu_count": os.cpu_count(),
+        "cores": machine_info(),
         "worker_sweep": worker_sweep(),
         "pool": pool_info(),
         "cases": cases,
@@ -245,7 +302,11 @@ def main(argv: "list[str] | None" = None) -> int:
     payload = run_all(args.scale, args.repeats)
     payload["metrics_enabled"] = registry.enabled
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {OUTPUT}  (cpu_count={payload['cpu_count']})")
+    cores = payload["cores"]
+    print(
+        f"wrote {OUTPUT}  (logical={cores['logical_cores']} "
+        f"usable={cores['usable_cores']} physical={cores['physical_cores']})"
+    )
     if args.metrics_out:
         metrics_path = Path(args.metrics_out)
         metrics_path.parent.mkdir(parents=True, exist_ok=True)
@@ -260,10 +321,11 @@ def main(argv: "list[str] | None" = None) -> int:
             )
             continue
         for row in c["sweep"]:
+            flag = "  [oversubscribed]" if row.get("oversubscribed") else ""
             print(
                 f"{c['case']:>18}  w={row['workers']}  "
                 f"wall={row['wall_s'] * 1e3:.1f}ms  "
-                f"speedup_vs_1={row['speedup_vs_1']:.2f}x"
+                f"speedup_vs_1={row['speedup_vs_1']:.2f}x{flag}"
             )
     return 0
 
@@ -283,12 +345,28 @@ def test_ensemble_bitwise_identity():
 
 
 def test_reduce_many_scaling_floor():
-    """Acceptance: >= 2x throughput at 4 workers vs serial (needs >= 4 cores)."""
-    if (os.cpu_count() or 1) < 4:
-        pytest.skip("scaling floor needs >= 4 physical cores")
+    """Acceptance: >= 2x throughput at 4 workers vs serial (needs >= 4 cores).
+
+    Gated on *usable* cores (scheduling affinity), not ``os.cpu_count()``:
+    an oversubscribed sweep point measures contention, not scaling, and is
+    excluded from floor gating by construction.
+    """
+    if usable_cores() < 4:
+        pytest.skip("scaling floor needs >= 4 schedulable cores")
     row = bench_reduce_many("ci", repeats=3)
     by_w = {r["workers"]: r for r in row["sweep"]}
+    assert not by_w[4]["oversubscribed"]
     assert by_w[4]["speedup_vs_1"] >= 2.0, row
+
+
+def test_reduce_many_speedup_floor_two_workers():
+    """CI gate: parallel must beat serial at workers=2 on >= 4-core runners."""
+    if usable_cores() < 4:
+        pytest.skip("speedup floor needs >= 4 schedulable cores")
+    row = bench_reduce_many("ci", repeats=3)
+    by_w = {r["workers"]: r for r in row["sweep"]}
+    assert not by_w[2]["oversubscribed"]
+    assert by_w[2]["speedup_vs_1"] > 1.0, row
 
 
 def test_persistent_pool_removes_startup_tax():

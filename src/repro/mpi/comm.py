@@ -51,6 +51,7 @@ from repro.mpi.ops import ReductionOp
 from repro.obs import get_registry
 from repro.mpi.topology import MachineTopology, topology_aware_tree, tree_cost
 from repro.summation.base import SumContext
+from repro.trees import _ckernels
 from repro.trees.schedule import compile_tree
 from repro.trees.shapes import balanced, serial
 from repro.trees.tree import ReductionTree
@@ -248,11 +249,21 @@ class SimComm:
         flat: list = []
         for chunks in batches:
             flat.extend(chunks)
-        states = op.local_states(flat)
         n_batches = len(batches)
-        states = tuple(c.reshape(n_batches, self.n_ranks) for c in states)
-        root = compile_tree(tree).reduce_states(states, vops)
-        values = np.asarray(vops.result(root), dtype=np.float64).reshape(n_batches)
+        if tree.kind == "balanced" and _ckernels.has_reduce_kernel(vops):
+            # fused fast path: fold + balanced rank tree + result extraction
+            # for the whole stream in ONE compiled call (bitwise-equal to the
+            # fold/reduce_states path below; the engine property tests pin it)
+            if _OBS.enabled:
+                _OBS.counter("repro_comm_batch_fused_total").inc()
+            values = _ckernels.reduce_balanced_chunks(flat, self.n_ranks, vops)
+        else:
+            states = op.local_states(flat)
+            states = tuple(c.reshape(n_batches, self.n_ranks) for c in states)
+            root = compile_tree(tree).reduce_states(states, vops)
+            values = np.asarray(vops.result(root), dtype=np.float64).reshape(
+                n_batches
+            )
         cost = tree_cost(tree, self.topology) if self.topology else 0.0
         return [
             ReduceResult(

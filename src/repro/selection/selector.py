@@ -32,14 +32,15 @@ import numpy as np
 from repro.metrics.properties import SetProfile
 from repro.mpi.comm import ReduceResult, SimComm
 from repro.mpi.ops import make_reduction_op
+from repro.mpi.topology import tree_cost
 from repro.obs import get_registry
 from repro.selection.policy import AnalyticPolicy, SelectionDecision
 from repro.selection.profile import StreamProfile, profile_batch, profile_chunk
 from repro.summation.base import SumContext
-from repro.summation.registry import get_algorithm
+from repro.summation.registry import all_algorithms, get_algorithm
 from repro.trees.tree import ReductionTree
 from repro.util.chunking import split_indices
-from repro.util.pool import SharedArray, attach_shared, get_pool, shard_plan
+from repro.util.pool import arena_pair, arena_view, get_pool, shard_plan
 from repro.util.timing import Stopwatch
 
 __all__ = ["Policy", "AdaptiveResult", "AdaptiveReducer"]
@@ -198,8 +199,12 @@ class AdaptiveReducer:
         ``workers=None`` defers to ``REPRO_WORKERS``/cpu-count behind an
         adaptive bytes-and-items cutover (small batches never pay IPC);
         an explicit ``workers >= 2`` always parallelises; ``workers<=1``
-        forces the serial path.  Parallel shards keep worker-local decision
-        caches, so :meth:`decision_cache_info` only reflects serial calls.
+        forces the serial path.  Workers write values, decision codes and
+        profile sketches straight into a persistent shared-memory result
+        arena; the parent replays selection from those sketches in stream
+        order, so :meth:`decision_cache_info` reflects parallel calls too
+        and any worker/parent decision drift raises instead of passing
+        silently.
 
         Each item's value is bitwise-equal to a standalone :meth:`reduce`
         with the same decision; ``profile_seconds``/``reduce_seconds`` are
@@ -215,6 +220,46 @@ class AdaptiveReducer:
         )
         if n_shards > 1:
             return self._reduce_many_parallel(batches, t, tree, pool_workers, n_shards)
+        sketches, decisions, profile_elapsed, select_elapsed = (
+            self._sketch_and_select(batches, t)
+        )
+        results, groups, reduce_elapsed = self._grouped_reduce(
+            batches, sketches, decisions, tree
+        )
+        if _OBS.enabled:
+            for code, indices in groups.items():
+                _OBS.counter(
+                    "repro_selector_selections_total", algorithm=code
+                ).inc(len(indices))
+            _OBS.histogram("repro_selector_profile_seconds").observe(
+                profile_elapsed
+            )
+            _OBS.histogram("repro_selector_select_seconds").observe(
+                select_elapsed
+            )
+            _OBS.histogram("repro_selector_reduce_seconds").observe(
+                reduce_elapsed
+            )
+        n_items = len(batches)
+        profile_each = profile_elapsed / n_items
+        reduce_each = reduce_elapsed / n_items
+        return [
+            AdaptiveResult(
+                value=rr.value,
+                decision=decision,
+                reduce_result=rr,
+                profile_seconds=profile_each,
+                reduce_seconds=reduce_each,
+            )
+            for rr, decision in zip(results, decisions)
+        ]
+
+    def _sketch_and_select(
+        self, batches: Sequence[Sequence[np.ndarray]], threshold: float
+    ) -> tuple:
+        """Steps 1+2 for a stream: ``(sketches, decisions, profile elapsed,
+        select elapsed)``.  Shared by the serial serving path and the shard
+        workers so both run the exact same pipeline."""
         with Stopwatch() as sw_profile:
             # uniform-width streams profile as one vectorised sweep; the
             # batched sketches are bitwise-equal to the per-item loop
@@ -222,7 +267,21 @@ class AdaptiveReducer:
             if sketches is None:
                 sketches = [self.profile(chunks) for chunks in batches]
             with Stopwatch() as sw_select:
-                decisions = [self._select_cached(sk, t) for sk in sketches]
+                decisions = [self._select_cached(sk, threshold) for sk in sketches]
+        return sketches, decisions, sw_profile.elapsed, sw_select.elapsed
+
+    def _grouped_reduce(
+        self,
+        batches: Sequence[Sequence[np.ndarray]],
+        sketches: "list[StreamProfile]",
+        decisions: "list[SelectionDecision]",
+        tree: "ReductionTree | str",
+    ) -> tuple:
+        """Step 3 for a stream: same-decision items execute together.
+
+        Returns ``(per-item ReduceResults, {code: indices}, elapsed)``.
+        Context-needing algorithms (PR) keep their per-item pre-pass.
+        """
         groups: "dict[str, list[int]]" = {}
         for i, decision in enumerate(decisions):
             groups.setdefault(decision.code, []).append(i)
@@ -244,33 +303,7 @@ class AdaptiveReducer:
                     )
                     for i, rr in zip(indices, group_results):
                         results[i] = rr
-        if _OBS.enabled:
-            for code, indices in groups.items():
-                _OBS.counter(
-                    "repro_selector_selections_total", algorithm=code
-                ).inc(len(indices))
-            _OBS.histogram("repro_selector_profile_seconds").observe(
-                sw_profile.elapsed
-            )
-            _OBS.histogram("repro_selector_select_seconds").observe(
-                sw_select.elapsed
-            )
-            _OBS.histogram("repro_selector_reduce_seconds").observe(
-                sw_reduce.elapsed
-            )
-        n_items = len(batches)
-        profile_each = sw_profile.elapsed / n_items
-        reduce_each = sw_reduce.elapsed / n_items
-        return [
-            AdaptiveResult(
-                value=rr.value,
-                decision=decision,
-                reduce_result=rr,
-                profile_seconds=profile_each,
-                reduce_seconds=reduce_each,
-            )
-            for rr, decision in zip(results, decisions)
-        ]
+        return results, groups, sw_reduce.elapsed
 
     def _reduce_many_parallel(
         self,
@@ -282,12 +315,21 @@ class AdaptiveReducer:
     ) -> "list[AdaptiveResult]":
         """Shard the stream over the persistent pool (bitwise = serial path).
 
-        All chunk bytes are packed once into a single shared-memory segment;
-        workers reconstruct their shard's chunk lists as zero-copy float64
-        views and run the serial :meth:`reduce_many` pipeline on them.
-        Chunks are normalised with the same ``np.asarray(..., float64)``
-        coercion the serial pipeline applies, so worker inputs are
-        bit-identical to what the serial path would profile and reduce.
+        Operands pack once into the persistent **input arena** (lengths,
+        per-item rank counts, then every chunk's float64 bytes); workers
+        slice zero-copy views out of their cached attachment and run the
+        same :meth:`_sketch_and_select` + :meth:`_grouped_reduce` pipeline
+        the serial path uses.  Results come back through the **result
+        arena** — value, decision-code index, the 7 profile-sketch fields
+        per item plus two phase timings per shard — so the pickle pipe only
+        carries ``None``.  The parent rebuilds each :class:`StreamProfile`
+        from the arena and replays :meth:`_select_cached` in stream order:
+        the decision sequence (and the parent's cache statistics) are
+        exactly what a serial run would produce, and a mismatch against the
+        worker-recorded code raises instead of passing silently.  Chunks are
+        normalised with the same ``np.asarray(..., float64)`` coercion the
+        serial pipeline applies, so worker inputs are bit-identical to what
+        the serial path would profile and reduce.
         """
         flats: "list[np.ndarray]" = []
         lengths: "list[int]" = []
@@ -295,42 +337,111 @@ class AdaptiveReducer:
         for chunks in batches:
             ranks.append(len(chunks))
             for c in chunks:
-                a = np.asarray(c, dtype=np.float64).ravel()
+                a = np.ascontiguousarray(np.asarray(c, dtype=np.float64).ravel())
                 flats.append(a)
                 lengths.append(a.size)
-        flat = (
-            np.concatenate(flats) if flats else np.zeros(0, dtype=np.float64)
-        )
-        lengths_arr = np.asarray(lengths, dtype=np.int64)
-        ranks_arr = np.asarray(ranks, dtype=np.int64)
-        shards = split_indices(len(batches), n_shards)
+        n_items = len(batches)
+        n_chunks = len(flats)
+        total = int(sum(lengths))  # repro: allow[FP002] -- integer chunk-length count, not an FP reduction
+        shards = split_indices(n_items, n_shards)
         pool = get_pool(pool_workers)
-        with SharedArray(flat) as shm:
+        code_table = tuple(alg.code for alg in all_algorithms())
+        # input arena: [lengths i64 x n_chunks][ranks i64 x n_items][flat f64]
+        # result arena: [values f64][code idx i64][sketch n i64][sketch f64 x6]
+        # per item (72 B), then [profile_s, reduce_s] f64 per shard (16 B)
+        in_bytes = 8 * (n_chunks + n_items + total)
+        res_bytes = 72 * n_items + 16 * len(shards)
+        with arena_pair() as (arena_in, arena_res):
+            in_handle = arena_in.reserve(in_bytes)
+            res_handle = arena_res.reserve(res_bytes)
+            lengths_v = arena_in.view(np.int64, (n_chunks,))
+            lengths_v[:] = lengths
+            ranks_v = arena_in.view(np.int64, (n_items,), offset=8 * n_chunks)
+            ranks_v[:] = ranks
+            flat_v = arena_in.view(
+                np.float64, (total,), offset=8 * (n_chunks + n_items)
+            )
+            if flats:
+                np.concatenate(flats, out=flat_v)
+            del lengths_v, ranks_v, flat_v
             payloads = [
                 (
-                    shm.handle,
-                    lengths_arr,
-                    ranks_arr,
+                    in_handle,
+                    res_handle,
+                    n_items,
+                    n_chunks,
+                    total,
                     s.start,
                     s.stop,
+                    shard_index,
                     self.comm,
                     self.policy,
                     threshold,
                     self.cache_size,
                     tree,
+                    code_table,
                 )
-                for s in shards
+                for shard_index, s in enumerate(shards)
             ]
-            shard_results = pool.map(
-                _reduce_many_shard, payloads, chunksize=1, path="reduce_many"
+            pool.map(_reduce_many_shard, payloads, chunksize=1, path="reduce_many")
+            values = arena_res.view(np.float64, (n_items,)).copy()
+            code_idx = arena_res.view(np.int64, (n_items,), offset=8 * n_items).copy()
+            sk_n = arena_res.view(np.int64, (n_items,), offset=16 * n_items).copy()
+            sk_f = arena_res.view(
+                np.float64, (n_items, 6), offset=24 * n_items
+            ).copy()
+            stats = arena_res.view(
+                np.float64, (len(shards), 2), offset=72 * n_items
+            ).copy()
+        sketches = [
+            StreamProfile(
+                n=int(sk_n[i]),
+                max_abs=float(sk_f[i, 0]),
+                min_abs_nonzero=float(sk_f[i, 1]),
+                abs_sum_hi=float(sk_f[i, 2]),
+                abs_sum_lo=float(sk_f[i, 3]),
+                sum_hi=float(sk_f[i, 4]),
+                sum_lo=float(sk_f[i, 5]),
             )
+            for i in range(n_items)
+        ]
+        tree_resolved = self.comm._resolve_tree(tree)
+        cost = (
+            tree_cost(tree_resolved, self.comm.topology)
+            if self.comm.topology
+            else 0.0
+        )
         results: "list[AdaptiveResult]" = []
-        for part in shard_results:
-            results.extend(part)
+        by_code: "dict[str, int]" = {}
+        for shard_index, s in enumerate(shards):
+            span = s.stop - s.start
+            profile_each = float(stats[shard_index, 0]) / span
+            reduce_each = float(stats[shard_index, 1]) / span
+            for i in range(s.start, s.stop):
+                decision = self._select_cached(sketches[i], threshold)
+                worker_code = code_table[int(code_idx[i])]
+                if decision.code != worker_code:
+                    raise RuntimeError(
+                        f"parallel decision drift at item {i}: worker chose "
+                        f"{worker_code!r}, parent replay chose {decision.code!r}"
+                    )
+                value = float(values[i])
+                results.append(
+                    AdaptiveResult(
+                        value=value,
+                        decision=decision,
+                        reduce_result=ReduceResult(
+                            value=value,
+                            tree=tree_resolved,
+                            simulated_time=cost,
+                            algorithm_code=decision.code,
+                        ),
+                        profile_seconds=profile_each,
+                        reduce_seconds=reduce_each,
+                    )
+                )
+                by_code[decision.code] = by_code.get(decision.code, 0) + 1
         if _OBS.enabled:
-            by_code: "dict[str, int]" = {}
-            for r in results:
-                by_code[r.decision.code] = by_code.get(r.decision.code, 0) + 1
             for code, count in by_code.items():
                 _OBS.counter(
                     "repro_selector_selections_total", algorithm=code
@@ -409,40 +520,83 @@ def _payload_bytes(batches: Sequence[Sequence[np.ndarray]]) -> int:
     return total
 
 
-def _reduce_many_shard(payload: tuple) -> "list[AdaptiveResult]":
-    """Worker: run the serial serving pipeline on one contiguous shard.
+def _reduce_many_shard(payload: tuple) -> None:
+    """Worker: run the serving pipeline on one shard, writing results
+    straight into the shared result arena.
 
     Rebuilds the reducer from its picklable spec (communicator, policy,
-    threshold, cache size), attaches the shared operand segment, and slices
-    out zero-copy chunk views for items ``[start, stop)``.  Views never
-    escape: results carry only scalars, decisions and trees.
+    threshold, cache size), slices zero-copy chunk views for items
+    ``[start, stop)`` out of the cached input-arena attachment
+    (:func:`repro.util.pool.arena_view` — attach once per arena epoch, not
+    once per task), and writes values, decision-code indices, the 7
+    profile-sketch fields per item and the shard's phase timings into the
+    result arena, so nothing but ``None`` returns through the pickle pipe.
+    Every arena view is dropped before returning: a lingering view would
+    block the attachment swap on the next arena regrow epoch.
     """
     (
-        handle,
-        lengths,
-        ranks,
+        in_handle,
+        res_handle,
+        n_items,
+        n_chunks,
+        total,
         start,
         stop,
+        shard_index,
         comm,
         policy,
         threshold,
         cache_size,
         tree,
+        code_table,
     ) = payload
+    lengths = arena_view(in_handle, np.int64, (n_chunks,))
+    ranks = arena_view(in_handle, np.int64, (n_items,), offset=8 * n_chunks)
+    flat = arena_view(
+        in_handle, np.float64, (total,), offset=8 * (n_chunks + n_items)
+    )
     offsets = np.concatenate(([0], np.cumsum(lengths)))
     chunk_base = np.concatenate(([0], np.cumsum(ranks)))
-    with attach_shared(handle) as flat:
-        batches = []
-        for i in range(start, stop):
-            c0, c1 = int(chunk_base[i]), int(chunk_base[i + 1])
-            batches.append(
-                [flat[int(offsets[j]) : int(offsets[j + 1])] for j in range(c0, c1)]
-            )
-        reducer = AdaptiveReducer(
-            comm, policy, threshold=threshold, cache_size=cache_size
+    batches = []
+    for i in range(start, stop):
+        c0, c1 = int(chunk_base[i]), int(chunk_base[i + 1])
+        batches.append(
+            [flat[int(offsets[j]) : int(offsets[j + 1])] for j in range(c0, c1)]
         )
-        results = reducer.reduce_many(
-            batches, threshold=threshold, tree=tree, workers=1
-        )
-        del batches
-    return results
+    reducer = AdaptiveReducer(
+        comm, policy, threshold=threshold, cache_size=cache_size
+    )
+    sketches, decisions, profile_elapsed, _select_elapsed = (
+        reducer._sketch_and_select(batches, threshold)
+    )
+    results, _groups, reduce_elapsed = reducer._grouped_reduce(
+        batches, sketches, decisions, tree
+    )
+    code_index = {code: idx for idx, code in enumerate(code_table)}
+    span = slice(start, stop)
+    values_v = arena_view(res_handle, np.float64, (n_items,))
+    codes_v = arena_view(res_handle, np.int64, (n_items,), offset=8 * n_items)
+    skn_v = arena_view(res_handle, np.int64, (n_items,), offset=16 * n_items)
+    skf_v = arena_view(res_handle, np.float64, (n_items, 6), offset=24 * n_items)
+    stats_v = arena_view(
+        res_handle, np.float64, (2,), offset=72 * n_items + 16 * shard_index
+    )
+    values_v[span] = [rr.value for rr in results]
+    codes_v[span] = [code_index[d.code] for d in decisions]
+    skn_v[span] = [sk.n for sk in sketches]
+    skf_v[span] = [
+        [
+            sk.max_abs,
+            sk.min_abs_nonzero,
+            sk.abs_sum_hi,
+            sk.abs_sum_lo,
+            sk.sum_hi,
+            sk.sum_lo,
+        ]
+        for sk in sketches
+    ]
+    stats_v[0] = profile_elapsed
+    stats_v[1] = reduce_elapsed
+    del values_v, codes_v, skn_v, skf_v, stats_v
+    del batches, flat, lengths, ranks
+    return None

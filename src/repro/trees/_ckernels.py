@@ -40,10 +40,12 @@ from repro.obs import get_registry
 __all__ = [
     "has_kernel",
     "has_fold_kernel",
+    "has_reduce_kernel",
     "sweep_matrix",
     "sweep_indexed",
     "fold_matrix",
     "fold_chunks",
+    "reduce_balanced_chunks",
     "kernels_available",
 ]
 
@@ -383,6 +385,43 @@ static double *fold_scratch(int64_t cap)
     return (double *)malloc((size_t)(4 * cap) * sizeof(double));
 }
 
+/* -- per-algebra zero-state merge-in: block (s_blk, e_blk) -> accumulator
+ * state, replaying ``make_accumulator(); add_array(chunk)`` from (0, 0).
+ * Shared between the fold kernels and the fused shard kernels so both
+ * paths run the identical op sequence. */
+
+static void kahan_state_from_block(double s_blk, double e_blk,
+                                   double *out_s, double *out_c)
+{
+    double y = s_blk - 0.0;          /* add(s_blk) from (0, 0) */
+    double t = 0.0 + y;
+    double cc = (t - 0.0) - y;
+    y = e_blk - cc;                  /* add(e_blk) */
+    double t2 = t + y;
+    *out_s = t2;
+    *out_c = (t2 - t) - y;
+}
+
+static void kbn_state_from_block(double s_blk, double e_blk,
+                                 double *out_s, double *out_c)
+{
+    double t = 0.0 + s_blk;          /* add(s_blk) from (0, 0) */
+    double comp = (fabs(0.0) >= fabs(s_blk)) ? (0.0 - t) + s_blk
+                                             : (s_blk - t) + 0.0;
+    *out_s = t;
+    *out_c = (0.0 + comp) + e_blk;   /* then c += float(e_blk) */
+}
+
+static void cp_state_from_block(double s_blk, double e_blk,
+                                double *out_s, double *out_c)
+{
+    double sum = 0.0 + s_blk;        /* two_sum(0.0, s_blk) */
+    double bb = sum - 0.0;
+    double delta = (0.0 - (sum - bb)) + (s_blk - bb);
+    *out_s = sum;
+    *out_c = 0.0 + (delta + e_blk);
+}
+
 /* NumPy's pairwise summation (umath pairwise_sum_DOUBLE), reproduced
  * bit-for-bit for contiguous doubles: < 8 sequential, <= 128 eight-way
  * unrolled partials combined as ((r0+r1)+(r2+r3)) + ((r4+r5)+(r6+r7)),
@@ -523,13 +562,7 @@ int fold_kahan(const double *const *restrict rows, const int64_t *restrict len,
         double s_blk, e_blk;
         kahan_fold_row(rows[r], len[r], buf, buf + cap, buf + 2 * cap,
                        buf + 3 * cap, &s_blk, &e_blk);
-        double y = s_blk - 0.0;          /* add(s_blk) from (0, 0) */
-        double t = 0.0 + y;
-        double cc = (t - 0.0) - y;
-        y = e_blk - cc;                  /* add(e_blk) */
-        double t2 = t + y;
-        out0[r] = t2;
-        out1[r] = (t2 - t) - y;
+        kahan_state_from_block(s_blk, e_blk, &out0[r], &out1[r]);
     }
     free(buf);
     return 0;
@@ -546,11 +579,7 @@ int fold_kbn(const double *const *restrict rows, const int64_t *restrict len,
         double s_blk, e_blk;
         carry_fold_row(rows[r], len[r], buf, buf + cap, buf + 2 * cap,
                        buf + 3 * cap, &s_blk, &e_blk);
-        double t = 0.0 + s_blk;          /* add(s_blk) from (0, 0) */
-        double comp = (fabs(0.0) >= fabs(s_blk)) ? (0.0 - t) + s_blk
-                                                 : (s_blk - t) + 0.0;
-        out0[r] = t;
-        out1[r] = (0.0 + comp) + e_blk;  /* then c += float(e_blk) */
+        kbn_state_from_block(s_blk, e_blk, &out0[r], &out1[r]);
     }
     free(buf);
     return 0;
@@ -567,11 +596,7 @@ int fold_cp(const double *const *restrict rows, const int64_t *restrict len,
         double s_blk, e_blk;
         carry_fold_row(rows[r], len[r], buf, buf + cap, buf + 2 * cap,
                        buf + 3 * cap, &s_blk, &e_blk);
-        double sum = 0.0 + s_blk;        /* two_sum(0.0, s_blk) */
-        double bb = sum - 0.0;
-        double delta = (0.0 - (sum - bb)) + (s_blk - bb);
-        out0[r] = sum;
-        out1[r] = 0.0 + (delta + e_blk);
+        cp_state_from_block(s_blk, e_blk, &out0[r], &out1[r]);
     }
     free(buf);
     return 0;
@@ -594,6 +619,69 @@ static void dd_fold_level(const double *restrict s, const double *restrict c,
     }
 }
 
+/* One row's DD accumulator state (pairwise dd_add fold + normalized +
+ * merge_parts from the zero state), using the caller's 4-quarter scratch. */
+static void dd_fold_row(const double *restrict row, int64_t n,
+                        double *restrict sa, double *restrict ca,
+                        double *restrict sb, double *restrict cb,
+                        double *out_s, double *out_c)
+{
+    double hi, lo;
+    if (n <= 1) {
+        hi = n ? row[0] : 0.0;
+        lo = 0.0;
+    } else {
+        /* fused level 1: leaf lo components are exact zeros */
+        int64_t h = pow2_ceil(n) / 2, full = n / 2;
+        for (int64_t i = 0; i < full; i++) {
+            double hi1 = row[2 * i], hi2 = row[2 * i + 1];
+            double sum = hi1 + hi2;
+            double bb = sum - hi1;
+            double e = (hi1 - (sum - bb)) + (hi2 - bb);
+            e = e + 0.0 + 0.0;
+            double s2 = sum + e;
+            sa[i] = s2;
+            ca[i] = e - (s2 - sum);
+        }
+        int64_t w = full;
+        if (n & 1) {
+            double hi1 = row[n - 1];
+            double sum = hi1 + 0.0;
+            double bb = sum - hi1;
+            double e = (hi1 - (sum - bb)) + (0.0 - bb);
+            e = e + 0.0 + 0.0;
+            double s2 = sum + e;
+            sa[w] = s2;
+            ca[w] = e - (s2 - sum);
+            w++;
+        }
+        for (int64_t i = w; i < h; i++) { sa[i] = 0.0; ca[i] = 0.0; }
+        double *s = sa, *c = ca, *t = sb, *d = cb;
+        int64_t m = h;
+        while (m > 1) {              /* pairwise dd_add levels */
+            int64_t h2 = m / 2;
+            dd_fold_level(s, c, t, d, h2);
+            double *tmp;
+            tmp = s; s = t; t = tmp;
+            tmp = c; c = d; d = tmp;
+            m = h2;
+        }
+        hi = s[0];
+        lo = c[0];
+    }
+    double sum = hi + lo;            /* DoubleDouble.normalized */
+    double bb = sum - hi;
+    double err = (hi - (sum - bb)) + (lo - bb);
+    hi = sum; lo = err;
+    double s0 = 0.0 + hi;            /* merge_parts from (0, 0) */
+    double bb2 = s0 - 0.0;
+    double delta = (0.0 - (s0 - bb2)) + (hi - bb2);
+    double e2 = delta + (0.0 + lo);
+    double s2 = s0 + e2;
+    *out_s = s2;
+    *out_c = e2 - (s2 - s0);
+}
+
 int fold_dd(const double *const *restrict rows, const int64_t *restrict len,
             int64_t n_rows, int64_t max_len, double *restrict out0,
             double *restrict out1)
@@ -601,66 +689,211 @@ int fold_dd(const double *const *restrict rows, const int64_t *restrict len,
     int64_t cap = pow2_ceil(max_len > 1 ? max_len : 2) / 2;
     double *buf = fold_scratch(cap);
     if (!buf) return 1;
-    double *sa = buf, *ca = buf + cap, *sb = buf + 2 * cap, *cb = buf + 3 * cap;
-    for (int64_t r = 0; r < n_rows; r++) {
-        const double *restrict row = rows[r];
-        int64_t n = len[r];
-        double hi, lo;
-        if (n <= 1) {
-            hi = n ? row[0] : 0.0;
-            lo = 0.0;
-        } else {
-            /* fused level 1: leaf lo components are exact zeros */
-            int64_t h = pow2_ceil(n) / 2, full = n / 2;
-            for (int64_t i = 0; i < full; i++) {
-                double hi1 = row[2 * i], hi2 = row[2 * i + 1];
+    for (int64_t r = 0; r < n_rows; r++)
+        dd_fold_row(rows[r], len[r], buf, buf + cap, buf + 2 * cap,
+                    buf + 3 * cap, &out0[r], &out1[r]);
+    free(buf);
+    return 0;
+}
+
+/* -- fused shard kernels: one call per shard of whole items ------------------
+ *
+ * Item-major pointer tables: item i's rank-r chunk is rows[i*n_ranks + r]
+ * with len[i*n_ranks + r] doubles.  Each item is served end-to-end inside
+ * the kernel: every rank chunk folds to its accumulator state (the exact
+ * fold_* op sequence), the rank states collapse through the balanced
+ * reduction tree (pair adjacent states in rank order, an odd trailing
+ * state rides up unchanged — the `shapes.balanced` level schedule), and
+ * the algebra's result extraction lands the item's value in out[i].  The
+ * state-merge recurrences are the VectorOps ``merge`` formulas, identical
+ * to the upper level loops of the balanced_sweep_* kernels, so out is
+ * bitwise-equal to fold + compile_tree(balanced).reduce_states + result.
+ */
+
+int reduce_balanced_st(const double *const *restrict rows,
+                       const int64_t *restrict len, int64_t n_items,
+                       int64_t n_ranks, int64_t max_len, double *restrict out)
+{
+    (void)max_len;
+    double *s = (double *)malloc((size_t)n_ranks * sizeof(double));
+    if (!s) return 1;
+    for (int64_t it = 0; it < n_items; it++) {
+        const double *const *item = rows + it * n_ranks;
+        const int64_t *ilen = len + it * n_ranks;
+        for (int64_t r = 0; r < n_ranks; r++) {
+            const double *row = item[r];
+            double acc = 0.0;
+            for (int64_t j = 0; j < ilen[r]; j++)
+                acc = acc + row[j];
+            s[r] = acc;
+        }
+        int64_t w = n_ranks;
+        while (w > 1) {
+            int64_t h2 = w / 2;
+            for (int64_t i = 0; i < h2; i++)
+                s[i] = s[2 * i] + s[2 * i + 1];
+            if (w & 1) s[h2] = s[w - 1];
+            w = h2 + (w & 1);
+        }
+        out[it] = s[0];
+    }
+    free(s);
+    return 0;
+}
+
+int reduce_balanced_kahan(const double *const *restrict rows,
+                          const int64_t *restrict len, int64_t n_items,
+                          int64_t n_ranks, int64_t max_len,
+                          double *restrict out)
+{
+    int64_t cap = pow2_ceil(max_len > 1 ? max_len : 2) / 2;
+    double *buf = fold_scratch(cap);
+    double *s = (double *)malloc((size_t)(2 * n_ranks) * sizeof(double));
+    if (!buf || !s) { free(buf); free(s); return 1; }
+    double *c = s + n_ranks;
+    for (int64_t it = 0; it < n_items; it++) {
+        const double *const *item = rows + it * n_ranks;
+        const int64_t *ilen = len + it * n_ranks;
+        for (int64_t r = 0; r < n_ranks; r++) {
+            double s_blk, e_blk;
+            kahan_fold_row(item[r], ilen[r], buf, buf + cap, buf + 2 * cap,
+                           buf + 3 * cap, &s_blk, &e_blk);
+            kahan_state_from_block(s_blk, e_blk, &s[r], &c[r]);
+        }
+        int64_t w = n_ranks;
+        while (w > 1) {
+            int64_t h2 = w / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double a0 = s[2 * i], b0 = s[2 * i + 1];
+                double a1 = c[2 * i], b1 = c[2 * i + 1];
+                double y = b0 - (a1 + b1);
+                double t = a0 + y;
+                s[i] = t;
+                c[i] = (t - a0) - y;
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[it] = s[0];
+    }
+    free(buf); free(s);
+    return 0;
+}
+
+int reduce_balanced_kbn(const double *const *restrict rows,
+                        const int64_t *restrict len, int64_t n_items,
+                        int64_t n_ranks, int64_t max_len,
+                        double *restrict out)
+{
+    int64_t cap = pow2_ceil(max_len > 1 ? max_len : 2) / 2;
+    double *buf = fold_scratch(cap);
+    double *s = (double *)malloc((size_t)(2 * n_ranks) * sizeof(double));
+    if (!buf || !s) { free(buf); free(s); return 1; }
+    double *c = s + n_ranks;
+    for (int64_t it = 0; it < n_items; it++) {
+        const double *const *item = rows + it * n_ranks;
+        const int64_t *ilen = len + it * n_ranks;
+        for (int64_t r = 0; r < n_ranks; r++) {
+            double s_blk, e_blk;
+            carry_fold_row(item[r], ilen[r], buf, buf + cap, buf + 2 * cap,
+                           buf + 3 * cap, &s_blk, &e_blk);
+            kbn_state_from_block(s_blk, e_blk, &s[r], &c[r]);
+        }
+        int64_t w = n_ranks;
+        while (w > 1) {
+            int64_t h2 = w / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double a0 = s[2 * i], b0 = s[2 * i + 1];
+                double a1 = c[2 * i], b1 = c[2 * i + 1];
+                double t = a0 + b0;
+                double comp = (fabs(a0) >= fabs(b0)) ? (a0 - t) + b0
+                                                     : (b0 - t) + a0;
+                s[i] = t;
+                c[i] = (a1 + comp) + b1;
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[it] = s[0] + c[0];
+    }
+    free(buf); free(s);
+    return 0;
+}
+
+int reduce_balanced_cp(const double *const *restrict rows,
+                       const int64_t *restrict len, int64_t n_items,
+                       int64_t n_ranks, int64_t max_len, double *restrict out)
+{
+    int64_t cap = pow2_ceil(max_len > 1 ? max_len : 2) / 2;
+    double *buf = fold_scratch(cap);
+    double *s = (double *)malloc((size_t)(2 * n_ranks) * sizeof(double));
+    if (!buf || !s) { free(buf); free(s); return 1; }
+    double *c = s + n_ranks;
+    for (int64_t it = 0; it < n_items; it++) {
+        const double *const *item = rows + it * n_ranks;
+        const int64_t *ilen = len + it * n_ranks;
+        for (int64_t r = 0; r < n_ranks; r++) {
+            double s_blk, e_blk;
+            carry_fold_row(item[r], ilen[r], buf, buf + cap, buf + 2 * cap,
+                           buf + 3 * cap, &s_blk, &e_blk);
+            cp_state_from_block(s_blk, e_blk, &s[r], &c[r]);
+        }
+        int64_t w = n_ranks;
+        while (w > 1) {
+            int64_t h2 = w / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double a0 = s[2 * i], b0 = s[2 * i + 1];
+                double a1 = c[2 * i], b1 = c[2 * i + 1];
+                double sum = a0 + b0;
+                double bb = sum - a0;
+                double delta = (a0 - (sum - bb)) + (b0 - bb);
+                s[i] = sum;
+                c[i] = a1 + b1 + delta;
+            }
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
+        }
+        out[it] = s[0] + c[0];
+    }
+    free(buf); free(s);
+    return 0;
+}
+
+int reduce_balanced_dd(const double *const *restrict rows,
+                       const int64_t *restrict len, int64_t n_items,
+                       int64_t n_ranks, int64_t max_len, double *restrict out)
+{
+    int64_t cap = pow2_ceil(max_len > 1 ? max_len : 2) / 2;
+    double *buf = fold_scratch(cap);
+    double *s = (double *)malloc((size_t)(2 * n_ranks) * sizeof(double));
+    if (!buf || !s) { free(buf); free(s); return 1; }
+    double *c = s + n_ranks;
+    for (int64_t it = 0; it < n_items; it++) {
+        const double *const *item = rows + it * n_ranks;
+        const int64_t *ilen = len + it * n_ranks;
+        for (int64_t r = 0; r < n_ranks; r++)
+            dd_fold_row(item[r], ilen[r], buf, buf + cap, buf + 2 * cap,
+                        buf + 3 * cap, &s[r], &c[r]);
+        int64_t w = n_ranks;
+        while (w > 1) {
+            int64_t h2 = w / 2;
+            for (int64_t i = 0; i < h2; i++) {
+                double hi1 = s[2 * i], hi2 = s[2 * i + 1];
+                double lo1 = c[2 * i], lo2 = c[2 * i + 1];
                 double sum = hi1 + hi2;
                 double bb = sum - hi1;
                 double e = (hi1 - (sum - bb)) + (hi2 - bb);
-                e = e + 0.0 + 0.0;
+                e = e + lo1 + lo2;
                 double s2 = sum + e;
-                sa[i] = s2;
-                ca[i] = e - (s2 - sum);
+                s[i] = s2;
+                c[i] = e - (s2 - sum);
             }
-            int64_t w = full;
-            if (n & 1) {
-                double hi1 = row[n - 1];
-                double sum = hi1 + 0.0;
-                double bb = sum - hi1;
-                double e = (hi1 - (sum - bb)) + (0.0 - bb);
-                e = e + 0.0 + 0.0;
-                double s2 = sum + e;
-                sa[w] = s2;
-                ca[w] = e - (s2 - sum);
-                w++;
-            }
-            for (int64_t i = w; i < h; i++) { sa[i] = 0.0; ca[i] = 0.0; }
-            double *s = sa, *c = ca, *t = sb, *d = cb;
-            int64_t m = h;
-            while (m > 1) {              /* pairwise dd_add levels */
-                int64_t h2 = m / 2;
-                dd_fold_level(s, c, t, d, h2);
-                double *tmp;
-                tmp = s; s = t; t = tmp;
-                tmp = c; c = d; d = tmp;
-                m = h2;
-            }
-            hi = s[0];
-            lo = c[0];
+            if (w & 1) { s[h2] = s[w - 1]; c[h2] = c[w - 1]; }
+            w = h2 + (w & 1);
         }
-        double sum = hi + lo;            /* DoubleDouble.normalized */
-        double bb = sum - hi;
-        double err = (hi - (sum - bb)) + (lo - bb);
-        hi = sum; lo = err;
-        double s0 = 0.0 + hi;            /* merge_parts from (0, 0) */
-        double bb2 = s0 - 0.0;
-        double delta = (0.0 - (s0 - bb2)) + (hi - bb2);
-        double e2 = delta + (0.0 + lo);
-        double s2 = s0 + e2;
-        out0[r] = s2;
-        out1[r] = e2 - (s2 - s0);
+        out[it] = s[0] + c[0];
     }
-    free(buf);
+    free(buf); free(s);
     return 0;
 }
 """
@@ -680,6 +913,15 @@ _FOLD_FUNCTIONS = {
     "kbn": ("fold_kbn", 2),
     "cp": ("fold_cp", 2),
     "dd": ("fold_dd", 2),
+}
+
+#: per-algebra fused shard kernels: fold + balanced rank tree + result
+_REDUCE_FUNCTIONS = {
+    "st": "reduce_balanced_st",
+    "kahan": "reduce_balanced_kahan",
+    "kbn": "reduce_balanced_kbn",
+    "cp": "reduce_balanced_cp",
+    "dd": "reduce_balanced_dd",
 }
 
 _lock = threading.Lock()
@@ -804,6 +1046,18 @@ def _compile_library() -> Optional[ctypes.CDLL]:
         fn = getattr(lib, name)
         fn.argtypes = fold_argtypes
         fn.restype = ctypes.c_int
+    reduce_argtypes = [
+        ctypes.POINTER(ctypes.c_void_p),  # item-major per-chunk pointers
+        ctypes.POINTER(ctypes.c_int64),
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    for name in _REDUCE_FUNCTIONS.values():
+        fn = getattr(lib, name)
+        fn.argtypes = reduce_argtypes
+        fn.restype = ctypes.c_int
     return lib
 
 
@@ -839,6 +1093,15 @@ def has_fold_kernel(vops) -> bool:
     available = advertised and _get_lib() is not None
     if advertised and not available and _OBS.enabled:
         _OBS.counter("repro_ckernels_fallback_total", kernel="fold").inc()
+    return available
+
+
+def has_reduce_kernel(vops) -> bool:
+    """True when ``vops``'s algebra has a compiled fused shard kernel."""
+    advertised = getattr(vops, "ckernel", None) in _REDUCE_FUNCTIONS
+    available = advertised and _get_lib() is not None
+    if advertised and not available and _OBS.enabled:
+        _OBS.counter("repro_ckernels_fallback_total", kernel="reduce").inc()
     return available
 
 
@@ -957,3 +1220,55 @@ def fold_chunks(chunks, vops) -> tuple:
     states = _call_fold(vops, row_ptrs, lengths, int(lengths.max()))
     del arrays  # keep the chunk buffers alive through the kernel call
     return states
+
+
+def reduce_balanced_chunks(
+    chunks, n_ranks: int, vops, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Balanced rank-tree values of whole items in one fused kernel call.
+
+    ``chunks`` is an item-major flat list: ``n_items`` consecutive groups of
+    ``n_ranks`` 1-D chunks each (item ``i``'s rank ``r`` chunk at index
+    ``i * n_ranks + r``).  Each item folds its rank chunks to accumulator
+    states and collapses them through the balanced reduction tree inside the
+    kernel, so a worker serves its whole contiguous shard in one ``ctypes``
+    call.  Bitwise-equal to :func:`fold_chunks` +
+    ``compile_tree(balanced(n_ranks)).reduce_states`` + ``vops.result``;
+    requires ``has_reduce_kernel(vops)``.  ``out`` (when given) must be a
+    contiguous float64 vector of ``n_items`` — e.g. a result-arena view, so
+    values land in shared memory with no extra copy.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    arrays = [
+        np.ascontiguousarray(np.asarray(c, dtype=np.float64).ravel())
+        for c in chunks
+    ]
+    if len(arrays) % n_ranks:
+        raise ValueError(
+            f"chunk count {len(arrays)} is not a multiple of n_ranks {n_ranks}"
+        )
+    n_items = len(arrays) // n_ranks
+    if out is None:
+        out = np.empty(n_items, dtype=np.float64)
+    elif out.dtype != np.float64 or not out.flags.c_contiguous or out.size != n_items:
+        raise ValueError("out must be a contiguous float64 vector of n_items")
+    if n_items == 0:
+        return out
+    lib = _get_lib()
+    assert lib is not None, "compiled kernels not available"
+    lengths = np.array([a.size for a in arrays], dtype=np.int64)
+    row_ptrs = np.array([a.ctypes.data for a in arrays], dtype=np.uintp)
+    fn = getattr(lib, _REDUCE_FUNCTIONS[vops.ckernel])
+    status = fn(
+        row_ptrs.ctypes.data_as(ctypes.POINTER(ctypes.c_void_p)),
+        lengths.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+        n_items,
+        n_ranks,
+        int(lengths.max()),
+        out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+    )
+    if status != 0:  # pragma: no cover - allocation failure
+        raise MemoryError("reduce_balanced scratch allocation failed")
+    del arrays  # keep the chunk buffers alive through the kernel call
+    return out

@@ -50,7 +50,7 @@ from repro.trees import _ckernels
 from repro.trees.schedule import compile_tree
 from repro.trees.serial_batch import serial_ensemble_standard, serial_ensemble_vops
 from repro.trees.tree import ReductionTree
-from repro.util.pool import SharedArray, attach_shared, get_pool, shard_plan
+from repro.util.pool import arena_pair, arena_view, get_pool, shard_plan
 from repro.util.rng import SeedLike, permutation_stream
 
 __all__ = [
@@ -375,25 +375,36 @@ def _ensemble_parallel(
 ) -> np.ndarray:
     """Shard an ensemble's permutation rows over worker processes.
 
-    The data vector and the full permutation matrix move once into shared
-    memory; each worker evaluates a contiguous row shard through the normal
-    serial strategy dispatch (so every fast path — C sweeps, compiled
-    schedules, cumsum serial kernels — still applies inside the worker) and
-    returns only its value vector.  Concatenated shard outputs are
-    bitwise-identical to the serial sweep over the same permutation matrix.
+    The data vector and the full permutation matrix pack once into the
+    persistent input arena; each worker evaluates a contiguous row shard
+    through the normal serial strategy dispatch (so every fast path — C
+    sweeps, compiled schedules, cumsum serial kernels — still applies
+    inside the worker) and writes its value-vector slice straight into the
+    result arena, so the pickle pipe only carries ``None``.  The assembled
+    value vector is bitwise-identical to the serial sweep over the same
+    permutation matrix.
     """
     from repro.util.chunking import split_indices
 
+    n = data.size
     n_trees = perm_matrix.shape[0]
     shards = split_indices(n_trees, n_shards)
     pool = get_pool(pool_workers)
-    with SharedArray(np.ascontiguousarray(data)) as data_shm, SharedArray(
-        np.ascontiguousarray(perm_matrix)
-    ) as perm_shm:
+    # input arena: [data f64 x n][perms i64 x (n_trees, n)]
+    with arena_pair() as (arena_in, arena_res):
+        in_handle = arena_in.reserve(8 * (n + n_trees * n))
+        res_handle = arena_res.reserve(8 * n_trees)
+        data_v = arena_in.view(np.float64, (n,))
+        data_v[:] = data
+        perm_v = arena_in.view(np.int64, (n_trees, n), offset=8 * n)
+        perm_v[:] = perm_matrix
+        del data_v, perm_v
         payloads = [
             (
-                data_shm.handle,
-                perm_shm.handle,
+                in_handle,
+                res_handle,
+                n,
+                n_trees,
                 s.start,
                 s.stop,
                 shape,
@@ -403,22 +414,25 @@ def _ensemble_parallel(
             )
             for s in shards
         ]
-        parts = pool.map(
-            _ensemble_shard, payloads, chunksize=1, path="ensemble"
-        )
-    return np.concatenate(parts)
+        pool.map(_ensemble_shard, payloads, chunksize=1, path="ensemble")
+        out = arena_res.view(np.float64, (n_trees,)).copy()
+    return out
 
 
-def _ensemble_shard(payload: tuple) -> np.ndarray:
+def _ensemble_shard(payload: tuple) -> None:
     """Worker: evaluate one contiguous block of permutation rows.
 
-    Operates on zero-copy views of the shared data/permutation segments;
-    the returned value vector is a fresh array, so no view escapes the
-    attach scope.
+    Operates on zero-copy views sliced out of the cached input-arena
+    attachment (attach once per arena epoch, not once per task) and writes
+    its value slice directly into the result arena.  Every arena view is
+    dropped before returning — a lingering view would block the attachment
+    swap on the next arena regrow epoch.
     """
     (
-        data_handle,
-        perm_handle,
+        in_handle,
+        res_handle,
+        n,
+        n_trees,
         start,
         stop,
         shape,
@@ -426,19 +440,21 @@ def _ensemble_shard(payload: tuple) -> np.ndarray:
         context,
         batch_elems,
     ) = payload
-    with attach_shared(data_handle) as data, attach_shared(perm_handle) as perms:
-        out = evaluate_ensemble(
-            data,
-            shape,
-            algorithm,
-            stop - start,
-            context=context,
-            batch_elems=batch_elems,
-            perms=perms[start:stop],
-            workers=1,
-        )
-        del data, perms
-    return out
+    data = arena_view(in_handle, np.float64, (n,))
+    perms = arena_view(in_handle, np.int64, (n_trees, n), offset=8 * n)
+    out_v = arena_view(res_handle, np.float64, (n_trees,))
+    out_v[start:stop] = evaluate_ensemble(
+        data,
+        shape,
+        algorithm,
+        stop - start,
+        context=context,
+        batch_elems=batch_elems,
+        perms=perms[start:stop],
+        workers=1,
+    )
+    del out_v, data, perms
+    return None
 
 
 def _batched_balanced_indexed(

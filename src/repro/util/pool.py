@@ -16,15 +16,22 @@ operand through the IPC pipe as pickled bytes.  Both costs are hoisted here:
   detects ``BrokenProcessPool``, rebuilds the executor, retries the batch
   once (dispatched tasks are deterministic and idempotent by construction),
   and counts the restart.
-* **Zero-copy payloads** — :class:`SharedArray` places one ndarray in a
-  ``multiprocessing.shared_memory`` segment (a single copy in); workers
-  attach with :func:`attach_shared` and operate on ndarray *views* of the
-  segment, so large ``float64`` batches never transit the pipe at all.  Only
-  tiny descriptors (segment name, dtype, shape, shard bounds) are pickled.
+* **Persistent arenas** — the serving engines dispatch through a
+  pool-lifetime shared-memory segment pair (:func:`arena_pair`: an input
+  arena and a result arena), sized geometrically by :meth:`SharedArena.reserve`
+  and reused across calls, so a warm dispatch performs **zero** segment
+  create/unlink syscalls.  Workers cache their attachment per arena epoch
+  (:func:`arena_view`; attach once per segment generation, not once per
+  task) and write results — reduced values *and* decision codes — straight
+  into the result arena instead of pickling them back through the IPC pipe.
+  Only tiny descriptors (segment name, generation, shard bounds) are
+  pickled.  :class:`SharedArray`/:func:`attach_shared` remain as the
+  one-shot building blocks for ad-hoc payloads.
 * **Adaptive cutover** — :func:`shard_plan` keeps small batches serial: IPC
   only pays for itself past a bytes-and-items threshold (tunable via
-  ``REPRO_PARALLEL_MIN_ITEMS`` / ``REPRO_PARALLEL_MIN_BYTES``), while an
-  explicit ``workers >= 2`` request always parallelises.
+  ``REPRO_PARALLEL_MIN_ITEMS`` / ``REPRO_PARALLEL_MIN_BYTES``, parsed once
+  per process — see :func:`reload_parallel_env`), while an explicit
+  ``workers >= 2`` request always parallelises.
 
 Determinism contract: callers shard work into *contiguous* ranges and
 workers receive bit-identical operand bytes (``float64`` views of the packed
@@ -42,9 +49,11 @@ from __future__ import annotations
 
 import atexit
 import os
+import sys
 import threading
 import time
 import warnings
+from contextlib import contextmanager
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -68,8 +77,13 @@ __all__ = [
     "pool_info",
     "SharedArray",
     "attach_shared",
+    "SharedArena",
+    "arena_pair",
+    "arena_view",
+    "arena_info",
     "parallel_cutover",
     "shard_plan",
+    "reload_parallel_env",
     "register_worker_state",
     "worker_state",
     "MIN_PARALLEL_ITEMS",
@@ -79,11 +93,13 @@ __all__ = [
 
 _OBS = get_registry()
 
-#: auto-cutover floors: below either, serial always wins (IPC round trip plus
-#: shared-memory packing costs ~hundreds of microseconds; these floors keep
-#: that overhead under a few percent of the serial compute it displaces)
-MIN_PARALLEL_ITEMS = 8
-MIN_PARALLEL_BYTES = 1 << 21  # 2 MiB of float64 payload
+#: auto-cutover floors, recalibrated for warm-arena dispatch: a reused arena
+#: pays one memcpy in plus a ~100 µs pool round trip (no segment create or
+#: unlink syscalls, no pickled result return), so parallel breaks even on
+#: much smaller batches than the one-shot SharedArray path did (was 8 items /
+#: 2 MiB)
+MIN_PARALLEL_ITEMS = 4
+MIN_PARALLEL_BYTES = 1 << 18  # 256 KiB of float64 payload
 
 #: auto mode refuses to materialise/pack payloads beyond this (the caller can
 #: still force it with an explicit ``workers=``); guards against an implicit
@@ -156,7 +172,9 @@ def worker_state(name: str) -> object:
     """
     if name not in _WORKER_STATE:
         try:
-            factory = _WORKER_STATE_FACTORIES[name]
+            # reading the factory table is the protocol itself; it was
+            # filled by import-time registration in every process
+            factory = _WORKER_STATE_FACTORIES[name]  # repro: allow[FP010] -- see above
         except KeyError:
             raise KeyError(
                 f"no worker state registered under {name!r}; call "
@@ -185,6 +203,36 @@ def _env_int(name: str, default: int) -> int:
             stacklevel=2,
         )
         return default
+
+
+def _build_cutover_config() -> "tuple[int, int, int]":
+    """Parse the ``REPRO_PARALLEL_*`` cutover knobs once per process.
+
+    Registered as worker state so the hot dispatch path never re-reads the
+    environment: ``(min_items, min_bytes, max_bytes)`` is materialised on
+    first use in each process and cached until :func:`reload_parallel_env`.
+    """
+    return (
+        _env_int("REPRO_PARALLEL_MIN_ITEMS", MIN_PARALLEL_ITEMS),
+        _env_int("REPRO_PARALLEL_MIN_BYTES", MIN_PARALLEL_BYTES),
+        _env_int("REPRO_PARALLEL_MAX_BYTES", MAX_AUTO_PARALLEL_BYTES),
+    )
+
+
+register_worker_state("pool.cutover_config", _build_cutover_config)
+
+
+def reload_parallel_env() -> "tuple[int, int, int]":
+    """Re-parse ``REPRO_PARALLEL_*`` after an environment change.
+
+    The cutover floors are cached per process at first use; a long-lived
+    server (or a test monkeypatching the environment) that edits the knobs
+    afterwards calls this to drop the cache.  Parsing happens eagerly here,
+    so a malformed value warns at the reload site; returns the fresh
+    ``(min_items, min_bytes, max_bytes)`` triple.
+    """
+    register_worker_state("pool.cutover_config", _build_cutover_config)
+    return worker_state("pool.cutover_config")  # type: ignore[return-value]
 
 
 def default_workers() -> int:
@@ -396,11 +444,14 @@ def shutdown_pool() -> None:
 
     Pool objects are dropped entirely, so a later :func:`get_pool` starts
     fresh — used by tests and long-lived servers that want to release cores.
+    The persistent arenas are unlinked too (workers are gone, so no mapping
+    outlives this), returning ``repro_pool_shm_bytes_in_flight`` to zero.
     """
     with _GLOBAL_LOCK:
         for pool in _POOLS.values():
             pool.shutdown()
         _POOLS.clear()
+    _close_arenas()
 
 
 atexit.register(shutdown_pool)
@@ -443,7 +494,7 @@ class SharedArray:
             create=True, size=max(1, self.nbytes)
         )
         if self.nbytes:
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+            view = _buffer_view(self._shm, array.dtype, array.shape)
             view[...] = array
             del view
         #: picklable descriptor workers pass to :func:`attach_shared`
@@ -494,6 +545,27 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
             resource_tracker.register = original  # type: ignore[assignment]
 
 
+def _buffer_view(
+    shm: shared_memory.SharedMemory, dtype, shape, offset: int = 0
+) -> np.ndarray:
+    """Writable ndarray over ``shm.buf`` that *holds* the buffer export.
+
+    ``np.frombuffer`` keeps a live export on the segment's memoryview for
+    the array's lifetime, so closing the mapping under a lingering view
+    raises :class:`BufferError` deterministically.  ``np.ndarray(buffer=...)``
+    would instead release its export immediately — the close would succeed
+    and the lingering view would dangle into unmapped memory.
+    """
+    if not isinstance(shape, (tuple, list)):
+        shape = (shape,)
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return np.frombuffer(
+        shm.buf, dtype=np.dtype(dtype), count=count, offset=offset
+    ).reshape(shape)
+
+
 class attach_shared:
     """Worker-side context manager: ndarray view of a :class:`SharedArray`.
 
@@ -509,25 +581,235 @@ class attach_shared:
 
     def __enter__(self) -> np.ndarray:
         self._shm = _attach_segment(self._name)
+        # deliberately NOT _buffer_view: the ``with ... as`` target outlives
+        # __exit__ by construction, so a held export would make every clean
+        # exit fail; escape detection is the refcount check below instead
         self._view = np.ndarray(
             self._shape, dtype=np.dtype(self._dtype), buffer=self._shm.buf
         )
         return self._view
 
-    def __exit__(self, *exc) -> None:
-        self._view = None
-        if self._shm is not None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Deterministic release, no gc.collect() retries: at this point the
+        # only sanctioned references to the view are our own attribute, the
+        # caller's ``with ... as`` target, and getrefcount's argument (3
+        # total).  Anything beyond that escaped the block — aliased into a
+        # list, stashed on an object — and would dangle into unmapped memory
+        # once the segment closes, so surface it as a hard error.  (Skipped
+        # while an exception propagates: traceback frames hold extra
+        # references to the caller's locals.)
+        view, self._view = self._view, None
+        shm, self._shm = self._shm, None
+        leaked = (
+            exc_type is None
+            and view is not None
+            and sys.getrefcount(view) > 3
+        )
+        del view
+        if shm is not None:
             try:
-                self._shm.close()
-            except BufferError:  # pragma: no cover - lingering view reference
-                import gc
+                shm.close()
+            except BufferError:
+                leaked = True
+        if leaked:
+            raise RuntimeError(
+                f"shared segment {self._name!r} still has live ndarray "
+                "views at attach_shared exit; drop every view (and any "
+                "array aliasing it) before leaving the block, or the "
+                "segment mapping leaks"
+            ) from None
 
-                gc.collect()
+
+# -- persistent shared-memory arenas -------------------------------------------
+#
+# The one-shot SharedArray path pays three fixed costs per dispatch: a segment
+# create + unlink syscall pair, a fresh attach in every worker task, and a
+# pickled result return.  The serving engines instead dispatch through one
+# process-global pair of pool-lifetime arenas ("input" and "result"): the
+# parent reserves capacity (grown geometrically, so steady-state traffic
+# reuses the same segment), writes operands in, and workers write results
+# back into the result arena — the IPC pipe carries only tiny descriptors in
+# both directions.
+
+#: arena segments never shrink below this (one page-ish floor keeps tiny
+#: dispatches from thrashing generations)
+_MIN_ARENA_BYTES = 1 << 16
+
+
+def _pow2_at_least(n: int) -> int:
+    return 1 << max(0, int(n - 1).bit_length())
+
+
+class SharedArena:
+    """A pool-lifetime, geometrically grown shared-memory segment.
+
+    ``reserve(nbytes)`` returns a picklable ``(name, generation, tag)``
+    handle after ensuring capacity.  Growth allocates a fresh segment at the
+    next power of two, unlinks the old one, and bumps ``generation`` — the
+    signal workers use to re-attach (see :func:`arena_view`); a reserve
+    satisfied from existing capacity is the steady state and touches no
+    kernel object at all.  The owner (the dispatching parent) is the only
+    writer of input regions; workers write disjoint shard slices of the
+    result arena.  :func:`arena_pair` serialises dispatches, so capacity and
+    contents never change while a batch is in flight.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.generation = 0
+        self.capacity = 0
+        self._shm: "shared_memory.SharedMemory | None" = None
+
+    def reserve(self, nbytes: int) -> "tuple[str, int, str]":
+        nbytes = max(1, int(nbytes))
+        if self._shm is None or nbytes > self.capacity:
+            new_cap = _pow2_at_least(max(nbytes, _MIN_ARENA_BYTES))
+            old, old_cap = self._shm, self.capacity
+            self._shm = shared_memory.SharedMemory(create=True, size=new_cap)
+            self.generation += 1
+            self.capacity = new_cap
+            if old is not None:
+                # workers still attached to the old epoch release it on
+                # their next task; the parent mapping must be view-free here
                 try:
-                    self._shm.close()
-                except BufferError:
+                    old.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
                     pass
-            self._shm = None
+                try:
+                    old.close()
+                except BufferError:
+                    raise RuntimeError(
+                        f"arena segment {old.name!r} (tag {self.tag!r}) "
+                        "still has live ndarray views at regrow; the "
+                        "dispatcher must del its arena views before the "
+                        "next reserve()"
+                    ) from None
+            if _OBS.enabled:
+                _OBS.counter("repro_pool_arena_grow_total", tag=self.tag).inc()
+                _OBS.gauge("repro_pool_shm_bytes_in_flight").inc(new_cap - old_cap)
+        elif _OBS.enabled:
+            _OBS.counter("repro_pool_arena_reuse_total", tag=self.tag).inc()
+        return (self._shm.name, self.generation, self.tag)
+
+    def view(self, dtype, shape, offset: int = 0) -> np.ndarray:
+        """Parent-side ndarray view of a region of the current segment.
+
+        Views must be dropped (``del``) before the next :meth:`reserve` can
+        grow or :meth:`close` can run — both surface lingering views as
+        errors rather than leaking the mapping.
+        """
+        assert self._shm is not None, "reserve() before view()"
+        return _buffer_view(self._shm, dtype, shape, offset=offset)
+
+    def close(self) -> None:
+        """Unlink and release the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        cap, self.capacity = self.capacity, 0
+        if _OBS.enabled:
+            _OBS.gauge("repro_pool_shm_bytes_in_flight").dec(cap)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            raise RuntimeError(
+                f"arena segment {shm.name!r} (tag {self.tag!r}) still has "
+                "live ndarray views at close; the dispatcher must del its "
+                "arena views before shutdown"
+            ) from None
+
+    def info(self) -> dict:
+        return {
+            "tag": self.tag,
+            "generation": self.generation,
+            "capacity": self.capacity,
+            "live": self._shm is not None,
+        }
+
+
+_ARENAS: "dict[str, SharedArena]" = {}
+#: held for the whole of every arena dispatch: shards write disjoint result
+#: regions, but two concurrent batches would overwrite each other's operands
+_ARENA_DISPATCH_LOCK = threading.Lock()
+
+
+@contextmanager
+def arena_pair():
+    """Exclusive use of the process-global ``(input, result)`` arena pair.
+
+    The lock spans the entire dispatch — reserve, operand copy-in, pool map,
+    result copy-out — because the arenas are shared mutable buffers; callers
+    must copy results out of the result arena before leaving the block.
+    Statically pool-reachable but dynamically parent-only: inside a worker
+    ``shard_plan`` returns ``(1, 1)`` (see ``_IN_WORKER``), so the parallel
+    branches that dispatch through arenas never run there.
+    """
+    with _ARENA_DISPATCH_LOCK:
+        # repro: allow[FP010] -- parent-only in practice; workers serial
+        inp = _ARENAS.get("input")
+        if inp is None:
+            inp = _ARENAS["input"] = SharedArena("input")  # repro: allow[FP010] -- see above
+        res = _ARENAS.get("result")  # repro: allow[FP010] -- see above
+        if res is None:
+            res = _ARENAS["result"] = SharedArena("result")  # repro: allow[FP010] -- see above
+        yield inp, res
+
+
+def arena_info() -> dict:
+    """Generation/capacity snapshot of the global arenas (empty if unused)."""
+    with _ARENA_DISPATCH_LOCK:
+        # repro: allow[FP010] -- parent-only in practice; workers serial
+        return {tag: arena.info() for tag, arena in _ARENAS.items()}
+
+
+def _close_arenas() -> None:
+    with _ARENA_DISPATCH_LOCK:
+        # repro: allow[FP010] -- parent-only in practice; workers serial
+        for arena in _ARENAS.values():
+            arena.close()
+        _ARENAS.clear()  # repro: allow[FP010] -- see above
+
+
+# Worker-side attachment cache, keyed by arena tag: each entry holds the
+# (name, generation, SharedMemory) a worker is currently mapped to.  Goes
+# through the registered-state protocol so every process (parent included)
+# materialises its own empty cache deterministically.
+register_worker_state("pool.arena_attachments", dict)
+
+
+def arena_view(handle: "tuple[str, int, str]", dtype, shape, offset: int = 0) -> np.ndarray:
+    """Worker-side ndarray view of an arena region, attachment cached.
+
+    The mapping is established once per arena **epoch** — a task whose
+    handle names the segment this process is already attached to reuses the
+    cached mapping with zero syscalls; a new name (the arena grew, or the
+    pool crashed and was rebuilt) releases the stale attachment and maps the
+    fresh segment.  A stale attachment that still has live views raises a
+    clear error instead of silently leaking the old segment.  Views handed
+    out here must be dropped before the task returns.
+    """
+    name, generation, tag = handle
+    cache: dict = worker_state("pool.arena_attachments")  # type: ignore[assignment]
+    entry = cache.get(tag)
+    if entry is None or entry[0] != name:
+        if entry is not None:
+            try:
+                entry[2].close()
+            except BufferError:
+                raise RuntimeError(
+                    f"stale arena attachment {entry[0]!r} (tag {tag!r}, "
+                    f"generation {entry[1]}) still has live ndarray views; "
+                    "shard functions must drop every arena view before "
+                    "returning so old epochs can be released"
+                ) from None
+            del cache[tag]
+        entry = (name, generation, _attach_segment(name))
+        cache[tag] = entry
+    return _buffer_view(entry[2], dtype, shape, offset=offset)
 
 
 # -- serial/parallel cutover ---------------------------------------------------
@@ -536,19 +818,20 @@ class attach_shared:
 def parallel_cutover(n_items: int, total_bytes: int, workers: int) -> bool:
     """Auto-mode decision: is this payload worth the IPC round trip?
 
-    Calibrated against the measured fixed costs of a warm dispatch (~1 ms
-    round trip plus one memcpy of the payload into shared memory): both the
-    item floor and the byte floor must clear, and the payload must stay
-    under the auto-materialisation cap.
+    Calibrated against the measured fixed costs of a warm **arena** dispatch
+    (one memcpy of the payload into the reused input arena plus a ~100 µs
+    pool round trip; no segment create/unlink, no pickled result return):
+    both the item floor and the byte floor must clear, and the payload must
+    stay under the auto-materialisation cap.  The ``REPRO_PARALLEL_*``
+    overrides are parsed once per process (see :func:`reload_parallel_env`),
+    never per call.
     """
     if _IN_WORKER or workers <= 1 or n_items < 2:
         return False
-    if total_bytes > _env_int("REPRO_PARALLEL_MAX_BYTES", MAX_AUTO_PARALLEL_BYTES):
+    min_items, min_bytes, max_bytes = worker_state("pool.cutover_config")  # type: ignore[misc]
+    if total_bytes > max_bytes:
         return False
-    return (
-        n_items >= _env_int("REPRO_PARALLEL_MIN_ITEMS", MIN_PARALLEL_ITEMS)
-        and total_bytes >= _env_int("REPRO_PARALLEL_MIN_BYTES", MIN_PARALLEL_BYTES)
-    )
+    return n_items >= min_items and total_bytes >= min_bytes
 
 
 def shard_plan(

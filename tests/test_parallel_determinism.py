@@ -179,3 +179,88 @@ class TestCrashRecoveryMidService:
         for a, b in zip(serial, parallel):
             assert _bits(a.value) == _bits(b.value)
             assert a.decision.code == b.decision.code
+
+
+def _wide_stream(n_items: int = 24, n_ranks: int = 4, width: int = 512):
+    rng = np.random.default_rng(4242)
+    return [
+        [
+            rng.uniform(-1.0, 1.0, width) * 10.0 ** rng.integers(-6, 7, size=width)
+            for _ in range(n_ranks)
+        ]
+        for _ in range(n_items)
+    ]
+
+
+class TestArenaServing:
+    """The persistent-arena dispatch: reuse, regrow and crash epochs must all
+    stay invisible to the numerics."""
+
+    def test_arena_reused_across_serving_calls(self):
+        from repro.util.pool import arena_info
+
+        batches = _uniform_stream(n_items=8)
+        comm = SimComm(4)
+        reducer = AdaptiveReducer(comm, threshold=1e-13)
+        reducer.reduce_many(batches, tree="balanced", workers=2)
+        before = arena_info()
+        assert set(before) == {"input", "result"}
+        reducer.reduce_many(batches, tree="balanced", workers=2)
+        # warm steady state: same segments, same generation, no regrow
+        assert arena_info() == before
+
+    def test_arena_regrow_epoch_stays_bitwise(self):
+        from repro.util.pool import arena_info
+
+        comm = SimComm(4)
+        reducer = AdaptiveReducer(comm, threshold=1e-13)
+        small = _uniform_stream(n_items=8)
+        reducer.reduce_many(small, tree="balanced", workers=2)
+        gen_before = arena_info()["input"]["generation"]
+        big = _wide_stream()  # ~400 KiB of operands: forces an arena regrow
+        serial = reducer.reduce_many(big, tree="balanced", workers=1)
+        parallel = reducer.reduce_many(big, tree="balanced", workers=2)
+        assert arena_info()["input"]["generation"] > gen_before
+        for a, b in zip(serial, parallel):
+            assert _bits(a.value) == _bits(b.value)
+            assert a.decision.code == b.decision.code
+
+    def test_crash_recovery_reattaches_and_stays_bitwise(self):
+        comm = SimComm(4)
+        reducer = AdaptiveReducer(comm, threshold=1e-13)
+        reducer.reduce_many(_uniform_stream(n_items=8), tree="balanced", workers=2)
+        pool = get_pool(2)
+        with pytest.raises(BrokenProcessPool):
+            pool.map(_crash, [1, 0, 2], chunksize=1)
+        # replacement workers hold no cached attachments: the next dispatch
+        # re-attaches the (possibly regrown) arena from the handle alone
+        big = _wide_stream(n_items=16)
+        serial = reducer.reduce_many(big, tree="balanced", workers=1)
+        parallel = reducer.reduce_many(big, tree="balanced", workers=2)
+        for a, b in zip(serial, parallel):
+            assert _bits(a.value) == _bits(b.value)
+            assert a.decision.code == b.decision.code
+
+    def test_fused_shard_kernel_bitwise_across_thresholds(self):
+        # sweeping the tolerance forces different algebras through the fused
+        # per-shard C kernel (ST/K/KBN/CP/DD all reachable)
+        batches = _uniform_stream(n_items=12, n_ranks=5, width=64)
+        comm = SimComm(5)
+        for thr in (1e-6, 1e-13, 1e-30):
+            reducer = AdaptiveReducer(comm, threshold=thr)
+            serial = reducer.reduce_many(batches, tree="balanced", workers=1)
+            parallel = reducer.reduce_many(batches, tree="balanced", workers=2)
+            for a, b in zip(serial, parallel):
+                assert _bits(a.value) == _bits(b.value)
+                assert a.decision.code == b.decision.code
+
+    def test_parallel_calls_populate_parent_decision_cache(self):
+        # the parent replays selection from arena-returned sketches, so the
+        # serving cache warms up identically to a serial run
+        batches = _uniform_stream(n_items=10)
+        comm = SimComm(4)
+        reducer = AdaptiveReducer(comm, threshold=1e-13)
+        reducer.reduce_many(batches, tree="balanced", workers=2)
+        info = reducer.decision_cache_info()
+        assert info["hits"] + info["misses"] == len(batches)
+        assert info["misses"] >= 1

@@ -11,15 +11,22 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.obs import get_registry
 from repro.util.parallel import default_workers, map_parallel
 from repro.util.pool import (
+    MAX_AUTO_PARALLEL_BYTES,
     MIN_PARALLEL_BYTES,
     MIN_PARALLEL_ITEMS,
+    SharedArena,
     SharedArray,
+    arena_info,
+    arena_pair,
+    arena_view,
     attach_shared,
     get_pool,
     parallel_cutover,
     pool_info,
     register_worker_state,
+    reload_parallel_env,
     shard_plan,
+    shutdown_pool,
     worker_state,
 )
 
@@ -187,6 +194,14 @@ class TestSharedMemory:
 
 
 class TestCutover:
+    @pytest.fixture(autouse=True)
+    def _fresh_cutover_cache(self):
+        """Cutover config is cached per process; reparse around every test so
+        one test's monkeypatched environment never bleeds into the next."""
+        reload_parallel_env()
+        yield
+        reload_parallel_env()
+
     def test_single_item_always_serial(self):
         assert shard_plan(1, 1 << 30, 8) == (1, 1)
 
@@ -212,14 +227,21 @@ class TestCutover:
         assert not parallel_cutover(1000, (1 << 31) + 1, 4)
 
     def test_cutover_env_overrides(self, monkeypatch):
+        # the knobs are parsed once per process, not per call: an env edit
+        # only takes effect through an explicit reload
         monkeypatch.setenv("REPRO_PARALLEL_MIN_ITEMS", "2")
         monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "16")
+        assert not parallel_cutover(2, 16, 4)  # cached defaults still active
+        assert reload_parallel_env() == (2, 16, MAX_AUTO_PARALLEL_BYTES)
         assert parallel_cutover(2, 16, 4)
 
     def test_malformed_cutover_env_warns(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL_MIN_ITEMS", "lots")
+        # reload parses eagerly, so the warning fires here, not per dispatch
         with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_MIN_ITEMS"):
-            assert parallel_cutover(MIN_PARALLEL_ITEMS, MIN_PARALLEL_BYTES, 4)
+            cfg = reload_parallel_env()
+        assert cfg == (MIN_PARALLEL_ITEMS, MIN_PARALLEL_BYTES, MAX_AUTO_PARALLEL_BYTES)
+        assert parallel_cutover(MIN_PARALLEL_ITEMS, MIN_PARALLEL_BYTES, 4)
 
 
 class TestWorkerState:
@@ -259,3 +281,119 @@ class TestWorkerState:
 
         assert register_worker_state("t_deco", build) is build
         assert worker_state("t_deco") == 7
+
+class TestAttachSharedRelease:
+    """attach_shared releases deterministically — no gc.collect() retries."""
+
+    def test_clean_exit_releases_without_error(self):
+        arr = np.arange(4, dtype=np.float64)
+        with SharedArray(arr) as block:
+            with attach_shared(block.handle) as view:
+                assert view.sum() == arr.sum()
+
+    def test_lingering_view_raises_clear_error(self):
+        arr = np.arange(16, dtype=np.float64)
+        block = SharedArray(arr)
+        leaked = []
+        try:
+            with pytest.raises(RuntimeError, match="live ndarray views"):
+                with attach_shared(block.handle) as view:
+                    leaked.append(view)  # escapes the scope: a caller bug
+            leaked.clear()  # repro: allow[FP012] -- plain Python list holding the escaped view, not a shm view
+        finally:
+            block.close()
+
+
+class TestArena:
+    """Persistent arena lifecycle: growth epochs, reuse, unlink accounting."""
+
+    def setup_method(self):
+        # earlier tests (e.g. parallel-determinism serving runs) may have
+        # left pool-lifetime arenas alive; start from a fresh epoch
+        shutdown_pool()
+
+    def teardown_method(self):
+        shutdown_pool()
+
+    def test_reserve_floor_and_steady_state_reuse(self):
+        with arena_pair() as (inp, res):
+            name1, gen1, tag1 = inp.reserve(100)
+            assert tag1 == "input" and gen1 == 1
+            assert inp.capacity == 1 << 16  # page-ish floor
+            # a fitting reserve is the steady state: same segment, same epoch
+            assert inp.reserve(2000) == (name1, gen1, tag1)
+            assert res.tag == "result"
+
+    def test_growth_bumps_generation_and_persists_across_dispatches(self):
+        with arena_pair() as (inp, _res):
+            _, gen1, _ = inp.reserve(100)
+            name2, gen2, _ = inp.reserve(1 << 17)
+            assert gen2 == gen1 + 1
+            assert inp.capacity == 1 << 17
+        with arena_pair() as (inp, _res):
+            # the grown segment survives between dispatches (pool lifetime)
+            assert inp.reserve(1 << 17) == (name2, gen2, "input")
+
+    def test_grow_and_reuse_counters(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.enable()
+        try:
+            shutdown_pool()  # fresh arenas: the first reserve must grow
+            grow = registry.counter("repro_pool_arena_grow_total", tag="input")
+            reuse = registry.counter("repro_pool_arena_reuse_total", tag="input")
+            g0, r0 = grow.value, reuse.value
+            with arena_pair() as (inp, _res):
+                inp.reserve(64)
+                inp.reserve(64)
+            assert grow.value == g0 + 1
+            assert reuse.value == r0 + 1
+        finally:
+            if not was_enabled:
+                registry.disable()
+
+    def test_shutdown_unlinks_and_gauge_returns_to_zero(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.enable()
+        try:
+            shutdown_pool()
+            gauge = registry.gauge("repro_pool_shm_bytes_in_flight")
+            base = gauge.value
+            with arena_pair() as (inp, res):
+                inp.reserve(8)
+                res.reserve(8)
+            assert gauge.value == base + 2 * (1 << 16)
+            assert set(arena_info()) == {"input", "result"}
+            shutdown_pool()
+            assert arena_info() == {}
+            assert gauge.value == base
+        finally:
+            if not was_enabled:
+                registry.disable()
+
+    def test_arena_view_roundtrip_and_epoch_swap(self):
+        with arena_pair() as (inp, _res):
+            h1 = inp.reserve(256)
+            inp.view(np.float64, (4,))[:] = [1.0, 2.0, 3.0, 4.0]
+            v1 = arena_view(h1, np.float64, (4,))
+            assert v1.tolist() == [1.0, 2.0, 3.0, 4.0]
+            del v1  # dropped before the regrow epoch below
+            h2 = inp.reserve(1 << 20)  # forces a new segment + generation
+            assert h2[0] != h1[0] and h2[1] == h1[1] + 1
+            inp.view(np.float64, (2,))[:] = [5.0, 6.0]
+            v2 = arena_view(h2, np.float64, (2,))
+            assert v2.tolist() == [5.0, 6.0]
+            del v2
+
+    def test_stale_attachment_with_live_view_raises(self):
+        with arena_pair() as (inp, _res):
+            h1 = inp.reserve(64)
+            inp.view(np.float64, (1,))[:] = [7.0]
+            lingering = arena_view(h1, np.float64, (1,))
+            h2 = inp.reserve(1 << 20)
+            with pytest.raises(RuntimeError, match="live ndarray views"):
+                arena_view(h2, np.float64, (1,))
+            del lingering
+            healed = arena_view(h2, np.float64, (1,))  # swap now succeeds
+            del healed
