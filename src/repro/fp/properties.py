@@ -22,6 +22,7 @@ import numpy as np
 __all__ = [
     "UNIT_ROUNDOFF",
     "MANTISSA_BITS",
+    "unit_roundoff",
     "exponent",
     "exponents",
     "ulp",
@@ -35,6 +36,23 @@ UNIT_ROUNDOFF: float = 2.0**-53
 
 #: Significand width of binary64 including the implicit leading bit.
 MANTISSA_BITS: int = 53
+
+
+def unit_roundoff(dtype=np.float64) -> float:
+    """Unit roundoff ``u`` of a floating dtype (round-to-nearest).
+
+    The precision axis of the selector: binary64 gives ``2**-53``, binary32
+    ``2**-24``, binary16 ``2**-11``.  Non-float dtypes (integers fed to a
+    reduction are coerced to binary64 downstream) and extended-precision
+    dtypes report the binary64 roundoff — execution never happens below
+    binary64, so ``u`` is floored there to keep error bounds valid for what
+    actually runs.
+    """
+    dt = np.dtype(dtype)
+    if dt.kind != "f":
+        return UNIT_ROUNDOFF
+    u = float(np.finfo(dt).eps) / 2.0
+    return max(u, UNIT_ROUNDOFF)
 
 
 def exponent(x: float) -> int:

@@ -2,13 +2,20 @@
 and the worst-case bounds the paper shows to be uninformative."""
 
 from repro.metrics.bounds import (
+    BOUNDED_CODES,
+    EXACT_VARIABILITY_CODES,
     analytical_bound,
     compensated_bound,
     condition_based_relative_bound,
+    confidence_lambda,
+    hallman_ipsen_deterministic,
+    hallman_ipsen_probabilistic,
+    height_epsilon,
     kahan_bound,
     pairwise_bound,
     prerounded_bound,
     statistical_bound,
+    summation_error_bound,
 )
 from repro.metrics.distributions import (
     DistributionSummary,
@@ -26,7 +33,9 @@ from repro.metrics.properties import (
 )
 
 __all__ = [
+    "BOUNDED_CODES",
     "BoxplotSummary",
+    "EXACT_VARIABILITY_CODES",
     "DistributionSummary",
     "EmpiricalCDF",
     "ErrorStats",
@@ -39,8 +48,13 @@ __all__ = [
     "boxplot_summary",
     "condition_based_relative_bound",
     "condition_number",
+    "confidence_lambda",
     "dynamic_range",
     "error_stats",
+    "hallman_ipsen_deterministic",
+    "hallman_ipsen_probabilistic",
+    "height_epsilon",
+    "summation_error_bound",
     "ks_distance",
     "stochastically_dominates",
     "summarize",

@@ -13,6 +13,27 @@ Two bounds frame the Fig. 2 experiment:
 The paper's point — which the Fig. 2 reproduction asserts — is that *both*
 overestimate observed error magnitudes by orders of magnitude, so bounds
 alone cannot drive algorithm selection.
+
+Hallman–Ipsen analytic bounds (the selection fast path)
+-------------------------------------------------------
+The loose Fig. 2 bounds can't *rank* algorithms, but Hallman & Ipsen's
+per-algorithm forward-error bounds (arXiv 2107.01604) — deterministic forms
+that hold to all orders and probabilistic (martingale / Azuma–Hoeffding)
+forms that replace the tree height ``h`` with ``sqrt(h)`` at a stated
+confidence — are tight enough to *certify* an algorithm against a
+reproducibility threshold from O(1) set statistics.  Their precision-aware
+variants (arXiv 2203.15928) keep the bounds valid when ``n·u`` is not small,
+which is what makes fp32/fp16 a supported scenario axis: every bound here is
+parameterized by the unit roundoff ``u``.
+
+The building block is the exact accumulated-perturbation factor
+``(1+u)**h - 1`` for a summation tree of height ``h`` — unlike the classical
+``gamma_h = h·u/(1-h·u)`` it is finite and valid for *any* ``h·u``, which is
+the 2203.15928 move.  :func:`summation_error_bound` packages the
+per-algorithm forms; because each bound is homogeneous in the magnitude mass
+``T = Σ|x_i|``, calling it with ``abs_sum=k`` (the condition number) and
+``sum_mag=1`` yields the *relative* bound the runtime selector compares
+against its threshold.
 """
 
 from __future__ import annotations
@@ -31,6 +52,13 @@ __all__ = [
     "kahan_bound",
     "compensated_bound",
     "prerounded_bound",
+    "height_epsilon",
+    "confidence_lambda",
+    "hallman_ipsen_deterministic",
+    "hallman_ipsen_probabilistic",
+    "summation_error_bound",
+    "BOUNDED_CODES",
+    "EXACT_VARIABILITY_CODES",
 ]
 
 
@@ -109,6 +137,145 @@ def compensated_bound(x: np.ndarray, u: float = UNIT_ROUNDOFF) -> float:
     t = float(np.sum(np.abs(x)))
     s = abs(float(np.sum(x)))
     return u * s + 2.0 * n * n * u * u * t
+
+
+# --- Hallman–Ipsen analytic bounds (selection fast path) --------------------
+
+#: Algorithms whose reduction result is bitwise-reproducible across trees —
+#: their error *variability* is exactly zero, whatever their accuracy.
+EXACT_VARIABILITY_CODES: frozenset = frozenset({"PR", "EX", "SO", "AS"})
+
+#: Recursive/pairwise family: plain adds, height-dependent first-order error.
+_RECURSIVE_CODES = frozenset({"ST", "PW"})
+
+#: Compensated family: Kahan-style, 2u first-order floor.
+_COMPENSATED_CODES = frozenset({"K", "KBN", "FB"})
+
+#: As-if-doubled family: Sum2/composite precision and double-double.
+_DOUBLED_CODES = frozenset({"CP", "DD", "IV"})
+
+#: Every code :func:`summation_error_bound` can certify.
+BOUNDED_CODES: frozenset = (
+    EXACT_VARIABILITY_CODES | _RECURSIVE_CODES | _COMPENSATED_CODES | _DOUBLED_CODES
+)
+
+
+def height_epsilon(height, u=UNIT_ROUNDOFF):
+    """``(1+u)**height - 1``: the exact accumulated-perturbation factor for a
+    summation tree of height ``height`` (array-friendly).
+
+    Every summand passes through at most ``height`` roundings, each a factor
+    in ``[1-u, 1+u]``, so ``|fl(Σx) - Σx| <= height_epsilon(h, u) · Σ|x|``
+    for *any* summation order of that height.  Unlike the classical
+    ``gamma_h = h·u/(1-h·u)`` this is finite and valid for any ``h·u`` —
+    the precision-aware form (Hallman & Ipsen, arXiv 2203.15928) that keeps
+    fp16 bounds meaningful past ``n > 1/u``.
+    """
+    h = np.asarray(height, dtype=np.float64)
+    return np.expm1(h * np.log1p(np.asarray(u, dtype=np.float64)))
+
+
+def confidence_lambda(confidence: float) -> float:
+    """Azuma–Hoeffding amplification factor ``sqrt(2·ln(2/δ))`` for failure
+    probability ``δ = 1 - confidence`` (Hallman & Ipsen, arXiv 2107.01604).
+
+    ``confidence = 1`` returns ``inf`` — at certainty only the deterministic
+    bounds apply.
+    """
+    if not 0.0 < confidence <= 1.0:
+        raise ValueError("confidence must be in (0, 1]")
+    if confidence == 1.0:  # repro: allow[FP001] -- exact sentinel: full certainty selects the deterministic bound
+        return math.inf
+    return math.sqrt(2.0 * math.log(2.0 / (1.0 - confidence)))
+
+
+def hallman_ipsen_deterministic(abs_sum, n, u=UNIT_ROUNDOFF, height=None):
+    """Deterministic forward-error bound for recursive summation of ``n``
+    values: ``((1+u)**h - 1) · Σ|x|`` with ``h = n-1`` (array-friendly).
+
+    Valid for any summation tree of height <= ``h`` — passing the actual
+    tree height tightens it (``ceil(log2 n)`` for balanced trees).
+    """
+    h = np.maximum(np.asarray(n, dtype=np.float64) - 1.0, 0.0) if height is None else height
+    return height_epsilon(h, u) * abs_sum
+
+
+def hallman_ipsen_probabilistic(
+    abs_sum, n, u=UNIT_ROUNDOFF, confidence: float = 0.99, height=None
+):
+    """Probabilistic forward-error bound for recursive summation: with
+    probability >= ``confidence``,
+    ``|fl(Σx) - Σx| <= λ·u·sqrt(h)·(1+u)**h·Σ|x|`` where
+    ``λ = sqrt(2·ln(2/(1-confidence)))`` (martingale concentration over the
+    per-add roundoffs, Hallman & Ipsen arXiv 2107.01604; the ``(1+u)**h``
+    factor is the precision-aware correction of arXiv 2203.15928).
+
+    The ``sqrt(h)`` scaling is what certifies large-``n`` recursive sums the
+    deterministic ``h``-scaled bound cannot.  Never exceeds the deterministic
+    bound (the elementwise minimum of the two is returned).
+    """
+    lam = confidence_lambda(confidence)
+    h = np.maximum(np.asarray(n, dtype=np.float64) - 1.0, 0.0) if height is None else height
+    det = height_epsilon(h, u) * abs_sum
+    if math.isinf(lam):
+        return det
+    prob = lam * u * np.sqrt(h) * (1.0 + height_epsilon(h, u)) * abs_sum
+    return np.minimum(prob, det)
+
+
+def summation_error_bound(
+    code: str,
+    n,
+    abs_sum,
+    sum_mag=0.0,
+    u=UNIT_ROUNDOFF,
+    confidence: float = 1.0,
+):
+    """Provable forward-error bound for summing ``n`` values with algorithm
+    ``code``, from O(1) set statistics (array-friendly).
+
+    ``abs_sum`` is ``T = Σ|x_i|`` and ``sum_mag`` is ``|Σ x_i|`` (needed only
+    by the as-if-doubled family, whose bound carries a ``u·|s|`` final-
+    rounding term).  ``confidence < 1`` swaps in the probabilistic
+    (martingale) forms where they are tighter.  All forms are valid for any
+    reduction-tree shape (heights are taken worst-case, ``h = n-1``), so a
+    bound <= t certifies error *variability* <= t across trees: every tree's
+    error lies within the bound, and ``std <= sqrt(E[e²]) <= bound``.
+
+    Per-algorithm forms (``eps_h = (1+u)**h - 1``, ``γ_h = h·u/(1-h·u)``):
+
+    * recursive/pairwise (ST, PW): ``eps_{n-1}·T``, probabilistic
+      ``λ·u·sqrt(n-1)·(1+u)**(n-1)·T`` (Hallman–Ipsen);
+    * compensated (K, KBN, FB): ``(2u + 8u·eps_n)·T`` (Knuth/Neumaier shape,
+      second-order term folded through the precision-aware factor);
+    * as-if-doubled (CP, DD, IV): ``u·|s| + 2·γ_{n-1}²·T`` (Ogita–Rump–Oishi
+      Prop. 4.5 shape); inconclusive (``inf``) once ``(n-1)·u >= 1``, the
+      regime the precision-aware analysis shows breaks the doubling;
+    * reproducible (PR, EX, SO, AS): ``0`` — bitwise identical across trees.
+
+    Raises ``KeyError`` for codes with no implemented bound.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    scalar = n.ndim == 0
+    n = np.atleast_1d(n)
+    abs_sum = np.broadcast_to(np.asarray(abs_sum, dtype=np.float64), n.shape)
+    sum_mag = np.broadcast_to(np.asarray(sum_mag, dtype=np.float64), n.shape)
+    u_arr = np.broadcast_to(np.asarray(u, dtype=np.float64), n.shape)
+    if code in EXACT_VARIABILITY_CODES:
+        out = np.zeros_like(n)
+    elif code in _RECURSIVE_CODES:
+        out = hallman_ipsen_probabilistic(abs_sum, n, u_arr, confidence=confidence)
+    elif code in _COMPENSATED_CODES:
+        out = (2.0 * u_arr + 8.0 * u_arr * height_epsilon(n, u_arr)) * abs_sum
+    elif code in _DOUBLED_CODES:
+        hu = np.maximum(n - 1.0, 0.0) * u_arr
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gamma = np.where(hu < 1.0, hu / (1.0 - hu), math.inf)
+        out = u_arr * sum_mag + 2.0 * gamma * gamma * abs_sum
+    else:
+        raise KeyError(f"no Hallman–Ipsen bound for algorithm {code!r}")
+    out = np.where(n <= 1.0, 0.0, out)
+    return float(out[0]) if scalar else out
 
 
 def prerounded_bound(

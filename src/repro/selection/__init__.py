@@ -1,6 +1,13 @@
 """Intelligent runtime selection: profiling sketches, cost model, analytic
 and empirical policies, and the end-to-end adaptive reducer."""
 
+from repro.selection.bound_tier import (
+    BoundStats,
+    BoundTier,
+    bound_stats_item,
+    bound_stats_stream,
+    item_unit_roundoff,
+)
 from repro.selection.certify import Certificate, certify
 from repro.selection.classifier import GridCell, GridClassifier
 from repro.selection.fitting import FitReport, fit_variability_model
@@ -19,6 +26,11 @@ __all__ = [
     "AdaptiveReducer",
     "AdaptiveResult",
     "AnalyticPolicy",
+    "BoundStats",
+    "BoundTier",
+    "bound_stats_item",
+    "bound_stats_stream",
+    "item_unit_roundoff",
     "Certificate",
     "certify",
     "CostModel",

@@ -45,6 +45,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.fp.properties import UNIT_ROUNDOFF
 from repro.metrics.properties import SetProfile
 from repro.selection.costmodel import CostModel
@@ -54,7 +56,15 @@ __all__ = ["SelectionDecision", "VariabilityModel", "AnalyticPolicy"]
 
 @dataclass(frozen=True)
 class SelectionDecision:
-    """The outcome of a policy query — everything needed to audit it."""
+    """The outcome of a policy query — everything needed to audit it.
+
+    ``tier`` records which selection tier produced the decision:
+    ``"profile"`` (empirical sketch + calibrated variability model, the
+    default) or ``"bound"`` (the O(1) Hallman–Ipsen analytic fast path).
+    ``u`` is the unit roundoff the decision was made at — ``2**-53`` for
+    binary64 inputs, larger for fp32/fp16 scenario inputs, so low-precision
+    data is never silently upcast inside the selection decision.
+    """
 
     code: str
     threshold: float
@@ -62,12 +72,14 @@ class SelectionDecision:
     profile: SetProfile
     candidate_predictions: Mapping[str, float]
     relative_cost: float
+    tier: str = "profile"
+    u: float = UNIT_ROUNDOFF
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SelectionDecision({self.code}: predicted std "
             f"{self.predicted_std:.2e} <= t={self.threshold:.2e}, "
-            f"cost x{self.relative_cost:.1f})"
+            f"cost x{self.relative_cost:.1f}, via {self.tier})"
         )
 
 
@@ -103,14 +115,21 @@ class VariabilityModel:
         raise ValueError(f"unknown tree shape hint {shape!r}")
 
     def predict_std(
-        self, code: str, profile: SetProfile, *, shape: str = "balanced"
+        self,
+        code: str,
+        profile: SetProfile,
+        *,
+        shape: str = "balanced",
+        u: "float | None" = None,
     ) -> float:
         """Predicted *relative* std of the error over random reduction trees.
 
         ``shape`` is ``"balanced"`` (default: the grid experiments'
         setting), ``"serial"``, or ``"unknown"`` (conservative: treated as
-        serial).  ``inf`` for non-deterministic algorithms on exact-zero
-        sums.
+        serial).  ``u`` overrides the model's unit roundoff for one query —
+        the precision axis: fp32/fp16 scenario inputs predict at their own
+        roundoff instead of silently upcasting to binary64.  ``inf`` for
+        non-deterministic algorithms on exact-zero sums.
         """
         n = max(profile.n, 1)
         k = profile.condition
@@ -119,12 +138,39 @@ class VariabilityModel:
         mult = self._shape_multiplier(code, shape)
         if math.isinf(k):
             return math.inf
+        u = self.u if u is None else u
         if code in ("ST", "PW"):
-            return mult * self.c_st * self.u * math.sqrt(n) * k
+            return mult * self.c_st * u * math.sqrt(n) * k
         if code in ("K", "KBN", "FB"):
-            return mult * (self.c_k * self.u * k + self.c_k2 * n * self.u**2 * k)
+            return mult * (self.c_k * u * k + self.c_k2 * n * u**2 * k)
         if code in ("CP", "DD", "IV"):
-            return mult * self.c_cp * n * self.u**2 * k
+            return mult * self.c_cp * n * u**2 * k
+        raise KeyError(f"no variability model for algorithm {code!r}")
+
+    def predict_std_array(
+        self, code: str, n, k, *, shape: str = "balanced", u=None
+    ):
+        """Vectorised :meth:`predict_std` over arrays of ``(n, k)``.
+
+        ``u`` may be a scalar or a per-item array of unit roundoffs.  Each
+        lane evaluates the exact scalar expression (same operation order, so
+        results are bitwise-equal to per-item :meth:`predict_std` calls) —
+        this is what lets the bound tier reason about the profiling policy's
+        own accept/reject behaviour without running it per item.
+        """
+        n = np.maximum(np.asarray(n, dtype=np.float64), 1.0)
+        k = np.asarray(k, dtype=np.float64)
+        u = self.u if u is None else u
+        u = np.asarray(u, dtype=np.float64)
+        if code in ("PR", "EX", "SO", "AS"):
+            return np.zeros(np.broadcast_shapes(n.shape, k.shape), dtype=np.float64)
+        mult = self._shape_multiplier(code, shape)
+        if code in ("ST", "PW"):
+            return mult * self.c_st * u * np.sqrt(n) * k
+        if code in ("K", "KBN", "FB"):
+            return mult * (self.c_k * u * k + self.c_k2 * n * u**2 * k)
+        if code in ("CP", "DD", "IV"):
+            return mult * self.c_cp * n * u**2 * k
         raise KeyError(f"no variability model for algorithm {code!r}")
 
 
@@ -133,6 +179,12 @@ class AnalyticPolicy:
 
     #: this policy's select() accepts the shape keyword (see AdaptiveReducer)
     supports_shape_hint = True
+    #: this policy's select() accepts the u keyword (precision-aware
+    #: decisions for fp32/fp16 inputs)
+    supports_unit_roundoff = True
+    #: the bound tier can introspect this policy (candidates in cost order +
+    #: a vectorised variability model) to prove decision agreement
+    supports_bound_tier = True
 
     def __init__(
         self,
@@ -149,22 +201,28 @@ class AnalyticPolicy:
         self.shape = shape
 
     def select(
-        self, profile: SetProfile, threshold: float, *, shape: "str | None" = None
+        self,
+        profile: SetProfile,
+        threshold: float,
+        *,
+        shape: "str | None" = None,
+        u: "float | None" = None,
     ) -> SelectionDecision:
         """Cheapest candidate whose predicted variability is <= threshold.
 
         ``shape`` overrides the policy's default tree-shape hint for this
-        query.  Falls back to the most robust candidate when none qualifies
-        (the paper's "step toward bitwise reproducibility": tighter
-        thresholds force costlier algorithms; below every algorithm's floor
-        the best available one is still returned, flagged by predicted >
-        threshold).
+        query; ``u`` overrides the model's unit roundoff (fp32/fp16 inputs
+        select at their own precision).  Falls back to the most robust
+        candidate when none qualifies (the paper's "step toward bitwise
+        reproducibility": tighter thresholds force costlier algorithms;
+        below every algorithm's floor the best available one is still
+        returned, flagged by predicted > threshold).
         """
         if threshold < 0:
             raise ValueError("threshold must be >= 0")
         shape = self.shape if shape is None else shape
         predictions = {
-            code: self.model.predict_std(code, profile, shape=shape)
+            code: self.model.predict_std(code, profile, shape=shape, u=u)
             for code in self.candidates
         }
         chosen = self.candidates[-1]
@@ -179,4 +237,5 @@ class AnalyticPolicy:
             profile=profile,
             candidate_predictions=predictions,
             relative_cost=self.cost_model.relative.get(chosen, math.nan),
+            u=self.model.u if u is None else u,
         )

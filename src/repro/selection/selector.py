@@ -7,6 +7,13 @@ for the application at hand."
 
 Pipeline per reduction:
 
+0. **Bound tier** (optional, ``bound_confidence=...``) — O(1) Hallman–Ipsen
+   analytic certification from one cheap statistics pass
+   (:mod:`repro.selection.bound_tier`).  When the provable error bound of
+   the policy's cheapest acceptable algorithm already meets the threshold,
+   steps 1–2 are skipped entirely; the tier only resolves items where it
+   can *prove* the profiling policy would pick the same code, so enabling
+   it never changes a selection outcome — only its cost.
 1. **Profile** — every rank sketches its chunk in one vectorised pass; the
    sketches merge in an (exactly associative) allreduce.
 2. **Select** — a policy (analytic model or calibrated grid classifier)
@@ -15,6 +22,11 @@ Pipeline per reduction:
 3. **Reduce** — the chosen algorithm's accumulator runs as a custom op
    through the simulated communicator; for PR the max from step 1 doubles
    as the pre-pass, so no extra data pass is needed.
+
+Selection is precision-aware end to end: each item's unit roundoff is taken
+from its input dtype (fp16/fp32/fp64), threaded through the bound tier, the
+policy query and the decision cache key, so low-precision scenario inputs
+are never silently upcast inside the decision (execution stays binary64).
 
 The returned :class:`AdaptiveResult` carries the decision record so
 applications (and our benches) can audit what was chosen and why.
@@ -29,11 +41,19 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.fp.properties import UNIT_ROUNDOFF
 from repro.metrics.properties import SetProfile
 from repro.mpi.comm import ReduceResult, SimComm
 from repro.mpi.ops import make_reduction_op
 from repro.mpi.topology import tree_cost
 from repro.obs import get_registry
+from repro.selection.bound_tier import (
+    BoundStats,
+    BoundTier,
+    bound_stats_item,
+    bound_stats_stream,
+    item_unit_roundoff,
+)
 from repro.selection.policy import AnalyticPolicy, SelectionDecision
 from repro.selection.profile import StreamProfile, profile_batch, profile_chunk
 from repro.summation.base import SumContext
@@ -82,7 +102,14 @@ class AdaptiveReducer:
         *,
         threshold: float = 1e-13,
         cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
+        bound_confidence: "float | None" = None,
     ) -> None:
+        """``bound_confidence`` enables the O(1) analytic fast path:
+        ``1.0`` certifies against deterministic Hallman–Ipsen bounds only,
+        values in ``(0, 1)`` additionally admit the probabilistic
+        (martingale) bounds at that confidence.  ``None`` (default)
+        disables the tier — the pipeline is exactly the classic
+        profile → select → reduce."""
         if threshold < 0:
             raise ValueError("threshold must be >= 0")
         if cache_size < 1:
@@ -91,10 +118,26 @@ class AdaptiveReducer:
         self.policy = policy if policy is not None else AnalyticPolicy()
         self.threshold = threshold
         self.cache_size = int(cache_size)
+        self.bound_tier = (
+            BoundTier(confidence=float(bound_confidence))
+            if bound_confidence is not None
+            else None
+        )
         self._decision_cache: "OrderedDict[tuple, SelectionDecision]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+
+    @property
+    def bound_confidence(self) -> "float | None":
+        return None if self.bound_tier is None else self.bound_tier.confidence
+
+    def _engaged_bound_tier(self) -> "BoundTier | None":
+        """The tier, iff enabled *and* the policy opts in (the tier must be
+        able to prove agreement with the policy's own accept/reject walk)."""
+        if self.bound_tier is not None and BoundTier.engages(self.policy):
+            return self.bound_tier
+        return None
 
     def profile(self, chunks: Sequence[np.ndarray]) -> StreamProfile:
         """Step 1: sketch + allreduce-merge."""
@@ -115,25 +158,59 @@ class AdaptiveReducer:
 
         ``nondeterministic=True`` routes through the arrival-order reduce,
         modelling a production run whose tree the application cannot pin.
+
+        With the bound tier enabled (``bound_confidence=...``), items whose
+        cheapest acceptable algorithm is provably certified by a
+        Hallman–Ipsen bound skip the profiling sketch entirely — the cheap
+        statistics pass doubles as the PR pre-pass, so the fast path costs
+        one data scan instead of the sketch's composite-precision ladder.
+        The tier never resolves an item unless the profiling policy would
+        provably pick the same code, so results are identical either way.
+        Tier decisions bypass the decision cache (they are exact, not
+        decade-bucketed).  Arrival-order (``nondeterministic``) reductions
+        always take the profiling path: their conservative tree-shape hint
+        is the policy's business, not the bound tier's.
         """
         t = self.threshold if threshold is None else threshold
         if t < 0:
             raise ValueError("threshold must be >= 0")
-        with Stopwatch() as sw_profile:
-            sketch = self.profile(chunks)
-            with Stopwatch() as sw_select:
-                if nondeterministic and getattr(
-                    self.policy, "supports_shape_hint", False
-                ):
-                    # arrival-order trees have unknown (chain-heavy) shapes:
-                    # profile the tree-shape parameter conservatively, as the
-                    # paper's list of profiled quantities (n, k, dr, tree
-                    # shape) prescribes
-                    decision = self.policy.select(
-                        sketch.as_set_profile(), t, shape="unknown"
+        u = item_unit_roundoff(chunks)
+        tier = None if nondeterministic else self._engaged_bound_tier()
+        decision = None
+        bound_elapsed = 0.0
+        select_elapsed = 0.0
+        if tier is not None:
+            with Stopwatch() as sw_bound:
+                stats = bound_stats_item(chunks, u)
+                decision = tier.decide_item(stats, t, self.policy)
+            bound_elapsed = sw_bound.elapsed
+        if decision is not None:
+            sketch = stats.as_stream_profile()
+            profile_elapsed = bound_elapsed
+        else:
+            with Stopwatch() as sw_profile:
+                sketch = self.profile(chunks)
+                with Stopwatch() as sw_select:
+                    precision_aware = getattr(
+                        self.policy, "supports_unit_roundoff", False
                     )
-                else:
-                    decision = self.policy.select(sketch.as_set_profile(), t)
+                    u_kw = {"u": u} if precision_aware else {}
+                    if nondeterministic and getattr(
+                        self.policy, "supports_shape_hint", False
+                    ):
+                        # arrival-order trees have unknown (chain-heavy)
+                        # shapes: profile the tree-shape parameter
+                        # conservatively, as the paper's list of profiled
+                        # quantities (n, k, dr, tree shape) prescribes
+                        decision = self.policy.select(
+                            sketch.as_set_profile(), t, shape="unknown", **u_kw
+                        )
+                    else:
+                        decision = self.policy.select(
+                            sketch.as_set_profile(), t, **u_kw
+                        )
+            profile_elapsed = bound_elapsed + sw_profile.elapsed
+            select_elapsed = sw_select.elapsed
         algorithm = get_algorithm(decision.code)
         # Reuse the profile's global max as PR's pre-pass: no extra data scan.
         context = (
@@ -151,11 +228,19 @@ class AdaptiveReducer:
             _OBS.counter(
                 "repro_selector_selections_total", algorithm=decision.code
             ).inc()
+            if tier is not None:
+                if decision.tier == "bound":
+                    _OBS.counter("repro_select_bound_fast_path_total").inc()
+                else:
+                    _OBS.counter("repro_select_profile_fallback_total").inc()
+                _OBS.histogram("repro_selector_bound_seconds").observe(
+                    bound_elapsed
+                )
             _OBS.histogram("repro_selector_profile_seconds").observe(
-                sw_profile.elapsed
+                profile_elapsed
             )
             _OBS.histogram("repro_selector_select_seconds").observe(
-                sw_select.elapsed
+                select_elapsed
             )
             _OBS.histogram("repro_selector_reduce_seconds").observe(
                 sw_reduce.elapsed
@@ -164,7 +249,7 @@ class AdaptiveReducer:
             value=result.value,
             decision=decision,
             reduce_result=result,
-            profile_seconds=sw_profile.elapsed,
+            profile_seconds=profile_elapsed,
             reduce_seconds=sw_reduce.elapsed,
         )
 
@@ -215,13 +300,16 @@ class AdaptiveReducer:
             raise ValueError("threshold must be >= 0")
         if not batches:
             return []
+        us = [item_unit_roundoff(chunks) for chunks in batches]
         pool_workers, n_shards = shard_plan(
             len(batches), _payload_bytes(batches), workers
         )
         if n_shards > 1:
-            return self._reduce_many_parallel(batches, t, tree, pool_workers, n_shards)
-        sketches, decisions, profile_elapsed, select_elapsed = (
-            self._sketch_and_select(batches, t)
+            return self._reduce_many_parallel(
+                batches, t, tree, pool_workers, n_shards, us
+            )
+        sketches, decisions, bound_elapsed, profile_elapsed, select_elapsed = (
+            self._tiered_sketch_and_select(batches, t, us)
         )
         results, groups, reduce_elapsed = self._grouped_reduce(
             batches, sketches, decisions, tree
@@ -231,8 +319,17 @@ class AdaptiveReducer:
                 _OBS.counter(
                     "repro_selector_selections_total", algorithm=code
                 ).inc(len(indices))
+            if self._engaged_bound_tier() is not None:
+                n_fast = sum(1 for d in decisions if d.tier == "bound")
+                _OBS.counter("repro_select_bound_fast_path_total").inc(n_fast)
+                _OBS.counter("repro_select_profile_fallback_total").inc(
+                    len(decisions) - n_fast
+                )
+                _OBS.histogram("repro_selector_bound_seconds").observe(
+                    bound_elapsed
+                )
             _OBS.histogram("repro_selector_profile_seconds").observe(
-                profile_elapsed
+                bound_elapsed + profile_elapsed
             )
             _OBS.histogram("repro_selector_select_seconds").observe(
                 select_elapsed
@@ -241,7 +338,7 @@ class AdaptiveReducer:
                 reduce_elapsed
             )
         n_items = len(batches)
-        profile_each = profile_elapsed / n_items
+        profile_each = (bound_elapsed + profile_elapsed) / n_items
         reduce_each = reduce_elapsed / n_items
         return [
             AdaptiveResult(
@@ -255,11 +352,16 @@ class AdaptiveReducer:
         ]
 
     def _sketch_and_select(
-        self, batches: Sequence[Sequence[np.ndarray]], threshold: float
+        self,
+        batches: Sequence[Sequence[np.ndarray]],
+        threshold: float,
+        us: "Sequence[float] | None" = None,
     ) -> tuple:
         """Steps 1+2 for a stream: ``(sketches, decisions, profile elapsed,
         select elapsed)``.  Shared by the serial serving path and the shard
-        workers so both run the exact same pipeline."""
+        workers so both run the exact same pipeline.  ``us`` carries each
+        item's input-dtype unit roundoff into the policy query (``None``
+        means binary64 throughout)."""
         with Stopwatch() as sw_profile:
             # uniform-width streams profile as one vectorised sweep; the
             # batched sketches are bitwise-equal to the per-item loop
@@ -267,8 +369,62 @@ class AdaptiveReducer:
             if sketches is None:
                 sketches = [self.profile(chunks) for chunks in batches]
             with Stopwatch() as sw_select:
-                decisions = [self._select_cached(sk, threshold) for sk in sketches]
+                if us is None:
+                    us = [UNIT_ROUNDOFF] * len(sketches)
+                decisions = [
+                    self._select_cached(sk, threshold, u)
+                    for sk, u in zip(sketches, us)
+                ]
         return sketches, decisions, sw_profile.elapsed, sw_select.elapsed
+
+    def _tiered_sketch_and_select(
+        self,
+        batches: Sequence[Sequence[np.ndarray]],
+        threshold: float,
+        us: Sequence[float],
+    ) -> tuple:
+        """Steps 0+1+2 for a stream: ``(sketches, decisions, bound elapsed,
+        profile elapsed, select elapsed)``.
+
+        With the bound tier engaged, the cheap statistics sweep runs first
+        and the expensive profiling sketch only touches the *inconclusive*
+        items; per-item results are position-independent, so profiling a
+        fallback subset is bitwise-identical to profiling those items inside
+        the full stream.  Tier-resolved items reuse their statistics as a
+        (lo-parts-zero) sketch — exactly what the reduce stage and the PR
+        pre-pass need."""
+        tier = self._engaged_bound_tier()
+        if tier is None:
+            sketches, decisions, profile_elapsed, select_elapsed = (
+                self._sketch_and_select(batches, threshold, us)
+            )
+            return sketches, decisions, 0.0, profile_elapsed, select_elapsed
+        with Stopwatch() as sw_bound:
+            stats = bound_stats_stream(batches, us)
+            tier_decisions = tier.decide_stream(stats, threshold, self.policy)
+        n_items = len(batches)
+        sketches: "list[StreamProfile | None]" = [None] * n_items
+        decisions: "list[SelectionDecision | None]" = list(tier_decisions)
+        fallback = []
+        for i, d in enumerate(tier_decisions):
+            if d is None:
+                fallback.append(i)
+            else:
+                sketches[i] = stats[i].as_stream_profile()
+        profile_elapsed = 0.0
+        select_elapsed = 0.0
+        if fallback:
+            fb_sketches, fb_decisions, profile_elapsed, select_elapsed = (
+                self._sketch_and_select(
+                    [batches[i] for i in fallback],
+                    threshold,
+                    [us[i] for i in fallback],
+                )
+            )
+            for j, i in enumerate(fallback):
+                sketches[i] = fb_sketches[j]
+                decisions[i] = fb_decisions[j]
+        return sketches, decisions, sw_bound.elapsed, profile_elapsed, select_elapsed
 
     def _grouped_reduce(
         self,
@@ -312,20 +468,24 @@ class AdaptiveReducer:
         tree: "ReductionTree | str",
         pool_workers: int,
         n_shards: int,
+        us: Sequence[float],
     ) -> "list[AdaptiveResult]":
         """Shard the stream over the persistent pool (bitwise = serial path).
 
         Operands pack once into the persistent **input arena** (lengths,
-        per-item rank counts, then every chunk's float64 bytes); workers
-        slice zero-copy views out of their cached attachment and run the
-        same :meth:`_sketch_and_select` + :meth:`_grouped_reduce` pipeline
-        the serial path uses.  Results come back through the **result
-        arena** — value, decision-code index, the 7 profile-sketch fields
-        per item plus two phase timings per shard — so the pickle pipe only
-        carries ``None``.  The parent rebuilds each :class:`StreamProfile`
-        from the arena and replays :meth:`_select_cached` in stream order:
-        the decision sequence (and the parent's cache statistics) are
-        exactly what a serial run would produce, and a mismatch against the
+        per-item rank counts, per-item unit roundoffs, then every chunk's
+        float64 bytes); workers slice zero-copy views out of their cached
+        attachment and run the same :meth:`_tiered_sketch_and_select` +
+        :meth:`_grouped_reduce` pipeline the serial path uses.  Results come
+        back through the **result arena** — value, decision-code index,
+        bound-tier flag, the 7 profile-sketch fields per item plus three
+        phase timings per shard — so the pickle pipe only carries ``None``.
+        The parent rebuilds each :class:`StreamProfile` from the arena and
+        replays the selection in stream order — bound-tier items re-run
+        :meth:`BoundTier.decide_stream` on their round-tripped statistics,
+        profiling items replay :meth:`_select_cached` — so the decision
+        sequence (and the parent's cache statistics) are exactly what a
+        serial run would produce, and a mismatch against the
         worker-recorded code raises instead of passing silently.  Chunks are
         normalised with the same ``np.asarray(..., float64)`` coercion the
         serial pipeline applies, so worker inputs are bit-identical to what
@@ -346,11 +506,13 @@ class AdaptiveReducer:
         shards = split_indices(n_items, n_shards)
         pool = get_pool(pool_workers)
         code_table = tuple(alg.code for alg in all_algorithms())
-        # input arena: [lengths i64 x n_chunks][ranks i64 x n_items][flat f64]
-        # result arena: [values f64][code idx i64][sketch n i64][sketch f64 x6]
-        # per item (72 B), then [profile_s, reduce_s] f64 per shard (16 B)
-        in_bytes = 8 * (n_chunks + n_items + total)
-        res_bytes = 72 * n_items + 16 * len(shards)
+        # input arena: [lengths i64 x n_chunks][ranks i64 x n_items]
+        # [u f64 x n_items][flat f64]
+        # result arena: [values f64][code idx i64][bound-tier flag i64]
+        # [sketch n i64][sketch f64 x6] per item (80 B), then
+        # [bound_s, profile_s, reduce_s] f64 per shard (24 B)
+        in_bytes = 8 * (n_chunks + 2 * n_items + total)
+        res_bytes = 80 * n_items + 24 * len(shards)
         with arena_pair() as (arena_in, arena_res):
             in_handle = arena_in.reserve(in_bytes)
             res_handle = arena_res.reserve(res_bytes)
@@ -358,12 +520,16 @@ class AdaptiveReducer:
             lengths_v[:] = lengths
             ranks_v = arena_in.view(np.int64, (n_items,), offset=8 * n_chunks)
             ranks_v[:] = ranks
+            us_v = arena_in.view(
+                np.float64, (n_items,), offset=8 * (n_chunks + n_items)
+            )
+            us_v[:] = us
             flat_v = arena_in.view(
-                np.float64, (total,), offset=8 * (n_chunks + n_items)
+                np.float64, (total,), offset=8 * (n_chunks + 2 * n_items)
             )
             if flats:
                 np.concatenate(flats, out=flat_v)
-            del lengths_v, ranks_v, flat_v
+            del lengths_v, ranks_v, us_v, flat_v
             payloads = [
                 (
                     in_handle,
@@ -380,18 +546,22 @@ class AdaptiveReducer:
                     self.cache_size,
                     tree,
                     code_table,
+                    self.bound_confidence,
                 )
                 for shard_index, s in enumerate(shards)
             ]
             pool.map(_reduce_many_shard, payloads, chunksize=1, path="reduce_many")
             values = arena_res.view(np.float64, (n_items,)).copy()
             code_idx = arena_res.view(np.int64, (n_items,), offset=8 * n_items).copy()
-            sk_n = arena_res.view(np.int64, (n_items,), offset=16 * n_items).copy()
+            tier_flag = arena_res.view(
+                np.int64, (n_items,), offset=16 * n_items
+            ).copy()
+            sk_n = arena_res.view(np.int64, (n_items,), offset=24 * n_items).copy()
             sk_f = arena_res.view(
-                np.float64, (n_items, 6), offset=24 * n_items
+                np.float64, (n_items, 6), offset=32 * n_items
             ).copy()
             stats = arena_res.view(
-                np.float64, (len(shards), 2), offset=72 * n_items
+                np.float64, (len(shards), 3), offset=80 * n_items
             ).copy()
         sketches = [
             StreamProfile(
@@ -405,6 +575,25 @@ class AdaptiveReducer:
             )
             for i in range(n_items)
         ]
+        # replay the bound tier for all flagged items in one vectorised call
+        # (tier lanes are independent, so batching cannot change any lane)
+        tier = self._engaged_bound_tier()
+        tier_items = [i for i in range(n_items) if tier_flag[i]]
+        tier_replayed: "dict[int, SelectionDecision | None]" = {}
+        if tier_items:
+            if tier is None:
+                raise RuntimeError(
+                    "parallel decision drift: workers used the bound tier "
+                    "but it is not engaged on the parent"
+                )
+            replay_stats = [
+                BoundStats.from_stream_profile(sketches[i], us[i])
+                for i in tier_items
+            ]
+            replay_decisions = tier.decide_stream(
+                replay_stats, threshold, self.policy
+            )
+            tier_replayed = dict(zip(tier_items, replay_decisions))
         tree_resolved = self.comm._resolve_tree(tree)
         cost = (
             tree_cost(tree_resolved, self.comm.topology)
@@ -413,12 +602,26 @@ class AdaptiveReducer:
         )
         results: "list[AdaptiveResult]" = []
         by_code: "dict[str, int]" = {}
+        n_fast = 0
+        bound_elapsed_total = 0.0
         for shard_index, s in enumerate(shards):
             span = s.stop - s.start
-            profile_each = float(stats[shard_index, 0]) / span
-            reduce_each = float(stats[shard_index, 1]) / span
+            bound_elapsed_total += float(stats[shard_index, 0])  # repro: allow[FP003] -- wall-clock telemetry aggregate, not a numerical result
+            profile_each = (
+                float(stats[shard_index, 0]) + float(stats[shard_index, 1])
+            ) / span
+            reduce_each = float(stats[shard_index, 2]) / span
             for i in range(s.start, s.stop):
-                decision = self._select_cached(sketches[i], threshold)
+                if tier_flag[i]:
+                    decision = tier_replayed[i]
+                    if decision is None:
+                        raise RuntimeError(
+                            f"parallel decision drift at item {i}: worker "
+                            "bound tier resolved it, parent replay fell back"
+                        )
+                    n_fast += 1
+                else:
+                    decision = self._select_cached(sketches[i], threshold, us[i])
                 worker_code = code_table[int(code_idx[i])]
                 if decision.code != worker_code:
                     raise RuntimeError(
@@ -446,9 +649,22 @@ class AdaptiveReducer:
                 _OBS.counter(
                     "repro_selector_selections_total", algorithm=code
                 ).inc(count)
+            if tier is not None:
+                _OBS.counter("repro_select_bound_fast_path_total").inc(n_fast)
+                _OBS.counter("repro_select_profile_fallback_total").inc(
+                    n_items - n_fast
+                )
+                _OBS.histogram("repro_selector_bound_seconds").observe(
+                    bound_elapsed_total
+                )
         return results
 
-    def _select_cached(self, sketch: StreamProfile, threshold: float) -> SelectionDecision:
+    def _select_cached(
+        self,
+        sketch: StreamProfile,
+        threshold: float,
+        u: float = UNIT_ROUNDOFF,
+    ) -> SelectionDecision:
         """Policy query memoised at decision granularity (capped LRU).
 
         Cache hits splice the item's own profile into the cached decision so
@@ -457,9 +673,11 @@ class AdaptiveReducer:
         The cache is an LRU capped at ``cache_size`` entries: a long-lived
         serving process that sweeps many (n, k-decade, dr, threshold)
         signatures evicts the coldest decision instead of growing without
-        bound.
+        bound.  ``u`` is the item's input-dtype unit roundoff: it joins the
+        cache key (an fp16 stream must never alias a binary64 stream's
+        cached decision) and is forwarded to precision-aware policies.
         """
-        key = self._decision_key(sketch, threshold)
+        key = self._decision_key(sketch, threshold, u)
         cached = self._decision_cache.get(key)
         if cached is not None:
             self._cache_hits += 1
@@ -470,7 +688,10 @@ class AdaptiveReducer:
         self._cache_misses += 1
         if _OBS.enabled:
             _OBS.counter("repro_selector_decision_cache_misses_total").inc()
-        decision = self.policy.select(sketch.as_set_profile(), threshold)
+        if getattr(self.policy, "supports_unit_roundoff", False):
+            decision = self.policy.select(sketch.as_set_profile(), threshold, u=u)
+        else:
+            decision = self.policy.select(sketch.as_set_profile(), threshold)
         self._decision_cache[key] = decision
         while len(self._decision_cache) > self.cache_size:
             self._decision_cache.popitem(last=False)
@@ -481,8 +702,13 @@ class AdaptiveReducer:
                 ).inc()
         return decision
 
-    @staticmethod
-    def _decision_key(sketch: StreamProfile, threshold: float) -> tuple:
+    def _decision_key(
+        self, sketch: StreamProfile, threshold: float, u: float = UNIT_ROUNDOFF
+    ) -> tuple:
+        """Decision-granular cache key: ``(n, k-decade, dr, threshold, u,
+        bound confidence)``.  The unit roundoff axis keeps fp32/fp16 streams
+        from aliasing binary64 decisions; the confidence axis keeps caches
+        honest if the same reducer is reconfigured across tier settings."""
         k = sketch.condition_estimate()
         if math.isinf(k):
             decade: "int | str" = "inf"
@@ -490,7 +716,14 @@ class AdaptiveReducer:
             decade = int(math.floor(math.log10(k)))
         else:
             decade = 0
-        return (sketch.n, decade, sketch.dynamic_range_estimate(), float(threshold))
+        return (
+            sketch.n,
+            decade,
+            sketch.dynamic_range_estimate(),
+            float(threshold),
+            float(u),
+            self.bound_confidence,
+        )
 
     def decision_cache_info(self) -> dict:
         """Cache statistics: ``{"size", "max_size", "hits", "misses",
@@ -549,11 +782,15 @@ def _reduce_many_shard(payload: tuple) -> None:
         cache_size,
         tree,
         code_table,
+        bound_confidence,
     ) = payload
     lengths = arena_view(in_handle, np.int64, (n_chunks,))
     ranks = arena_view(in_handle, np.int64, (n_items,), offset=8 * n_chunks)
+    us_all = arena_view(
+        in_handle, np.float64, (n_items,), offset=8 * (n_chunks + n_items)
+    )
     flat = arena_view(
-        in_handle, np.float64, (total,), offset=8 * (n_chunks + n_items)
+        in_handle, np.float64, (total,), offset=8 * (n_chunks + 2 * n_items)
     )
     offsets = np.concatenate(([0], np.cumsum(lengths)))
     chunk_base = np.concatenate(([0], np.cumsum(ranks)))
@@ -563,11 +800,16 @@ def _reduce_many_shard(payload: tuple) -> None:
         batches.append(
             [flat[int(offsets[j]) : int(offsets[j + 1])] for j in range(c0, c1)]
         )
+    us = [float(us_all[i]) for i in range(start, stop)]
     reducer = AdaptiveReducer(
-        comm, policy, threshold=threshold, cache_size=cache_size
+        comm,
+        policy,
+        threshold=threshold,
+        cache_size=cache_size,
+        bound_confidence=bound_confidence,
     )
-    sketches, decisions, profile_elapsed, _select_elapsed = (
-        reducer._sketch_and_select(batches, threshold)
+    sketches, decisions, bound_elapsed, profile_elapsed, _select_elapsed = (
+        reducer._tiered_sketch_and_select(batches, threshold, us)
     )
     results, _groups, reduce_elapsed = reducer._grouped_reduce(
         batches, sketches, decisions, tree
@@ -576,13 +818,15 @@ def _reduce_many_shard(payload: tuple) -> None:
     span = slice(start, stop)
     values_v = arena_view(res_handle, np.float64, (n_items,))
     codes_v = arena_view(res_handle, np.int64, (n_items,), offset=8 * n_items)
-    skn_v = arena_view(res_handle, np.int64, (n_items,), offset=16 * n_items)
-    skf_v = arena_view(res_handle, np.float64, (n_items, 6), offset=24 * n_items)
+    tier_v = arena_view(res_handle, np.int64, (n_items,), offset=16 * n_items)
+    skn_v = arena_view(res_handle, np.int64, (n_items,), offset=24 * n_items)
+    skf_v = arena_view(res_handle, np.float64, (n_items, 6), offset=32 * n_items)
     stats_v = arena_view(
-        res_handle, np.float64, (2,), offset=72 * n_items + 16 * shard_index
+        res_handle, np.float64, (3,), offset=80 * n_items + 24 * shard_index
     )
     values_v[span] = [rr.value for rr in results]
     codes_v[span] = [code_index[d.code] for d in decisions]
+    tier_v[span] = [1 if d.tier == "bound" else 0 for d in decisions]
     skn_v[span] = [sk.n for sk in sketches]
     skf_v[span] = [
         [
@@ -595,8 +839,9 @@ def _reduce_many_shard(payload: tuple) -> None:
         ]
         for sk in sketches
     ]
-    stats_v[0] = profile_elapsed
-    stats_v[1] = reduce_elapsed
-    del values_v, codes_v, skn_v, skf_v, stats_v
-    del batches, flat, lengths, ranks
+    stats_v[0] = bound_elapsed
+    stats_v[1] = profile_elapsed
+    stats_v[2] = reduce_elapsed
+    del values_v, codes_v, tier_v, skn_v, skf_v, stats_v
+    del batches, flat, lengths, ranks, us_all
     return None

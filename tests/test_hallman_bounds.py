@@ -1,0 +1,247 @@
+"""Property tests for the Hallman–Ipsen analytic bounds (selection fast path).
+
+The contract the bound tier rests on: for every algorithm family, every
+input-data regime and every supported precision,
+:func:`repro.metrics.bounds.summation_error_bound` is a *valid* forward-error
+bound — the observed error of a real low-precision summation never exceeds
+it.  Probabilistic bounds are validated at their stated confidence over many
+seeds.  Reference summations run in the *native* dtype (fp64/fp32/fp16), so
+these tests exercise the precision-aware forms where ``n·u`` is not small.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fp.properties import UNIT_ROUNDOFF, unit_roundoff
+from repro.metrics.bounds import (
+    BOUNDED_CODES,
+    EXACT_VARIABILITY_CODES,
+    confidence_lambda,
+    hallman_ipsen_deterministic,
+    hallman_ipsen_probabilistic,
+    height_epsilon,
+    summation_error_bound,
+)
+
+# ---------------------------------------------------------------------------
+# reference summations in the native dtype
+
+
+def recursive_sum(values, dtype):
+    """Sequential left-to-right summation (tree height n-1)."""
+    acc = dtype(0.0)
+    for v in values:
+        acc = dtype(acc + dtype(v))
+    return float(acc)
+
+
+def pairwise_sum(values, dtype):
+    """Balanced halving tree (height ceil(log2 n) <= n-1)."""
+    a = np.asarray(values, dtype=dtype)
+    if a.size == 0:
+        return 0.0
+    while a.size > 1:
+        if a.size % 2:
+            a = np.concatenate([a, np.zeros(1, dtype=dtype)])
+        a = a[0::2] + a[1::2]
+    return float(a[0])
+
+
+def kahan_sum(values, dtype):
+    """Classic compensated summation, every operation rounded to dtype."""
+    s = dtype(0.0)
+    c = dtype(0.0)
+    for v in values:
+        y = dtype(dtype(v) - c)
+        t = dtype(s + y)
+        c = dtype(dtype(t - s) - y)
+        s = t
+    return float(s)
+
+
+def sum2_sum(values, dtype):
+    """Ogita–Rump–Oishi Sum2: two_sum error recovery, one correction pass."""
+    s = dtype(0.0)
+    err = dtype(0.0)
+    for v in values:
+        x = dtype(v)
+        t = dtype(s + x)
+        bp = dtype(t - s)
+        e = dtype(dtype(s - dtype(t - bp)) + dtype(x - bp))
+        err = dtype(err + e)
+        s = t
+    return float(dtype(s + err))
+
+
+REFERENCE_SUMS = {
+    "ST": recursive_sum,
+    "PW": pairwise_sum,
+    "K": kahan_sum,
+    "CP": sum2_sum,
+}
+
+# ---------------------------------------------------------------------------
+# data-regime generators (values representable in every tested dtype after
+# rounding — the bound covers *summation* error, so the exact reference is
+# math.fsum over the rounded inputs)
+
+
+def gen_well_conditioned(rng, n):
+    return rng.random(n)
+
+
+def gen_ill_conditioned(rng, n):
+    return rng.standard_normal(n)
+
+
+def gen_huge_cancellation(rng, n):
+    half = rng.random(n // 2) + 1.0
+    data = np.concatenate([half, -half, rng.random(n - 2 * (n // 2)) * 1e-3])
+    rng.shuffle(data)
+    return data
+
+
+def gen_denormal_heavy(rng, n, dtype):
+    tiny = float(np.finfo(dtype).tiny)
+    return rng.random(n) * 2.0 * tiny - tiny  # straddles the denormal range
+
+
+GENERATORS = {
+    "well_conditioned": lambda rng, n, dtype: gen_well_conditioned(rng, n),
+    "ill_conditioned": lambda rng, n, dtype: gen_ill_conditioned(rng, n),
+    "huge_cancellation": lambda rng, n, dtype: gen_huge_cancellation(rng, n),
+    "denormal_heavy": gen_denormal_heavy,
+}
+
+DTYPES = [np.float64, np.float32, np.float16]
+
+
+class TestDeterministicBoundValidity:
+    @pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+    @pytest.mark.parametrize("generator", sorted(GENERATORS))
+    @pytest.mark.parametrize("code", sorted(REFERENCE_SUMS))
+    def test_bound_dominates_observed_error(self, code, generator, dtype):
+        """bound >= |fl(Σx) - Σx| for native-dtype references, every regime."""
+        u = unit_roundoff(dtype)
+        n = 200
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            raw = GENERATORS[generator](rng, n, dtype)
+            vals = np.asarray(raw, dtype=dtype)
+            exact = math.fsum(float(v) for v in vals)
+            abs_sum = math.fsum(abs(float(v)) for v in vals)
+            observed = abs(REFERENCE_SUMS[code](vals, dtype) - exact)
+            bound = summation_error_bound(code, n, abs_sum, abs(exact), u=u)
+            assert observed <= bound, (
+                f"{code}/{generator}/{np.dtype(dtype).name} seed {seed}: "
+                f"observed {observed:.3e} > bound {bound:.3e}"
+            )
+
+    def test_exact_codes_bound_zero(self):
+        for code in sorted(EXACT_VARIABILITY_CODES):
+            assert summation_error_bound(code, 10_000, 1e6, 1.0) == 0.0
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            summation_error_bound("??", 10, 1.0)
+
+    def test_bounded_codes_cover_reference_algorithms(self):
+        assert set(REFERENCE_SUMS) <= BOUNDED_CODES
+        assert EXACT_VARIABILITY_CODES <= BOUNDED_CODES
+
+
+class TestProbabilisticBound:
+    def test_validated_at_stated_confidence_over_many_seeds(self):
+        """Violation rate of the probabilistic ST bound stays below 1-c."""
+        confidence = 0.99
+        n = 2048
+        seeds = 300
+        violations = 0
+        for seed in range(seeds):
+            rng = np.random.default_rng(seed)
+            vals = np.asarray(rng.standard_normal(n), dtype=np.float32)  # repro: allow[FP005] -- fp32 reference sums validate the probabilistic bound at its own roundoff
+            exact = math.fsum(float(v) for v in vals)
+            abs_sum = math.fsum(abs(float(v)) for v in vals)
+            observed = abs(recursive_sum(vals, np.float32) - exact)
+            bound = summation_error_bound(
+                "ST", n, abs_sum, abs(exact),
+                u=unit_roundoff(np.float32), confidence=confidence,
+            )
+            if observed > bound:
+                violations += 1
+        # allow the binomial slack on top of the stated failure budget
+        budget = (1 - confidence) * seeds
+        assert violations <= budget + 3 * math.sqrt(budget) + 1
+
+    def test_probabilistic_never_exceeds_deterministic(self):
+        for n in (10, 1_000, 100_000):
+            det = hallman_ipsen_deterministic(1.0, n)
+            prob = hallman_ipsen_probabilistic(1.0, n, confidence=0.999999)
+            assert prob <= det
+
+    def test_sqrt_scaling(self):
+        """The probabilistic form scales ~sqrt(h), the deterministic ~h."""
+        b1 = hallman_ipsen_probabilistic(1.0, 10_000, confidence=0.99)
+        b2 = hallman_ipsen_probabilistic(1.0, 40_000, confidence=0.99)
+        assert b2 / b1 == pytest.approx(2.0, rel=0.05)
+
+    def test_confidence_monotone(self):
+        loose = summation_error_bound("ST", 4096, 1.0, confidence=0.9)
+        tight = summation_error_bound("ST", 4096, 1.0, confidence=0.999999)
+        certain = summation_error_bound("ST", 4096, 1.0, confidence=1.0)
+        assert loose <= tight <= certain
+
+    def test_confidence_lambda_edges(self):
+        assert math.isinf(confidence_lambda(1.0))
+        assert confidence_lambda(0.99) == pytest.approx(
+            math.sqrt(2 * math.log(2 / 0.01))
+        )
+        for bad in (0.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                confidence_lambda(bad)
+
+
+class TestPrecisionAwareness:
+    def test_bounds_grow_with_unit_roundoff(self):
+        for code in ("ST", "PW", "K"):
+            b64 = summation_error_bound(code, 500, 1.0, u=unit_roundoff(np.float64))
+            b32 = summation_error_bound(code, 500, 1.0, u=unit_roundoff(np.float32))
+            b16 = summation_error_bound(code, 500, 1.0, u=unit_roundoff(np.float16))
+            assert b64 < b32 < b16
+
+    def test_cp_bound_inconclusive_when_nu_large(self):
+        """The doubled-precision bound's gamma factor is undefined for
+        n·u >= 1: fp16 at n=5000 must report inf (inconclusive), not a
+        bogus finite certificate."""
+        u16 = unit_roundoff(np.float16)
+        assert (5000 - 1) * u16 >= 1.0
+        assert math.isinf(summation_error_bound("CP", 5000, 1.0, u=u16))
+        # and stays finite where the classical analysis applies
+        assert math.isfinite(summation_error_bound("CP", 500, 1.0, u=u16))
+
+    def test_height_epsilon_valid_for_large_nu(self):
+        """(1+u)^h - 1 stays finite and positive even when h·u >> 1 — the
+        arXiv 2203.15928 move that makes fp16 a supported axis."""
+        u16 = unit_roundoff(np.float16)
+        eps = height_epsilon(10_000, u16)
+        assert math.isfinite(eps) and eps > 10_000 * u16
+
+    def test_height_epsilon_matches_first_order(self):
+        assert height_epsilon(100, UNIT_ROUNDOFF) == pytest.approx(
+            100 * UNIT_ROUNDOFF, rel=1e-10
+        )
+
+    def test_unit_roundoff_values(self):
+        assert unit_roundoff(np.float64) == 2.0**-53
+        assert unit_roundoff(np.float32) == 2.0**-24
+        assert unit_roundoff(np.float16) == 2.0**-11
+        # non-float dtypes and sub-double claims floor at binary64
+        assert unit_roundoff(np.int64) == 2.0**-53
+
+    def test_array_broadcasting(self):
+        n = np.array([10, 100, 1000], dtype=np.float64)
+        bounds = summation_error_bound("ST", n, 1.0, u=UNIT_ROUNDOFF)
+        assert bounds.shape == (3,)
+        assert np.all(np.diff(bounds) > 0)
