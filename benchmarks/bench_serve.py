@@ -1,0 +1,318 @@
+"""Serving-daemon bench: micro-batched throughput vs request-at-a-time.
+
+The acceptance bar for ``repro.serve`` is quantitative: at client
+concurrency >= 16, the dynamic micro-batcher must deliver >= 3x the
+throughput of the same daemon in its request-at-a-time reference
+configuration (``batching=False``: no coalescing, one full
+:meth:`AdaptiveReducer.reduce` pipeline per request), with **every**
+response bitwise-identical to a standalone serial ``reduce`` of the same
+payload.  This bench boots both configurations in-process, fires the
+same async burst at each through keep-alive connections, and writes the
+trajectory to ``BENCH_serve.json`` at the repo root.
+
+Why the speedup is structural, not a timer artifact: at the workload
+below (48 ranks x 128 elements) one solo ``reduce`` costs ~3ms while the
+batched ``reduce_many`` serving path is ~0.35ms/item — the vectorised
+profile sweep and the amortised per-dispatch tax are an ~8.5x pipeline
+asymmetry that the micro-batcher re-creates from concurrent network
+arrivals, so the win survives a single-core CI runner (observed ~4.5x
+end-to-end with HTTP framing included).
+
+Run directly (CI does, as a smoke job that uploads the JSON artifact)::
+
+    python benchmarks/bench_serve.py --metrics-out metrics-serve.json
+
+or under pytest, where the throughput floor is asserted::
+
+    python -m pytest benchmarks/bench_serve.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mpi.comm import SimComm
+from repro.obs import get_registry
+from repro.obs.registry import parse_prometheus_text
+from repro.selection.selector import AdaptiveReducer
+from repro.serve.daemon import ReproServeDaemon
+from repro.serve.protocol import encode_values, http_request
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+#: paper-shaped serving workload: 48 ranks, 128-element chunks.  The chunk
+#: width is picked where the pipeline asymmetry is widest on a small CI
+#: runner: one solo ``reduce`` costs ~3ms here while the batched
+#: ``reduce_many`` path is ~0.35ms/item (~8.5x), and the JSON/base64
+#: framing stays cheap enough not to drown the compute in transport.
+N_RANKS = 48
+CHUNK_LEN = 128
+
+#: acceptance-criterion client shape: >= 16 concurrent keep-alive clients
+CONCURRENCY = 16
+REQUESTS_PER_CLIENT = 4
+
+#: batched-mode knobs (the baseline runs ``batching=False``).  max_batch
+#: equals the client concurrency: a tick fires the moment every
+#: outstanding request is queued instead of lingering for a batch that
+#: cannot arrive (each client keeps exactly one request in flight).
+MAX_BATCH = 16
+LINGER_US = 2000.0
+
+
+def _burst_payloads(seed: int = 4242) -> "list[tuple[bytes, str]]":
+    """(request body, expected value_hex) per request — the expectation is
+    a fresh serial ``AdaptiveReducer.reduce``, recomputed independently of
+    anything the daemon does."""
+    rng = np.random.default_rng(seed)
+    comm = SimComm(N_RANKS)
+    reducer = AdaptiveReducer(comm, threshold=1e-13)
+    out = []
+    for _ in range(CONCURRENCY * REQUESTS_PER_CLIENT):
+        values = rng.uniform(-1.0, 1.0, N_RANKS * CHUNK_LEN) * 10.0 ** (
+            rng.integers(-6, 7, size=N_RANKS * CHUNK_LEN)
+        )
+        body = json.dumps({"values_b64": encode_values(values)}).encode()
+        expected = float(
+            reducer.reduce(comm.scatter_array(values)).value
+        ).hex()
+        out.append((body, expected))
+    return out
+
+
+async def _fire_burst(
+    host: str, port: int, payloads: "list[tuple[bytes, str]]"
+) -> "list[str]":
+    """CONCURRENCY keep-alive clients round-robin the request list; returns
+    the response value_hex per request (order preserved)."""
+    results: "list[str | None]" = [None] * len(payloads)
+
+    async def client(offset: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for i in range(offset, len(payloads), CONCURRENCY):
+                resp = await http_request(
+                    host, port, "POST", "/v1/reduce", payloads[i][0],
+                    reader=reader, writer=writer,
+                )
+                assert resp.status == 200, (resp.status, resp.body)
+                results[i] = resp.json()["value_hex"]
+        finally:
+            writer.close()
+
+    await asyncio.gather(*(client(c) for c in range(CONCURRENCY)))
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+async def _mixed_extras(host: str, port: int) -> None:
+    """Non-reduce traffic in the burst: exercises every endpoint so the
+    /metrics scrape covers the full route table (untimed)."""
+    rng = np.random.default_rng(7)
+    values = rng.normal(size=512)
+    items = [
+        {"values_b64": encode_values(rng.normal(size=256))} for _ in range(4)
+    ]
+    resp = await http_request(
+        host, port, "POST", "/v1/reduce_many",
+        json.dumps({"items": items}).encode(),
+    )
+    assert resp.status == 200, resp.body
+    resp = await http_request(
+        host, port, "POST", "/v1/ensemble",
+        json.dumps(
+            {
+                "values_b64": encode_values(values),
+                "algorithm": "K",
+                "n_trees": 8,
+                "seed": 3,
+            }
+        ).encode(),
+    )
+    assert resp.status == 200, resp.body
+    resp = await http_request(host, port, "GET", "/healthz")
+    assert resp.status == 200
+
+
+async def _run_mode(
+    *,
+    max_batch: int,
+    linger_us: float,
+    payloads: "list[tuple[bytes, str]]",
+    repeats: int,
+    mixed: bool,
+    batching: bool = True,
+) -> dict:
+    async with ReproServeDaemon(
+        ranks=N_RANKS,
+        max_batch=max_batch,
+        max_linger_us=linger_us,
+        workers=1,
+        batching=batching,
+    ) as daemon:
+        host, port = daemon.host, daemon.port
+        # warmup: populate the decision cache so both modes time steady state
+        await http_request(host, port, "POST", "/v1/reduce", payloads[0][0])
+        best = float("inf")
+        hexes: "list[str]" = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            hexes = await _fire_burst(host, port, payloads)
+            best = min(best, time.perf_counter() - t0)
+        if mixed:
+            await _mixed_extras(host, port)
+        scrape = await http_request(host, port, "GET", "/metrics")
+        assert scrape.status == 200
+        return {
+            "burst_s": best,
+            "hexes": hexes,
+            "metrics_text": scrape.body.decode(),
+            "batches_processed": daemon.batcher.batches_processed,
+            "requests_accepted": daemon.batcher.requests_accepted,
+        }
+
+
+def bench_serve(repeats: int = 3) -> dict:
+    payloads = _burst_payloads()
+    expected = [hx for _, hx in payloads]
+    n = len(payloads)
+
+    baseline = asyncio.run(
+        _run_mode(
+            max_batch=1, linger_us=0.0, payloads=payloads, repeats=repeats,
+            mixed=False, batching=False,
+        )
+    )
+    batched = asyncio.run(
+        _run_mode(
+            max_batch=MAX_BATCH, linger_us=LINGER_US, payloads=payloads,
+            repeats=repeats, mixed=True,
+        )
+    )
+
+    for mode in (baseline, batched):
+        assert mode["hexes"] == expected, (
+            "a served response diverged bitwise from serial recomputation"
+        )
+
+    # the /metrics exposition must survive its own parser, and record the
+    # batching the daemon claims happened
+    parsed = parse_prometheus_text(batched["metrics_text"])
+    batch_hist = [
+        {"le": s["labels"]["le"], "count": s["value"]}
+        for s in parsed["samples"]
+        if s["name"] == "repro_serve_batch_items_bucket"
+    ]
+    batches_total = sum(
+        s["value"]
+        for s in parsed["samples"]
+        if s["name"] == "repro_serve_batches_total"
+    )
+    assert batches_total > 0, "repro_serve_batches_total never incremented"
+    assert batch_hist, "batch-size histogram missing from /metrics"
+
+    baseline_rps = n / baseline["burst_s"]
+    batched_rps = n / batched["burst_s"]
+    return {
+        "case": "serve_micro_batching",
+        "n_ranks": N_RANKS,
+        "chunk_len": CHUNK_LEN,
+        "concurrency": CONCURRENCY,
+        "requests": n,
+        "max_batch": MAX_BATCH,
+        "max_linger_us": LINGER_US,
+        "baseline_burst_s": baseline["burst_s"],
+        "batched_burst_s": batched["burst_s"],
+        "baseline_rps": baseline_rps,
+        "batched_rps": batched_rps,
+        "speedup": batched_rps / baseline_rps,
+        "bitwise_identical": True,  # asserted above, for the record
+        "baseline_batches": baseline["batches_processed"],
+        "batched_batches": batched["batches_processed"],
+        "mean_batch_items": (
+            batched["requests_accepted"] / batched["batches_processed"]
+        ),
+        "batch_items_histogram": batch_hist,
+        "serve_batches_total": batches_total,
+    }
+
+
+def run_all(repeats: int = 3) -> dict:
+    return {
+        "bench": "serve",
+        "schema": 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cases": [bench_serve(repeats)],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serving-daemon bench (micro-batched vs per-request)."
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs metrics for the run and write the registry "
+        "snapshot (JSON) here; inspect with repro-metrics",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    registry = get_registry()
+    registry.enable()  # the bench asserts on repro_serve_* either way
+    payload = run_all(repeats=args.repeats)
+    payload["metrics_enabled"] = True
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    if args.metrics_out:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(registry.to_json() + "\n")
+        print(f"metrics snapshot written to {metrics_path}")
+    (c,) = payload["cases"]
+    print(
+        f"{c['case']:>20}  C={c['concurrency']} N={c['requests']}  "
+        f"baseline={c['baseline_rps']:.0f} req/s  "
+        f"batched={c['batched_rps']:.0f} req/s  "
+        f"speedup={c['speedup']:.1f}x  "
+        f"mean_batch={c['mean_batch_items']:.1f}"
+    )
+    return 0
+
+
+# -- pytest entry points: assert the acceptance floors -------------------------
+
+
+def test_micro_batching_throughput_floor():
+    """Acceptance: >= 3x request-at-a-time throughput at concurrency >= 16,
+    bitwise-identical responses (one re-measure allowed, same policy as the
+    other bench floors)."""
+    get_registry().enable()
+    try:
+        row = bench_serve(repeats=2)
+        if row["speedup"] < 3.0:
+            row = bench_serve(repeats=2)
+        assert row["speedup"] >= 3.0, row
+        assert row["bitwise_identical"], row
+        assert row["serve_batches_total"] > 0, row
+        # micro-batching actually batched: fewer ticks than requests
+        assert row["batched_batches"] < row["requests"], row
+    finally:
+        get_registry().disable()
+        get_registry().reset()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -261,20 +261,28 @@ def summation_error_bound(
     abs_sum = np.broadcast_to(np.asarray(abs_sum, dtype=np.float64), n.shape)
     sum_mag = np.broadcast_to(np.asarray(sum_mag, dtype=np.float64), n.shape)
     u_arr = np.broadcast_to(np.asarray(u, dtype=np.float64), n.shape)
-    if code in EXACT_VARIABILITY_CODES:
-        out = np.zeros_like(n)
-    elif code in _RECURSIVE_CODES:
-        out = hallman_ipsen_probabilistic(abs_sum, n, u_arr, confidence=confidence)
-    elif code in _COMPENSATED_CODES:
-        out = (2.0 * u_arr + 8.0 * u_arr * height_epsilon(n, u_arr)) * abs_sum
-    elif code in _DOUBLED_CODES:
-        hu = np.maximum(n - 1.0, 0.0) * u_arr
-        with np.errstate(divide="ignore", invalid="ignore"):
-            gamma = np.where(hu < 1.0, hu / (1.0 - hu), math.inf)
-        out = u_arr * sum_mag + 2.0 * gamma * gamma * abs_sum
-    else:
-        raise KeyError(f"no Hallman–Ipsen bound for algorithm {code!r}")
-    out = np.where(n <= 1.0, 0.0, out)
+    # Degenerate lanes (n <= 1: empty or single-value sets, exact by
+    # definition) can carry abs_sum = inf from an infinite-condition query,
+    # and their height factor is exactly 0 — the resulting 0 * inf NaN is
+    # masked to 0 below, so silence the transient invalid-multiply warning
+    # instead of leaking it to serving callers running warnings-as-errors.
+    with np.errstate(invalid="ignore"):
+        if code in EXACT_VARIABILITY_CODES:
+            out = np.zeros_like(n)
+        elif code in _RECURSIVE_CODES:
+            out = hallman_ipsen_probabilistic(
+                abs_sum, n, u_arr, confidence=confidence
+            )
+        elif code in _COMPENSATED_CODES:
+            out = (2.0 * u_arr + 8.0 * u_arr * height_epsilon(n, u_arr)) * abs_sum
+        elif code in _DOUBLED_CODES:
+            hu = np.maximum(n - 1.0, 0.0) * u_arr
+            with np.errstate(divide="ignore"):
+                gamma = np.where(hu < 1.0, hu / (1.0 - hu), math.inf)
+            out = u_arr * sum_mag + 2.0 * gamma * gamma * abs_sum
+        else:
+            raise KeyError(f"no Hallman–Ipsen bound for algorithm {code!r}")
+        out = np.where(n <= 1.0, 0.0, out)
     return float(out[0]) if scalar else out
 
 

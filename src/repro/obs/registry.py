@@ -28,6 +28,7 @@ dict, the programmatic surface), ``json.dumps(snapshot)`` (what
 from __future__ import annotations
 
 import json
+import math
 import threading
 from typing import Iterable, Mapping, Optional, Tuple
 
@@ -37,6 +38,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "parse_prometheus_text",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -56,10 +58,39 @@ def _label_items(labels: Mapping[str, str]) -> _LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Inside double-quoted label values, backslash, double-quote and
+    line-feed must be escaped (in that order — escaping the backslash
+    first keeps the other two escapes unambiguous).  Without this, a
+    label carrying ``"`` or a newline renders an unscrapeable exposition.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_number(value) -> str:
+    """Canonical exposition rendering of a sample value or ``le`` bound.
+
+    Coerces to a Python float first so foreign scalar types (``np.float64``
+    under NumPy >= 2 reprs as ``np.float64(0.001)``) can never leak their
+    repr into the exposition; Python-float ``repr`` is the shortest string
+    that round-trips the exact value.  Integers stay integers.
+    """
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - no NaN metric exists today
+        return "NaN"
+    return repr(value)
+
+
 def _label_suffix(items: _LabelItems) -> str:
     if not items:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in items)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return "{" + inner + "}"
 
 
@@ -282,7 +313,14 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format (``# TYPE`` lines included)."""
+        """Prometheus text exposition format (``# TYPE`` lines included).
+
+        Label values are escaped per the exposition spec and every float is
+        rendered via :func:`_fmt_number`, so the output survives hostile
+        label values and foreign scalar types —
+        :func:`parse_prometheus_text` is the inverse, and the round trip is
+        pinned by tests.
+        """
         lines: "list[str]" = []
         seen_types: "set[tuple[str, str]]" = set()
         for (kind, name, labels), metric in self._sorted_metrics():
@@ -291,15 +329,115 @@ class MetricsRegistry:
                 seen_types.add((kind, name))
             suffix = _label_suffix(labels)
             if kind in ("counter", "gauge"):
-                lines.append(f"{name}{suffix} {metric.value}")
+                lines.append(f"{name}{suffix} {_fmt_number(metric.value)}")
                 continue
             for le, cumulative in metric.bucket_counts():
-                le_s = "+Inf" if le == float("inf") else repr(le)
-                items = labels + (("le", le_s),)
+                items = labels + (("le", _fmt_number(le)),)
                 lines.append(f"{name}_bucket{_label_suffix(items)} {cumulative}")
-            lines.append(f"{name}_sum{suffix} {metric.sum}")
+            lines.append(f"{name}_sum{suffix} {_fmt_number(metric.sum)}")
             lines.append(f"{name}_count{suffix} {metric.count}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- exposition-format parsing -------------------------------------------------
+
+
+def _parse_label_block(block: str, line: str) -> "dict[str, str]":
+    """Parse the inside of a ``{...}`` label block, honouring escapes."""
+    labels: "dict[str, str]" = {}
+    i, n = 0, len(block)
+    while i < n:
+        eq = block.index("=", i)
+        key = block[i:eq].strip()
+        if not key or block[eq + 1] != '"':
+            raise ValueError(f"malformed label in exposition line: {line!r}")
+        i = eq + 2
+        out: "list[str]" = []
+        while True:
+            if i >= n:
+                raise ValueError(f"unterminated label value: {line!r}")
+            ch = block[i]
+            if ch == "\\":
+                esc = block[i + 1 : i + 2]
+                if esc == "n":
+                    out.append("\n")
+                elif esc in ('"', "\\"):
+                    out.append(esc)
+                else:
+                    raise ValueError(f"bad escape in exposition line: {line!r}")
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                raise ValueError(f"raw newline in label value: {line!r}")
+            else:
+                out.append(ch)
+                i += 1
+        labels[key] = "".join(out)
+        if i < n:
+            if block[i] != ",":
+                raise ValueError(f"malformed label block: {line!r}")
+            i += 1
+    return labels
+
+
+def _parse_number(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Strict parser for the Prometheus text exposition format.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus`: returns
+    ``{"types": {name: kind}, "samples": [{"name", "labels", "value"}]}``
+    and raises :class:`ValueError` on anything a scraper would choke on —
+    unescaped quotes/newlines in label values, non-numeric sample values,
+    malformed ``# TYPE`` lines.  Serving tests and the bench-smoke job use
+    it to prove ``/metrics`` output is scrapeable as-is.
+    """
+    types: "dict[str, str]" = {}
+    samples: "list[dict]" = []
+    for line in text.split("\n"):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"malformed TYPE line: {line!r}")
+                types[parts[2]] = parts[3]
+            # other comments (# HELP, bare #) are legal and skipped
+            continue
+        if line.startswith("{"):
+            raise ValueError(f"sample with no metric name: {line!r}")
+        brace = line.find("{")
+        if brace >= 0:
+            name = line[:brace]
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"unterminated label block: {line!r}")
+            labels = _parse_label_block(line[brace + 1 : close], line)
+            rest = line[close + 1 :].split()
+        else:
+            fields = line.split()
+            name, labels, rest = fields[0], {}, fields[1:]
+        if len(rest) not in (1, 2):  # optional trailing timestamp is legal
+            raise ValueError(f"malformed sample line: {line!r}")
+        if not name or not all(
+            c.isalnum() or c in "_:" for c in name
+        ):
+            raise ValueError(f"invalid metric name in line: {line!r}")
+        samples.append(
+            {"name": name, "labels": labels, "value": _parse_number(rest[0])}
+        )
+    return {"types": types, "samples": samples}
 
 
 #: the process-global registry every instrumented layer shares

@@ -35,8 +35,9 @@ applications (and our benches) can audit what was chosen and why.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -124,9 +125,18 @@ class AdaptiveReducer:
             else None
         )
         self._decision_cache: "OrderedDict[tuple, SelectionDecision]" = OrderedDict()
+        # Serialises cache lookup/insert and the hit/miss/eviction counters:
+        # the serving daemon drives one reducer from executor threads, and
+        # unlocked OrderedDict mutation + read-modify-write counters would
+        # drift under interleaving (the concurrency tests reconcile
+        # hits + misses == queries exactly).  The policy query itself runs
+        # outside the lock — it is deterministic, so two racing misses on the
+        # same key compute the same decision and the second insert is benign.
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        self._cache_invalidations = 0
 
     @property
     def bound_confidence(self) -> "float | None":
@@ -665,11 +675,23 @@ class AdaptiveReducer:
         threshold: float,
         u: float = UNIT_ROUNDOFF,
     ) -> SelectionDecision:
-        """Policy query memoised at decision granularity (capped LRU).
+        """Policy query with a *validated* decision-granular LRU cache.
 
-        Cache hits splice the item's own profile into the cached decision so
-        the audit trail stays per-item; ``predicted_std`` is the bucket
-        representative's (selection is decade-granular by design, Fig. 12).
+        The cache key is decade-granular (``n``, k-decade, dr, threshold,
+        u) — but selection itself is a step function of the *exact*
+        condition estimate, so two bucket-mates can legitimately straddle a
+        selection boundary.  Serving a bucket-mate's memoised decision made
+        a served value depend on request **arrival order** (the repro-serve
+        bench caught exactly that: two of 64 borderline items flipped
+        algorithm with the daemon's cache warm in a different order).  The
+        policy query costs ~10us against the profiling sketch's
+        milliseconds, so the query always runs on the item's own exact
+        profile; a cache entry counts as a **hit** only when it agrees with
+        that query, and a disagreeing entry is replaced (counted in
+        ``invalidations``).  Every returned decision is therefore identical
+        to what a cold standalone :meth:`reduce` of the same item computes,
+        regardless of what was served before it.
+
         The cache is an LRU capped at ``cache_size`` entries: a long-lived
         serving process that sweeps many (n, k-decade, dr, threshold)
         signatures evicts the coldest decision instead of growing without
@@ -678,28 +700,40 @@ class AdaptiveReducer:
         cached decision) and is forwarded to precision-aware policies.
         """
         key = self._decision_key(sketch, threshold, u)
-        cached = self._decision_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            self._decision_cache.move_to_end(key)
-            if _OBS.enabled:
-                _OBS.counter("repro_selector_decision_cache_hits_total").inc()
-            return replace(cached, profile=sketch.as_set_profile())
-        self._cache_misses += 1
-        if _OBS.enabled:
-            _OBS.counter("repro_selector_decision_cache_misses_total").inc()
+        with self._cache_lock:
+            cached = self._decision_cache.get(key)
+            if cached is not None:
+                self._decision_cache.move_to_end(key)
         if getattr(self.policy, "supports_unit_roundoff", False):
             decision = self.policy.select(sketch.as_set_profile(), threshold, u=u)
         else:
             decision = self.policy.select(sketch.as_set_profile(), threshold)
-        self._decision_cache[key] = decision
-        while len(self._decision_cache) > self.cache_size:
-            self._decision_cache.popitem(last=False)
-            self._cache_evictions += 1
+        if cached is not None and cached.code == decision.code:
+            with self._cache_lock:
+                self._cache_hits += 1
             if _OBS.enabled:
+                _OBS.counter("repro_selector_decision_cache_hits_total").inc()
+            return decision
+        evictions = 0
+        with self._cache_lock:
+            self._cache_misses += 1
+            if cached is not None:
+                self._cache_invalidations += 1
+            self._decision_cache[key] = decision
+            while len(self._decision_cache) > self.cache_size:
+                self._decision_cache.popitem(last=False)
+                self._cache_evictions += 1
+                evictions += 1
+        if _OBS.enabled:
+            _OBS.counter("repro_selector_decision_cache_misses_total").inc()
+            if cached is not None:
+                _OBS.counter(
+                    "repro_selector_decision_cache_invalidations_total"
+                ).inc()
+            if evictions:
                 _OBS.counter(
                     "repro_selector_decision_cache_evictions_total"
-                ).inc()
+                ).inc(evictions)
         return decision
 
     def _decision_key(
@@ -728,19 +762,23 @@ class AdaptiveReducer:
     def decision_cache_info(self) -> dict:
         """Cache statistics: ``{"size", "max_size", "hits", "misses",
         "evictions"}``."""
-        return {
-            "size": len(self._decision_cache),
-            "max_size": self.cache_size,
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "evictions": self._cache_evictions,
-        }
+        with self._cache_lock:
+            return {
+                "size": len(self._decision_cache),
+                "max_size": self.cache_size,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "evictions": self._cache_evictions,
+                "invalidations": self._cache_invalidations,
+            }
 
     def clear_decision_cache(self) -> None:
-        self._decision_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._cache_evictions = 0
+        with self._cache_lock:
+            self._decision_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._cache_evictions = 0
+            self._cache_invalidations = 0
 
 
 def _payload_bytes(batches: Sequence[Sequence[np.ndarray]]) -> int:

@@ -1,0 +1,441 @@
+"""The repro-serve asyncio daemon: HTTP routes over the micro-batcher.
+
+One daemon owns one :class:`AdaptiveReducer` (one simulated communicator,
+one decision cache, one worker-pool handle) and one
+:class:`~repro.serve.batcher.MicroBatcher`.  The event loop only parses
+sockets and JSON; every reduction executes through the batcher's single
+drain task (micro-batched ``reduce_many`` in a worker thread), so client
+concurrency never translates into concurrent reducer calls.  Ensemble
+evaluations are already batch-shaped and run straight in the executor.
+
+Endpoints (bodies are JSON; arrays as ``values`` or base64 ``values_b64``,
+see :mod:`repro.serve.protocol`):
+
+* ``POST /v1/reduce`` — one adaptive reduction.  The global vector is
+  block-scattered over the daemon's ranks (or pass explicit per-rank
+  ``chunks``).  Optional ``threshold`` and ``deadline_ms``.
+* ``POST /v1/reduce_many`` — a list of such items in one wire request;
+  items join the same micro-batch queue individually, so they coalesce
+  with other clients' traffic.
+* ``POST /v1/ensemble`` — the paper's spread experiment as a service:
+  ``n_trees`` permuted-leaf evaluations of one algorithm over one vector.
+* ``GET /metrics`` — Prometheus text exposition of the process registry
+  (``repro_*`` pipeline metrics plus the ``repro_serve_*`` family).
+* ``GET /healthz`` — liveness plus queue depth.
+
+Error mapping: queue full → 429 (with ``Retry-After``), draining → 503,
+queued past deadline → 504, malformed request → 400, reducer fault → 500.
+
+Responses carry ``value_hex`` (``float.hex``) next to ``value`` so clients
+can check bitwise equality without trusting JSON float formatting —
+shortest-repr round-trips exactly, but the hex form makes the contract
+auditable on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.comm import SimComm
+from repro.obs import get_registry
+from repro.selection.selector import AdaptiveReducer, AdaptiveResult
+from repro.serve.batcher import (
+    BatcherClosing,
+    BatcherFull,
+    DeadlineExceeded,
+    MicroBatcher,
+)
+from repro.serve.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    decode_values,
+    json_response,
+    read_request,
+    render_response,
+)
+from repro.summation.registry import get_algorithm
+from repro.trees.evaluate import evaluate_ensemble
+from repro.util.pool import shutdown_pool
+
+__all__ = ["ReproServeDaemon"]
+
+_OBS = get_registry()
+
+#: request latency histogram bounds (seconds)
+_LATENCY_BUCKETS = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+_ROUTES = {
+    "/v1/reduce": "POST",
+    "/v1/reduce_many": "POST",
+    "/v1/ensemble": "POST",
+    "/metrics": "GET",
+    "/healthz": "GET",
+}
+
+
+class ReproServeDaemon:
+    """Asyncio HTTP front end for one :class:`AdaptiveReducer`.
+
+    ``port=0`` binds an ephemeral port (``self.port`` holds the real one
+    after :meth:`start`) — the tests and the bench rely on that.  Use as an
+    async context manager, or pair :meth:`start`/:meth:`stop` manually.
+    ``workers`` is forwarded to ``reduce_many``/``evaluate_ensemble`` for
+    multicore sharding; ``default_deadline_ms`` applies to requests that
+    do not set their own ``deadline_ms``.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ranks: int = 8,
+        workers: "int | None" = None,
+        threshold: float = 1e-13,
+        bound_confidence: "float | None" = None,
+        max_batch: int = 64,
+        max_linger_us: float = 1000.0,
+        queue_size: int = 1024,
+        default_deadline_ms: "float | None" = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        reducer: "AdaptiveReducer | None" = None,
+        batching: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.workers = workers
+        self.batching = bool(batching)
+        if not self.batching:
+            # request-at-a-time reference configuration: no coalescing, and
+            # each request walks the full adaptive pipeline solo through
+            # ``AdaptiveReducer.reduce`` — this is exactly the daemon one
+            # would write without the micro-batching subsystem, and it is
+            # the baseline the serving bench measures speedup against.
+            max_batch = 1
+            max_linger_us = 0.0
+        self.default_deadline_ms = default_deadline_ms
+        self.max_body_bytes = int(max_body_bytes)
+        if reducer is not None:
+            self.reducer = reducer
+        else:
+            self.reducer = AdaptiveReducer(
+                SimComm(int(ranks)),
+                threshold=threshold,
+                bound_confidence=bound_confidence,
+            )
+        self.batcher = MicroBatcher(
+            self._reduce_batch,
+            max_batch=max_batch,
+            max_linger_s=max_linger_us / 1e6,
+            queue_size=queue_size,
+        )
+        self._server: "asyncio.base_events.Server | None" = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, *, release_pool: bool = True) -> None:
+        """Stop intake, drain accepted requests, release shared resources.
+
+        Idempotent — the SIGTERM path and the async-context exit may both
+        get here.  ``release_pool`` runs :func:`repro.util.pool.shutdown_pool`
+        (itself idempotent), unlinking the dispatch arenas' shared-memory
+        segments so a signalled daemon leaves nothing in ``/dev/shm``.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.drain()
+        if release_pool:
+            shutdown_pool()
+
+    async def __aenter__(self) -> "ReproServeDaemon":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the blocking batch executor (runs in a worker thread) --------------
+    def _reduce_batch(
+        self,
+        items: Sequence[Sequence[np.ndarray]],
+        threshold: Optional[float],
+    ) -> "list[AdaptiveResult]":
+        if not self.batching:
+            return [
+                self.reducer.reduce(chunks, threshold=threshold)
+                for chunks in items
+            ]
+        return self.reducer.reduce_many(
+            items, threshold=threshold, workers=self.workers
+        )
+
+    # -- connection handling ------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if _OBS.enabled:
+            _OBS.counter("repro_serve_connections_total").inc()
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.max_body_bytes
+                    )
+                except HttpError as exc:
+                    writer.write(
+                        json_response(
+                            {"error": exc.message}, exc.status, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                payload = await self._dispatch(request)
+                writer.write(payload)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request) -> bytes:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        endpoint = request.path if request.path in _ROUTES else "unknown"
+        keep = request.keep_alive
+        try:
+            if endpoint == "unknown":
+                raise HttpError(404, f"no route for {request.path!r}")
+            if request.method != _ROUTES[endpoint]:
+                raise HttpError(
+                    405, f"{endpoint} expects {_ROUTES[endpoint]}"
+                )
+            if endpoint == "/healthz":
+                status, body = self._handle_healthz()
+            elif endpoint == "/metrics":
+                status, body = 200, None  # rendered below (not JSON)
+            elif endpoint == "/v1/reduce":
+                status, body = await self._handle_reduce(request)
+            elif endpoint == "/v1/reduce_many":
+                status, body = await self._handle_reduce_many(request)
+            else:
+                status, body = await self._handle_ensemble(request)
+        except HttpError as exc:
+            status, body = exc.status, {"error": exc.message}
+        except BatcherFull as exc:
+            status, body = 429, {"error": str(exc)}
+        except BatcherClosing as exc:
+            status, body = 503, {"error": str(exc)}
+        except DeadlineExceeded as exc:
+            status, body = 504, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - 500, never a dropped conn
+            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        if _OBS.enabled:
+            _OBS.counter(
+                "repro_serve_requests_total",
+                endpoint=endpoint,
+                status=str(status),
+            ).inc()
+            _OBS.histogram(
+                "repro_serve_request_seconds",
+                buckets=_LATENCY_BUCKETS,
+                endpoint=endpoint,
+            ).observe(loop.time() - started)
+        if endpoint == "/metrics" and status == 200:
+            # rendered after the request metrics above so a scrape sees itself
+            text = _OBS.render_prometheus()
+            return render_response(
+                200,
+                text.encode(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+                keep_alive=keep,
+            )
+        if status == 429:
+            return render_response(
+                status,
+                json.dumps(body, separators=(",", ":")).encode(),
+                keep_alive=keep,
+                extra_headers={"Retry-After": "1"},
+            )
+        return json_response(body, status, keep_alive=keep)
+
+    # -- endpoint handlers ---------------------------------------------------
+    def _handle_healthz(self):
+        return 200, {
+            "status": "draining" if self.batcher.closing else "ok",
+            "ranks": self.reducer.comm.n_ranks,
+            "queue_depth": self.batcher.depth,
+            "batches_processed": self.batcher.batches_processed,
+        }
+
+    def _parse_item(self, obj, *, what: str):
+        """One reduction item -> (chunks, threshold, deadline_s)."""
+        if not isinstance(obj, dict):
+            raise HttpError(400, f"{what} must be a JSON object")
+        if "chunks" in obj:
+            raw = obj["chunks"]
+            if not isinstance(raw, list):
+                raise HttpError(400, f"{what}.chunks must be a list of arrays")
+            if len(raw) != self.reducer.comm.n_ranks:
+                raise HttpError(
+                    400,
+                    f"{what}.chunks has {len(raw)} chunks for a "
+                    f"{self.reducer.comm.n_ranks}-rank communicator",
+                )
+            chunks = []
+            for i, c in enumerate(raw):
+                try:
+                    chunks.append(np.asarray(c, dtype=np.float64).ravel())
+                except (TypeError, ValueError):
+                    raise HttpError(
+                        400, f"{what}.chunks[{i}] is not a flat numeric array"
+                    ) from None
+        else:
+            values = decode_values(obj, what=what)
+            chunks = self.reducer.comm.scatter_array(values)
+        threshold = obj.get("threshold")
+        if threshold is not None:
+            try:
+                threshold = float(threshold)
+            except (TypeError, ValueError):
+                raise HttpError(400, f"{what}.threshold must be a number") from None
+            if not threshold >= 0:  # also rejects NaN
+                raise HttpError(400, f"{what}.threshold must be >= 0")
+        deadline_ms = obj.get("deadline_ms", self.default_deadline_ms)
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                raise HttpError(400, f"{what}.deadline_ms must be a number") from None
+            if not deadline_ms > 0:
+                raise HttpError(400, f"{what}.deadline_ms must be > 0")
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        return chunks, threshold, deadline_s
+
+    @staticmethod
+    def _result_payload(result: AdaptiveResult) -> dict:
+        value = float(result.value)
+        d = result.decision
+        return {
+            "value": value,
+            "value_hex": value.hex(),
+            "algorithm": d.code,
+            "tier": d.tier,
+            "threshold": d.threshold,
+            "predicted_std": float(d.predicted_std),
+            "n": int(d.profile.n),
+        }
+
+    async def _handle_reduce(self, request):
+        chunks, threshold, deadline_s = self._parse_item(
+            request.json(), what="body"
+        )
+        future = self.batcher.submit(
+            chunks, threshold=threshold, deadline_s=deadline_s
+        )
+        result = await future
+        return 200, self._result_payload(result)
+
+    async def _handle_reduce_many(self, request):
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(body.get("items"), list):
+            raise HttpError(400, "body needs an 'items' list")
+        items = body["items"]
+        shared_threshold = body.get("threshold")
+        parsed = []
+        for i, obj in enumerate(items):
+            if (
+                shared_threshold is not None
+                and isinstance(obj, dict)
+                and "threshold" not in obj
+            ):
+                obj = {**obj, "threshold": shared_threshold}
+            parsed.append(self._parse_item(obj, what=f"items[{i}]"))
+        if not parsed:
+            return 200, {"results": []}
+        # all-or-nothing capacity check up front (no awaits between here and
+        # the submits, so the event loop cannot interleave another producer):
+        # a wire batch either fully enqueues or is fully rejected with 429
+        if self.batcher.depth + len(parsed) > self.batcher.queue_size:
+            raise BatcherFull(
+                f"queue at {self.batcher.depth}/{self.batcher.queue_size} "
+                f"cannot take {len(parsed)} more request(s)"
+            )
+        futures: "list[asyncio.Future | None]" = [None] * len(parsed)
+        groups: "dict[tuple, list[int]]" = {}
+        for i, (_, threshold, deadline_s) in enumerate(parsed):
+            groups.setdefault((threshold, deadline_s), []).append(i)
+        for (threshold, deadline_s), idxs in groups.items():
+            futs = self.batcher.submit_many(
+                [parsed[i][0] for i in idxs],
+                threshold=threshold,
+                deadline_s=deadline_s,
+            )
+            for i, fut in zip(idxs, futs):
+                futures[i] = fut
+        results = await asyncio.gather(*futures)
+        return 200, {"results": [self._result_payload(r) for r in results]}
+
+    async def _handle_ensemble(self, request):
+        body = request.json()
+        data = decode_values(body, what="body")
+        try:
+            algorithm = get_algorithm(str(body.get("algorithm", "")))
+        except KeyError:
+            raise HttpError(
+                400, f"unknown algorithm {body.get('algorithm')!r}"
+            ) from None
+        shape = body.get("shape", "balanced")
+        if shape not in ("balanced", "serial"):
+            raise HttpError(400, "shape must be 'balanced' or 'serial'")
+        try:
+            n_trees = int(body.get("n_trees", 0))
+        except (TypeError, ValueError):
+            raise HttpError(400, "n_trees must be an integer") from None
+        if not 1 <= n_trees <= 1 << 20:
+            raise HttpError(400, "n_trees must be in [1, 1048576]")
+        seed = body.get("seed")
+        if seed is not None:
+            try:
+                seed = int(seed)
+            except (TypeError, ValueError):
+                raise HttpError(400, "seed must be an integer") from None
+        loop = asyncio.get_running_loop()
+        try:
+            values = await loop.run_in_executor(
+                None,
+                lambda: evaluate_ensemble(
+                    data, shape, algorithm, n_trees, seed=seed,
+                    workers=self.workers,
+                ),
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        spread = float(values.max() - values.min())
+        return 200, {
+            "values_hex": [float(v).hex() for v in values],
+            "spread": spread,
+            "distinct": int(np.unique(values).size),
+            "algorithm": algorithm.code,
+            "n_trees": n_trees,
+        }

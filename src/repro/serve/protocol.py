@@ -1,0 +1,280 @@
+"""Minimal HTTP/1.1 over asyncio streams (server parse + client helper).
+
+The daemon needs exactly four things from HTTP: a request line, headers,
+a sized body, and keep-alive — ``http.server`` is thread-per-connection
+and brings nothing else we need, so the protocol layer is hand-rolled on
+``asyncio`` streams (no new dependencies, ~anything a load balancer or
+``curl`` sends parses).  Deliberately *not* implemented: chunked request
+bodies (411 instead), HTTP/2, TLS (deploy behind a terminating proxy —
+see docs/API.md deployment notes).
+
+Payload encodings for numeric arrays (both directions):
+
+* ``"values"`` — a plain JSON array of numbers (human/curl friendly);
+* ``"values_b64"`` — base64 of the raw little-endian float64 bytes.  This
+  is the bit-exact, parse-cheap form the bench client uses; JSON float
+  round-trip is *also* exact (shortest-repr), but parsing hundreds of
+  thousands of JSON numbers costs more than the reduction being served.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "render_response",
+    "json_response",
+    "encode_values",
+    "decode_values",
+    "http_request",
+    "STATUS_REASONS",
+]
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: request-line + headers must fit in this many bytes
+MAX_HEADER_BYTES = 64 * 1024
+
+#: default body cap (the daemon makes it configurable)
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A request the server refuses; carries the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: enough surface for routing and JSON bodies."""
+
+    method: str
+    path: str
+    version: str
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    def json(self):
+        """Parse the body as JSON; raises :class:`HttpError` 400 on junk."""
+        if not self.body:
+            raise HttpError(400, "empty body where JSON was expected")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from None
+
+
+@dataclass
+class HttpResponse:
+    """Client-side view of a response (see :func:`http_request`)."""
+
+    status: int
+    headers: "dict[str, str]"
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = DEFAULT_MAX_BODY_BYTES,
+) -> "HttpRequest | None":
+    """Read one request off the stream; ``None`` on clean EOF (keep-alive
+    connection closed between requests).  Malformed input raises
+    :class:`HttpError` with the status the handler should answer with.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, version = parts
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "transfer-encoding" in headers:
+        raise HttpError(411, "chunked request bodies are not supported")
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds cap {max_body}")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body") from None
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, "Content-Length required")
+    return HttpRequest(
+        method=method, path=path, version=version, headers=headers, body=body
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    """Serialise one HTTP/1.1 response (always with Content-Length)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    payload, status: int = 200, *, keep_alive: bool = True
+) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    return render_response(status, body, keep_alive=keep_alive)
+
+
+# -- numeric payload encodings -------------------------------------------------
+
+
+def encode_values(values: np.ndarray) -> str:
+    """Base64 of the little-endian float64 bytes (the bit-exact wire form)."""
+    arr = np.ascontiguousarray(np.asarray(values, dtype="<f8").ravel())
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def decode_values(obj, *, what: str = "payload") -> np.ndarray:
+    """Extract a float64 vector from ``{"values": [...]}`` or
+    ``{"values_b64": "..."}``; raises :class:`HttpError` 400 otherwise."""
+    if not isinstance(obj, dict):
+        raise HttpError(400, f"{what} must be a JSON object")
+    if "values_b64" in obj:
+        try:
+            raw = base64.b64decode(obj["values_b64"], validate=True)
+        except Exception:
+            raise HttpError(400, f"{what}.values_b64 is not valid base64") from None
+        if len(raw) % 8:
+            raise HttpError(
+                400, f"{what}.values_b64 length {len(raw)} is not a "
+                "multiple of 8 (little-endian float64 expected)"
+            )
+        return np.frombuffer(raw, dtype="<f8").astype(np.float64)
+    if "values" in obj:
+        try:
+            return np.asarray(obj["values"], dtype=np.float64).ravel()
+        except (TypeError, ValueError):
+            raise HttpError(
+                400, f"{what}.values must be a flat array of numbers"
+            ) from None
+    raise HttpError(400, f"{what} needs either 'values' or 'values_b64'")
+
+
+# -- tiny async client (tests + bench) -----------------------------------------
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: "bytes | None" = None,
+    *,
+    reader: "asyncio.StreamReader | None" = None,
+    writer: "asyncio.StreamWriter | None" = None,
+) -> HttpResponse:
+    """One HTTP request; pass ``reader``/``writer`` to reuse a keep-alive
+    connection (the bench's concurrent clients do), else a fresh connection
+    is opened and closed."""
+    own = reader is None
+    if own:
+        reader, writer = await asyncio.open_connection(host, port)
+    assert reader is not None and writer is not None
+    try:
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if own else 'keep-alive'}\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: "dict[str, str]" = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        resp_body = await reader.readexactly(length) if length else b""
+        return HttpResponse(status=status, headers=headers, body=resp_body)
+    finally:
+        if own:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass

@@ -439,19 +439,46 @@ def get_pool(workers: "int | None" = None) -> WorkerPool:
         return pool
 
 
+#: reentrancy guard for :func:`shutdown_pool`.  ``atexit`` does not run on
+#: SIGTERM, so long-lived daemons (``repro-serve``) install signal handlers
+#: that call :func:`shutdown_pool` themselves — and a handler can fire while
+#: an earlier shutdown (atexit, another handler, an explicit call) is already
+#: mid-flight on the same thread.  The RLock + flag turn that reentrant call
+#: into a no-op instead of a deadlock or a double unlink.
+_SHUTDOWN_GUARD = threading.RLock()
+_SHUTDOWN_ACTIVE = False
+
+
 def shutdown_pool() -> None:
-    """Stop every global pool's workers (registered as an ``atexit`` hook).
+    """Stop every global pool's workers and unlink the arenas.
+
+    Registered as an ``atexit`` hook, but ``atexit`` does not run on
+    SIGTERM — a killed daemon would leak arena segments under ``/dev/shm``
+    — so signal-terminated services must call this from their own
+    SIGTERM/SIGINT handling (``repro-serve`` does).  The call is
+    **idempotent** (a second call with nothing running is a no-op) and
+    **reentrant-safe** (a call re-entered from a signal handler while a
+    shutdown is already in progress returns immediately instead of
+    deadlocking).
 
     Pool objects are dropped entirely, so a later :func:`get_pool` starts
     fresh — used by tests and long-lived servers that want to release cores.
     The persistent arenas are unlinked too (workers are gone, so no mapping
     outlives this), returning ``repro_pool_shm_bytes_in_flight`` to zero.
     """
-    with _GLOBAL_LOCK:
-        for pool in _POOLS.values():
-            pool.shutdown()
-        _POOLS.clear()
-    _close_arenas()
+    global _SHUTDOWN_ACTIVE
+    with _SHUTDOWN_GUARD:
+        if _SHUTDOWN_ACTIVE:
+            return  # reentered from a signal handler mid-shutdown
+        _SHUTDOWN_ACTIVE = True
+        try:
+            with _GLOBAL_LOCK:
+                for pool in _POOLS.values():
+                    pool.shutdown()
+                _POOLS.clear()
+            _close_arenas()
+        finally:
+            _SHUTDOWN_ACTIVE = False
 
 
 atexit.register(shutdown_pool)

@@ -315,6 +315,7 @@ class TestServingPath:
             "hits": 0,
             "misses": 0,
             "evictions": 0,
+            "invalidations": 0,
         }
 
     def test_decision_cache_is_capped_lru(self):

@@ -232,6 +232,109 @@ class TestExport:
         )
 
 
+class TestPrometheusEscaping:
+    """Label values with exposition-format metacharacters must escape —
+    a raw ``"``, ``\\`` or newline in a label used to break every scraper
+    reading the daemon's ``/metrics``."""
+
+    HOSTILE = 'she said "hi"\nC:\\temp\\x'
+
+    def test_hostile_label_values_escape(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("repro_evil_total", path=self.HOSTILE).inc(2)
+        text = reg.render_prometheus()
+        # one sample line per metric line: the newline did NOT split the line
+        body_lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert len(body_lines) == 1
+        assert '\\n' in body_lines[0] and '\\"' in body_lines[0]
+        parsed = parse_prometheus_text(text)
+        (sample,) = parsed["samples"]
+        assert sample["labels"]["path"] == self.HOSTILE  # round-trips exactly
+        assert sample["value"] == 2
+
+    def test_hostile_labels_on_histograms(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram(
+            "repro_evil_seconds", buckets=(0.1,), who='a"b\\c'
+        )
+        h.observe(0.05)
+        parsed = parse_prometheus_text(reg.render_prometheus())
+        buckets = [
+            s for s in parsed["samples"]
+            if s["name"] == "repro_evil_seconds_bucket"
+        ]
+        assert {s["labels"]["who"] for s in buckets} == {'a"b\\c'}
+        assert {s["labels"]["le"] for s in buckets} == {"0.1", "+Inf"}
+
+    def test_le_bounds_render_shortest_repr(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("repro_le_seconds", buckets=(1e-05, 0.1, 2.5)).observe(0)
+        text = reg.render_prometheus()
+        # repr-stable shortest floats: 0.1 stays "0.1", 1e-05 stays "1e-05"
+        assert 'le="0.1"' in text
+        assert 'le="1e-05"' in text
+        assert 'le="2.5"' in text
+        assert 'le="+Inf"' in text
+
+    def test_integral_counter_values_render_as_ints(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("repro_int_total").inc(7)
+        assert "repro_int_total 7\n" in reg.render_prometheus()
+
+    def test_parser_rejects_malformed_lines(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        for bad in (
+            "repro_x_total",  # no value
+            'repro_x_total{unterminated="v 1',
+            "repro_x_total notanumber",
+        ):
+            with pytest.raises(ValueError):
+                parse_prometheus_text(bad)
+
+    def test_parser_reads_special_values(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        text = "a 1\nb +Inf\nc -Inf\nd NaN\n"
+        samples = {
+            s["name"]: s["value"]
+            for s in parse_prometheus_text(text)["samples"]
+        }
+        assert samples["a"] == 1
+        assert samples["b"] == math.inf
+        assert samples["c"] == -math.inf
+        assert math.isnan(samples["d"])
+
+    def test_full_registry_render_round_trips(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("repro_a_total", algo="K", note='x"y\\z\nw').inc(3)
+        reg.gauge("repro_depth", shard="0").set(2.5)
+        h = reg.histogram("repro_lat_seconds", buckets=(0.001, 0.1))
+        h.observe(0.05)
+        h.observe(0.2)
+        parsed = parse_prometheus_text(reg.render_prometheus())
+        assert parsed["types"] == {
+            "repro_a_total": "counter",
+            "repro_depth": "gauge",
+            "repro_lat_seconds": "histogram",
+        }
+        by = {
+            (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+            for s in parsed["samples"]
+        }
+        assert by[
+            ("repro_a_total", (("algo", "K"), ("note", 'x"y\\z\nw')))
+        ] == 3
+        assert by[("repro_depth", (("shard", "0"),))] == 2.5
+        assert by[("repro_lat_seconds_count", ())] == 2
+
+
 class TestCli:
     def _write_snapshot(self, tmp_path) -> str:
         reg = MetricsRegistry(enabled=True)

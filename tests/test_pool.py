@@ -121,6 +121,42 @@ class TestPoolLifecycle:
         assert pool.map(_square, [5, 6, 7, 8], chunksize=1) == [25, 36, 49, 64]
         assert pool.live
 
+    def test_shutdown_twice_is_a_no_op(self):
+        """SIGTERM handlers and atexit can both call shutdown_pool — the
+        second (and any later) call must be a harmless no-op."""
+        get_pool(2).map(_square, [1, 2], chunksize=1)
+        shutdown_pool()
+        shutdown_pool()  # idempotent: nothing to release, no raise
+        # and the pool machinery still works after a double shutdown
+        assert get_pool(2).map(_square, [3], chunksize=1) == [9]
+        shutdown_pool()
+
+    def test_shutdown_reentry_is_a_no_op(self):
+        """A signal arriving *during* shutdown re-enters shutdown_pool on
+        the same thread; the guard must turn that into an immediate
+        return instead of deadlocking or double-releasing."""
+        from repro.util import pool as pool_mod
+
+        get_pool(2).map(_square, [1], chunksize=1)
+        inner_calls = []
+        original = pool_mod._close_arenas
+
+        def reentrant_close():
+            # simulate the signal handler firing mid-shutdown
+            inner_calls.append(object())
+            if len(inner_calls) == 1:
+                shutdown_pool()  # must return immediately (guard active)
+            original()
+
+        pool_mod._close_arenas = reentrant_close
+        try:
+            shutdown_pool()
+        finally:
+            pool_mod._close_arenas = original
+        assert len(inner_calls) == 1  # the reentrant call did not recurse
+        assert get_pool(2).map(_square, [2], chunksize=1) == [4]
+        shutdown_pool()
+
 
 class TestNestedDispatch:
     def test_workers_never_fork_their_own_pools(self):

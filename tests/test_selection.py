@@ -264,3 +264,175 @@ class TestAdaptiveReducer:
         red = AdaptiveReducer(comm)
         with pytest.raises(ValueError):
             red.reduce(comm.scatter_array(np.ones(64)), threshold=-1e-13)
+
+
+class TestDegenerateBatches:
+    """Serving-path regression sweep: the daemon's micro-batcher can
+    legitimately hand the selector an empty batch (every queued request
+    expired), a single item, or items whose chunks are all empty — none
+    of those may crash, warn, or disagree with the per-item path."""
+
+    @pytest.fixture
+    def comm(self):
+        return SimComm(8)
+
+    @pytest.fixture(params=[None, 1.0, 0.999999], ids=["no-tier", "det", "prob"])
+    def reducer(self, comm, request):
+        return AdaptiveReducer(comm, bound_confidence=request.param)
+
+    def test_reduce_many_empty_batch(self, reducer):
+        assert reducer.reduce_many([]) == []
+
+    def test_reduce_many_empty_batch_with_workers(self, reducer):
+        assert reducer.reduce_many([], workers=2) == []
+
+    def test_reduce_many_empty_batch_validates_threshold(self, reducer):
+        with pytest.raises(ValueError):
+            reducer.reduce_many([], threshold=-1.0)
+
+    def test_single_item_batch_equals_standalone(self, comm, reducer):
+        data = zero_sum_set(512, 16, seed=3)
+        chunks = comm.scatter_array(data)
+        (batched,) = reducer.reduce_many([chunks])
+        standalone = reducer.reduce(chunks)
+        assert batched.value == standalone.value
+        assert np.float64(batched.value).tobytes() == np.float64(
+            standalone.value
+        ).tobytes()
+        assert batched.decision.code == standalone.decision.code
+
+    def test_all_empty_chunk_items_warn_free(self, comm, reducer):
+        """n=0 items carry inf condition numbers through the bound tier's
+        vectorised statistics — masked lanes must stay silent."""
+        empty = [np.empty(0) for _ in range(comm.n_ranks)]
+        data = np.arange(64, dtype=np.float64)
+        mixed = [empty, comm.scatter_array(data), empty]
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = reducer.reduce_many(mixed)
+        assert results[0].value == 0.0
+        assert results[2].value == 0.0
+        assert results[1].value == float(np.sum(data))
+
+    def test_all_empty_chunk_single_reduce(self, comm, reducer):
+        import warnings
+
+        empty = [np.empty(0) for _ in range(comm.n_ranks)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            res = reducer.reduce(empty)
+        assert res.value == 0.0
+
+    def test_profile_batch_zero_items(self):
+        from repro.selection.profile import profile_batch
+
+        assert profile_batch([]) == []
+
+
+class TestDecisionCacheThreadSafety:
+    """The serving daemon drives one reducer from executor threads; the
+    cache's hit/miss/eviction tallies must stay exact under that traffic
+    (``hits + misses == queries``), and concurrent hot-key lookups must
+    not corrupt the LRU OrderedDict."""
+
+    def test_tallies_exact_under_threads(self):
+        import threading
+
+        comm = SimComm(4)
+        red = AdaptiveReducer(comm)
+        rng = np.random.default_rng(0)
+        streams = [
+            comm.scatter_array(rng.normal(size=256)) for _ in range(8)
+        ]
+        n_threads, per_thread = 4, 25
+        barrier = threading.Barrier(n_threads)
+        errors: list = []
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    red.reduce_many([streams[(tid + i) % len(streams)]])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors, errors
+        info = red.decision_cache_info()
+        assert info["hits"] + info["misses"] == n_threads * per_thread
+        assert info["size"] <= info["max_size"]
+
+
+class TestDecisionCacheOrderIndependence:
+    """Regression (found by the repro-serve bench): two items can share a
+    decision-cache key (same n, k-decade, dr, threshold) yet straddle a
+    selection boundary at their exact condition estimates.  Serving one
+    item the other's memoised decision made the served *bits* depend on
+    request arrival order.  Hits are now validated against the item's own
+    exact-profile policy query, so every decision equals what a cold
+    standalone ``reduce`` computes, in any order."""
+
+    N_RANKS = 48
+    CHUNK_LEN = 256
+
+    def _conflicting_pair(self):
+        """Items 1 and 23 of the bench workload share a cache key but
+        select ST vs K at threshold 1e-13."""
+        rng = np.random.default_rng(4242)
+        n = self.N_RANKS * self.CHUNK_LEN
+        vals = []
+        for _ in range(24):
+            vals.append(
+                rng.uniform(-1.0, 1.0, n)
+                * 10.0 ** rng.integers(-6, 7, size=n)
+            )
+        return vals[1], vals[23]
+
+    def test_same_bucket_items_keep_their_own_decisions(self):
+        a, b = self._conflicting_pair()
+        comm = SimComm(self.N_RANKS)
+
+        def fresh(v):
+            return AdaptiveReducer(comm, threshold=1e-13).reduce(
+                comm.scatter_array(v)
+            )
+
+        exp_a, exp_b = fresh(a), fresh(b)
+        # the pair is only a regression guard while it actually straddles a
+        # boundary inside one bucket
+        ra = AdaptiveReducer(comm, threshold=1e-13)
+        key_a = ra._decision_key(ra.profile(comm.scatter_array(a)), 1e-13)
+        key_b = ra._decision_key(ra.profile(comm.scatter_array(b)), 1e-13)
+        assert key_a == key_b
+        assert exp_a.decision.code != exp_b.decision.code
+
+        for order in ((a, b), (b, a)):
+            # the serving path: a shared reducer's reduce_many, one item per
+            # tick (the daemon's cache-warming order is the arrival order)
+            shared = AdaptiveReducer(comm, threshold=1e-13)
+            got = {
+                id(v): shared.reduce_many(
+                    [comm.scatter_array(v)], workers=1
+                )[0]
+                for v in order
+            }
+            for v, exp in ((a, exp_a), (b, exp_b)):
+                assert got[id(v)].decision.code == exp.decision.code
+                assert (
+                    np.float64(got[id(v)].value).tobytes()
+                    == np.float64(exp.value).tobytes()
+                ), "served bits depended on arrival order"
+            info = shared.decision_cache_info()
+            assert info["hits"] + info["misses"] == 2
+            # the boundary-straddling second item must not reuse the first
+            # item's decision: it lands as an invalidation, not a hit
+            assert info["invalidations"] == 1
