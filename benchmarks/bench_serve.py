@@ -18,11 +18,19 @@ asymmetry that the micro-batcher re-creates from concurrent network
 arrivals, so the win survives a single-core CI runner (observed ~4.5x
 end-to-end with HTTP framing included).
 
+A second case compares the wire codecs on the same daemon and vectors:
+JSON number arrays vs base64 float64 vs the zero-copy binary frame
+(``application/x-repro-frame``), reporting throughput and p50/p99
+per-request latency per codec.  The binary path must sustain >= 2x the
+JSON number-array path — the JSON codec spends more CPU parsing the
+request than the reduction it carries, and the frame ingest removes that
+cost (payload bytes reach NumPy as a view of the receive buffer).
+
 Run directly (CI does, as a smoke job that uploads the JSON artifact)::
 
     python benchmarks/bench_serve.py --metrics-out metrics-serve.json
 
-or under pytest, where the throughput floor is asserted::
+or under pytest, where the throughput floors are asserted::
 
     python -m pytest benchmarks/bench_serve.py -q
 """
@@ -44,7 +52,14 @@ from repro.obs import get_registry
 from repro.obs.registry import parse_prometheus_text
 from repro.selection.selector import AdaptiveReducer
 from repro.serve.daemon import ReproServeDaemon
-from repro.serve.protocol import encode_values, http_request
+from repro.serve.frames import (
+    FRAME_CONTENT_TYPE,
+    KIND_RESPONSE,
+    encode_frame,
+    parse_frame,
+    payload_array,
+)
+from repro.serve.protocol import KeepAliveClient, encode_values, http_request
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_serve.json"
@@ -246,14 +261,177 @@ def bench_serve(repeats: int = 3) -> dict:
     }
 
 
+# -- codec comparison: JSON numbers vs base64 vs binary frames -----------------
+
+
+def _codec_workload(
+    seed: int = 20266,
+) -> "tuple[list[np.ndarray], list[int]]":
+    """(request vector, expected float64 result bits) per request; the
+    expectation is a fresh serial reduce, independent of the daemon."""
+    rng = np.random.default_rng(seed)
+    comm = SimComm(N_RANKS)
+    reducer = AdaptiveReducer(comm, threshold=1e-13)
+    vectors: "list[np.ndarray]" = []
+    expected: "list[int]" = []
+    for _ in range(CONCURRENCY * REQUESTS_PER_CLIENT):
+        values = rng.uniform(-1.0, 1.0, N_RANKS * CHUNK_LEN) * 10.0 ** (
+            rng.integers(-6, 7, size=N_RANKS * CHUNK_LEN)
+        )
+        vectors.append(np.ascontiguousarray(values, dtype="<f8"))
+        result = reducer.reduce(comm.scatter_array(values)).value
+        expected.append(int(np.float64(result).view(np.uint64)))
+    return vectors, expected
+
+
+def _codec_bodies(vectors: "list[np.ndarray]", codec: str) -> "list[bytes]":
+    if codec == "binary":
+        return [
+            encode_frame({"dtype": "<f8", "shape": [v.size]}, v)
+            for v in vectors
+        ]
+    if codec == "json_b64":
+        return [
+            json.dumps({"values_b64": encode_values(v)}).encode()
+            for v in vectors
+        ]
+    return [json.dumps({"values": v.tolist()}).encode() for v in vectors]
+
+
+def _decode_binary_bits(resp) -> int:
+    # copy the body out of the client's recycled receive buffer first
+    header, payload = parse_frame(bytes(resp.body), kind=KIND_RESPONSE)
+    return int(payload_array(header, payload).view(np.uint64)[0])
+
+
+def _decode_json_bits(resp) -> int:
+    return int(
+        np.float64(float.fromhex(resp.json()["value_hex"])).view(np.uint64)
+    )
+
+
+async def _fire_codec_burst(
+    host: str,
+    port: int,
+    bodies: "list[bytes]",
+    content_type: str,
+    decode,
+) -> "tuple[list[float], list[int]]":
+    """CONCURRENCY keep-alive clients; per-request latency + result bits."""
+    latencies = [0.0] * len(bodies)
+    bits = [0] * len(bodies)
+
+    async def client(offset: int) -> None:
+        async with KeepAliveClient(host, port) as c:
+            for i in range(offset, len(bodies), CONCURRENCY):
+                t0 = time.perf_counter()
+                resp = await c.request(
+                    "POST", "/v1/reduce", bodies[i],
+                    content_type=content_type,
+                )
+                latencies[i] = time.perf_counter() - t0
+                assert resp.status == 200, (resp.status, bytes(resp.body))
+                bits[i] = decode(resp)  # consumes the recycled body view
+
+    await asyncio.gather(*(client(c) for c in range(CONCURRENCY)))
+    return latencies, bits
+
+
+def bench_codecs(repeats: int = 3) -> dict:
+    """One daemon, three wire codecs, same vectors: throughput and p50/p99
+    per-request latency for JSON number arrays, base64 JSON, and binary
+    frames — every response checked bitwise against serial recomputation."""
+    vectors, expected = _codec_workload()
+    n = len(vectors)
+    codecs = {
+        codec: _codec_bodies(vectors, codec)
+        for codec in ("json", "json_b64", "binary")
+    }
+
+    async def run() -> "tuple[dict, str]":
+        async with ReproServeDaemon(
+            ranks=N_RANKS,
+            max_batch=MAX_BATCH,
+            max_linger_us=LINGER_US,
+            workers=1,
+        ) as daemon:
+            host, port = daemon.host, daemon.port
+            modes: "dict[str, dict]" = {}
+            for codec, bodies in codecs.items():
+                binary = codec == "binary"
+                content_type = (
+                    FRAME_CONTENT_TYPE if binary else "application/json"
+                )
+                decode = _decode_binary_bits if binary else _decode_json_bits
+                # warmup: decision cache + scaffold/buffer growth
+                _, warm_bits = await _fire_codec_burst(
+                    host, port, bodies[:CONCURRENCY], content_type, decode
+                )
+                assert warm_bits == expected[:CONCURRENCY]
+                best, best_lat = float("inf"), [0.0]
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    lat, bits = await _fire_codec_burst(
+                        host, port, bodies, content_type, decode
+                    )
+                    elapsed = time.perf_counter() - t0
+                    assert bits == expected, (
+                        f"{codec} response diverged bitwise from serial "
+                        "recomputation"
+                    )
+                    if elapsed < best:
+                        best, best_lat = elapsed, lat
+                modes[codec] = {"burst_s": best, "latencies": best_lat}
+            scrape = await http_request(host, port, "GET", "/metrics")
+            assert scrape.status == 200
+            return modes, scrape.body.decode()
+
+    modes, metrics_text = asyncio.run(run())
+    parsed = parse_prometheus_text(metrics_text)
+    codec_counts = {
+        s["labels"]["codec"]: s["value"]
+        for s in parsed["samples"]
+        if s["name"] == "repro_serve_codec_total"
+    }
+    assert codec_counts.get("binary", 0) > 0, codec_counts
+    assert codec_counts.get("json", 0) > 0, codec_counts
+
+    row: dict = {
+        "case": "serve_codec_comparison",
+        "n_ranks": N_RANKS,
+        "chunk_len": CHUNK_LEN,
+        "concurrency": CONCURRENCY,
+        "requests": n,
+        "max_batch": MAX_BATCH,
+        "max_linger_us": LINGER_US,
+        "bitwise_identical": True,  # asserted above, for the record
+        "codec_requests_total": codec_counts,
+    }
+    for codec, mode in modes.items():
+        lat = np.asarray(mode["latencies"])
+        row[codec] = {
+            "burst_s": mode["burst_s"],
+            "rps": n / mode["burst_s"],
+            "p50_ms": float(np.percentile(lat, 50) * 1e3),
+            "p99_ms": float(np.percentile(lat, 99) * 1e3),
+        }
+    row["binary_vs_json_speedup"] = (
+        row["binary"]["rps"] / row["json"]["rps"]
+    )
+    row["binary_vs_json_b64_speedup"] = (
+        row["binary"]["rps"] / row["json_b64"]["rps"]
+    )
+    return row
+
+
 def run_all(repeats: int = 3) -> dict:
     return {
         "bench": "serve",
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
-        "cases": [bench_serve(repeats)],
+        "cases": [bench_serve(repeats), bench_codecs(repeats)],
     }
 
 
@@ -281,13 +459,25 @@ def main(argv: "list[str] | None" = None) -> int:
         metrics_path.parent.mkdir(parents=True, exist_ok=True)
         metrics_path.write_text(registry.to_json() + "\n")
         print(f"metrics snapshot written to {metrics_path}")
-    (c,) = payload["cases"]
+    batch_case, codec_case = payload["cases"]
     print(
-        f"{c['case']:>20}  C={c['concurrency']} N={c['requests']}  "
-        f"baseline={c['baseline_rps']:.0f} req/s  "
-        f"batched={c['batched_rps']:.0f} req/s  "
-        f"speedup={c['speedup']:.1f}x  "
-        f"mean_batch={c['mean_batch_items']:.1f}"
+        f"{batch_case['case']:>22}  C={batch_case['concurrency']} "
+        f"N={batch_case['requests']}  "
+        f"baseline={batch_case['baseline_rps']:.0f} req/s  "
+        f"batched={batch_case['batched_rps']:.0f} req/s  "
+        f"speedup={batch_case['speedup']:.1f}x  "
+        f"mean_batch={batch_case['mean_batch_items']:.1f}"
+    )
+    for codec in ("json", "json_b64", "binary"):
+        c = codec_case[codec]
+        print(
+            f"{codec_case['case']:>22}  {codec:>8}: {c['rps']:.0f} req/s  "
+            f"p50={c['p50_ms']:.2f}ms  p99={c['p99_ms']:.2f}ms"
+        )
+    print(
+        f"{'':>22}  binary vs json: "
+        f"{codec_case['binary_vs_json_speedup']:.1f}x  "
+        f"(vs b64: {codec_case['binary_vs_json_b64_speedup']:.1f}x)"
     )
     return 0
 
@@ -309,6 +499,26 @@ def test_micro_batching_throughput_floor():
         assert row["serve_batches_total"] > 0, row
         # micro-batching actually batched: fewer ticks than requests
         assert row["batched_batches"] < row["requests"], row
+    finally:
+        get_registry().disable()
+        get_registry().reset()
+
+
+def test_binary_codec_throughput_floor():
+    """Acceptance: the binary frame path sustains >= 2x the JSON
+    number-array path's throughput, bitwise-identical responses, and the
+    codec counter proves binary traffic actually flowed (one re-measure
+    allowed, same policy as the other bench floors).  The base64 ratio is
+    recorded but not gated — base64 is already the cheap JSON form."""
+    get_registry().enable()
+    try:
+        row = bench_codecs(repeats=2)
+        if row["binary_vs_json_speedup"] < 2.0:
+            row = bench_codecs(repeats=2)
+        assert row["binary_vs_json_speedup"] >= 2.0, row
+        assert row["bitwise_identical"], row
+        assert row["codec_requests_total"].get("binary", 0) > 0, row
+        assert row["codec_requests_total"].get("json", 0) > 0, row
     finally:
         get_registry().disable()
         get_registry().reset()

@@ -7,6 +7,7 @@ name catalogue each instrumented layer emits.
 
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -21,4 +22,5 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
 ]

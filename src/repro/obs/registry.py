@@ -40,6 +40,7 @@ __all__ = [
     "get_registry",
     "parse_prometheus_text",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
 ]
 
 #: default histogram upper bounds (seconds): 1 µs .. 10 s, decade-spaced
@@ -48,6 +49,15 @@ __all__ = [
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
     1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+#: default histogram upper bounds (bytes): 256 B .. 1 GiB, power-of-4 —
+#: for payload/batch size distributions (e.g. bytes packed per serving
+#: tick), matching the power-of-two sizing the arenas grow by
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+    1048576.0, 4194304.0, 16777216.0, 67108864.0, 268435456.0,
+    1073741824.0,
 )
 
 _LabelItems = Tuple[Tuple[str, str], ...]

@@ -507,7 +507,14 @@ class AdaptiveReducer:
         for chunks in batches:
             ranks.append(len(chunks))
             for c in chunks:
-                a = np.ascontiguousarray(np.asarray(c, dtype=np.float64).ravel())
+                # normalise without materialising: asarray of an f8 chunk —
+                # including a memoryview-backed slice of a socket receive
+                # buffer — is a view, and write_concat below is the single
+                # copy (straight into the shared input arena).  The old
+                # ascontiguousarray staging copy doubled every ingest.
+                a = np.asarray(c, dtype=np.float64)
+                if a.ndim != 1:
+                    a = a.ravel()
                 flats.append(a)
                 lengths.append(a.size)
         n_items = len(batches)
@@ -526,20 +533,17 @@ class AdaptiveReducer:
         with arena_pair() as (arena_in, arena_res):
             in_handle = arena_in.reserve(in_bytes)
             res_handle = arena_res.reserve(res_bytes)
-            lengths_v = arena_in.view(np.int64, (n_chunks,))
-            lengths_v[:] = lengths
-            ranks_v = arena_in.view(np.int64, (n_items,), offset=8 * n_chunks)
-            ranks_v[:] = ranks
-            us_v = arena_in.view(
-                np.float64, (n_items,), offset=8 * (n_chunks + n_items)
+            arena_in.write(np.asarray(lengths, dtype=np.int64))
+            arena_in.write(
+                np.asarray(ranks, dtype=np.int64), offset=8 * n_chunks
             )
-            us_v[:] = us
-            flat_v = arena_in.view(
-                np.float64, (total,), offset=8 * (n_chunks + 2 * n_items)
+            arena_in.write(
+                np.asarray(us, dtype=np.float64),
+                offset=8 * (n_chunks + n_items),
             )
-            if flats:
-                np.concatenate(flats, out=flat_v)
-            del lengths_v, ranks_v, us_v, flat_v
+            arena_in.write_concat(
+                flats, total, np.float64, offset=8 * (n_chunks + 2 * n_items)
+            )
             payloads = [
                 (
                     in_handle,
@@ -561,18 +565,14 @@ class AdaptiveReducer:
                 for shard_index, s in enumerate(shards)
             ]
             pool.map(_reduce_many_shard, payloads, chunksize=1, path="reduce_many")
-            values = arena_res.view(np.float64, (n_items,)).copy()
-            code_idx = arena_res.view(np.int64, (n_items,), offset=8 * n_items).copy()
-            tier_flag = arena_res.view(
-                np.int64, (n_items,), offset=16 * n_items
-            ).copy()
-            sk_n = arena_res.view(np.int64, (n_items,), offset=24 * n_items).copy()
-            sk_f = arena_res.view(
-                np.float64, (n_items, 6), offset=32 * n_items
-            ).copy()
-            stats = arena_res.view(
+            values = arena_res.read(np.float64, (n_items,))
+            code_idx = arena_res.read(np.int64, (n_items,), offset=8 * n_items)
+            tier_flag = arena_res.read(np.int64, (n_items,), offset=16 * n_items)
+            sk_n = arena_res.read(np.int64, (n_items,), offset=24 * n_items)
+            sk_f = arena_res.read(np.float64, (n_items, 6), offset=32 * n_items)
+            stats = arena_res.read(
                 np.float64, (len(shards), 3), offset=80 * n_items
-            ).copy()
+            )
         sketches = [
             StreamProfile(
                 n=int(sk_n[i]),

@@ -8,8 +8,13 @@ real concurrent traffic.  This package is that front end, built on stdlib
 ``asyncio`` with a hand-rolled minimal HTTP/1.1 layer — no new
 dependencies:
 
-* :mod:`repro.serve.protocol` — wire parsing/rendering plus a tiny async
-  client used by the tests and the serving bench;
+* :mod:`repro.serve.protocol` — wire parsing/rendering (reusable
+  per-connection receive buffers, cached response-header scaffolds) plus
+  the async clients used by the tests and the serving bench, including
+  the buffer-reusing :class:`~repro.serve.protocol.KeepAliveClient`;
+* :mod:`repro.serve.frames` — the ``application/x-repro-frame`` binary
+  codec: versioned frames whose payload bytes reach NumPy as zero-copy
+  views of the receive buffer (JSON stays for compatibility);
 * :mod:`repro.serve.batcher` — the dynamic micro-batcher: a bounded queue
   drained into one ``reduce_many`` call per tick (max-batch-size and
   max-linger knobs), with per-request deadlines, backpressure, and a
@@ -35,6 +40,8 @@ from repro.serve.batcher import (
     MicroBatcher,
 )
 from repro.serve.daemon import ReproServeDaemon
+from repro.serve.frames import FRAME_CONTENT_TYPE, encode_frame, parse_frame
+from repro.serve.protocol import KeepAliveClient
 
 __all__ = [
     "MicroBatcher",
@@ -42,4 +49,8 @@ __all__ = [
     "BatcherClosing",
     "DeadlineExceeded",
     "ReproServeDaemon",
+    "FRAME_CONTENT_TYPE",
+    "encode_frame",
+    "parse_frame",
+    "KeepAliveClient",
 ]

@@ -31,6 +31,12 @@ Batches execute one at a time (the drain task awaits each executor call),
 so a single-reducer daemon never runs two ``reduce_many`` calls
 concurrently from this path — the decision cache and dispatch arenas see
 strictly ordered traffic even at high client concurrency.
+
+Item lifetime: queued items may be zero-copy ndarray views of a
+connection's receive buffer (the binary-frame ingest path), pinned only
+until their results are delivered.  The batcher therefore drops every
+item reference as soon as its future resolves — a retained view would
+block that connection's buffer from growing for its next request.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from repro.obs import get_registry
+from repro.obs import DEFAULT_SIZE_BUCKETS, get_registry
 
 __all__ = [
     "BatcherClosing",
@@ -50,6 +56,14 @@ __all__ = [
 ]
 
 _OBS = get_registry()
+
+
+def _item_nbytes(item: Any) -> int:
+    """Payload bytes of one queued item (a per-rank chunk sequence)."""
+    try:
+        return sum(int(getattr(c, "nbytes", 0)) for c in item)
+    except TypeError:  # not iterable; opaque item
+        return int(getattr(item, "nbytes", 0))
 
 #: batch-size histogram bounds (requests per tick, not seconds)
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
@@ -81,6 +95,7 @@ class _Pending:
     deadline: "float | None"  # absolute loop time, None = no deadline
     future: asyncio.Future = field(repr=False)
     enqueued_at: float = 0.0
+    nbytes: int = 0  # payload size, captured at submit (item is cleared later)
 
 
 class MicroBatcher:
@@ -200,6 +215,7 @@ class MicroBatcher:
                     deadline=deadline,
                     future=fut,
                     enqueued_at=now,
+                    nbytes=_item_nbytes(item) if _OBS.enabled else 0,
                 )
             )
             futures.append(fut)
@@ -244,6 +260,11 @@ class MicroBatcher:
                     "repro_serve_linger_seconds", buckets=_LINGER_BUCKETS
                 ).observe(lingered)
             await self._process(batch)
+            # drop the processed batch before parking: items may be
+            # zero-copy views of a connection's receive buffer, and a
+            # lingering reference here would block that buffer from
+            # growing for its next request (bytearray resize BufferError)
+            del batch
 
     async def _process(self, batch: "list[_Pending]") -> None:
         assert self._loop is not None
@@ -251,8 +272,10 @@ class MicroBatcher:
         live: "list[_Pending]" = []
         for p in batch:
             if p.future.done():  # client went away; nothing to deliver
+                p.item = None
                 continue
             if p.deadline is not None and now >= p.deadline:
+                p.item = None
                 if _OBS.enabled:
                     _OBS.counter("repro_serve_deadline_misses_total").inc()
                 p.future.set_exception(
@@ -269,6 +292,9 @@ class MicroBatcher:
             _OBS.histogram(
                 "repro_serve_batch_items", buckets=_BATCH_BUCKETS
             ).observe(len(live))
+            _OBS.histogram(
+                "repro_serve_batch_bytes", buckets=DEFAULT_SIZE_BUCKETS
+            ).observe(float(sum(p.nbytes for p in live)))
         if not live:
             return  # a legitimately empty tick: everything expired
         groups: "dict[float | None, list[_Pending]]" = {}
@@ -282,9 +308,13 @@ class MicroBatcher:
                 )
             except Exception as exc:  # noqa: BLE001 - delivered per-request
                 for p in group:
+                    p.item = None  # release buffer-view payloads promptly
                     if not p.future.done():
                         p.future.set_exception(exc)
                 continue
+            finally:
+                del items
             for p, result in zip(group, results):
+                p.item = None  # release buffer-view payloads promptly
                 if not p.future.done():
                     p.future.set_result(result)

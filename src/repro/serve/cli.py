@@ -35,7 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Serve adaptive reproducible reductions over HTTP with dynamic "
             "micro-batching (POST /v1/reduce, /v1/reduce_many, /v1/ensemble; "
-            "GET /metrics, /healthz)."
+            "GET /metrics, /healthz).  The reduce endpoints speak JSON and "
+            "the zero-copy binary frame codec "
+            "(Content-Type: application/x-repro-frame)."
         ),
     )
     parser.add_argument("--host", default="127.0.0.1")
@@ -82,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=None,
         help="default per-request deadline; requests queued longer answer "
         "504 (default: none)",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=None,
+        help="request body cap in bytes; oversized bodies answer 413 "
+        "(default: 64 MiB)",
     )
     parser.add_argument(
         "--no-batching", action="store_true",
@@ -131,7 +138,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if not args.no_metrics:
         get_registry().enable()
-    daemon = ReproServeDaemon(
+    daemon_kwargs = dict(
         host=args.host,
         port=args.port,
         ranks=args.ranks,
@@ -144,6 +151,9 @@ def main(argv: "list[str] | None" = None) -> int:
         default_deadline_ms=args.deadline_ms,
         batching=not args.no_batching,
     )
+    if args.max_body_bytes is not None:
+        daemon_kwargs["max_body_bytes"] = args.max_body_bytes
+    daemon = ReproServeDaemon(**daemon_kwargs)
     try:
         asyncio.run(_serve(daemon))
     except KeyboardInterrupt:  # pragma: no cover - non-loop signal delivery

@@ -8,8 +8,20 @@ drain task (micro-batched ``reduce_many`` in a worker thread), so client
 concurrency never translates into concurrent reducer calls.  Ensemble
 evaluations are already batch-shaped and run straight in the executor.
 
-Endpoints (bodies are JSON; arrays as ``values`` or base64 ``values_b64``,
-see :mod:`repro.serve.protocol`):
+The data plane is zero-copy end to end for the binary codec
+(``Content-Type: application/x-repro-frame``, :mod:`repro.serve.frames`):
+request bodies accumulate into a reusable per-connection buffer, frame
+payloads reach NumPy as ``memoryview``-backed arrays (no intermediate
+``bytes``, no forced ``astype``), per-rank chunks are zero-copy slices of
+that buffer which the selector concatenates *directly* into the worker
+pool's shared-memory arena, and responses render from cached header
+scaffolds into a reusable scratch buffer.  The JSON codec stays for
+compatibility; codec traffic is split on
+``repro_serve_codec_total{codec}`` with per-codec ingest latency.
+
+Endpoints (JSON bodies use ``values`` or base64 ``values_b64``; the
+reduce endpoints also speak the binary frame codec, see
+:mod:`repro.serve.protocol` / :mod:`repro.serve.frames`):
 
 * ``POST /v1/reduce`` — one adaptive reduction.  The global vector is
   block-scattered over the daemon's ranks (or pass explicit per-rank
@@ -50,6 +62,14 @@ from repro.serve.batcher import (
     DeadlineExceeded,
     MicroBatcher,
 )
+from repro.serve.frames import (
+    FRAME_CONTENT_TYPE,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    append_frame,
+    parse_frame,
+    payload_array,
+)
 from repro.serve.protocol import (
     DEFAULT_MAX_BODY_BYTES,
     HttpError,
@@ -57,9 +77,11 @@ from repro.serve.protocol import (
     json_response,
     read_request,
     render_response,
+    render_response_into,
 )
 from repro.summation.registry import get_algorithm
 from repro.trees.evaluate import evaluate_ensemble
+from repro.util.chunking import split_indices
 from repro.util.pool import shutdown_pool
 
 __all__ = ["ReproServeDaemon"]
@@ -172,17 +194,27 @@ class ReproServeDaemon:
     # -- the blocking batch executor (runs in a worker thread) --------------
     def _reduce_batch(
         self,
-        items: Sequence[Sequence[np.ndarray]],
+        items: "list[Sequence[np.ndarray]]",
         threshold: Optional[float],
     ) -> "list[AdaptiveResult]":
-        if not self.batching:
-            return [
-                self.reducer.reduce(chunks, threshold=threshold)
-                for chunks in items
-            ]
-        return self.reducer.reduce_many(
-            items, threshold=threshold, workers=self.workers
-        )
+        try:
+            if not self.batching:
+                return [
+                    self.reducer.reduce(chunks, threshold=threshold)
+                    for chunks in items
+                ]
+            return self.reducer.reduce_many(
+                items, threshold=threshold, workers=self.workers
+            )
+        finally:
+            # Drop operand references *inside* the executor call, before the
+            # result future resolves: chunks may be zero-copy views of a
+            # connection's receive buffer, and the worker thread's own
+            # work-item teardown (which would free them) races the event
+            # loop reading that connection's next request.  Clearing here is
+            # sequenced strictly before set_result, so by the time the
+            # response goes out no thread still pins the buffer.
+            items.clear()
 
     # -- connection handling ------------------------------------------------
     async def _handle_connection(
@@ -190,11 +222,18 @@ class ReproServeDaemon:
     ) -> None:
         if _OBS.enabled:
             _OBS.counter("repro_serve_connections_total").inc()
+        # the connection's whole allocation story: bodies accumulate into
+        # body_buf, binary response frames assemble in frame_buf, and the
+        # full HTTP response renders into scratch — all three grow to the
+        # connection's high-water mark once and are then reused per request
+        body_buf = bytearray()
+        frame_buf = bytearray()
+        scratch = bytearray()
         try:
             while True:
                 try:
                     request = await read_request(
-                        reader, max_body=self.max_body_bytes
+                        reader, max_body=self.max_body_bytes, buffer=body_buf
                     )
                 except HttpError as exc:
                     writer.write(
@@ -206,9 +245,18 @@ class ReproServeDaemon:
                     break
                 if request is None:
                     break
-                payload = await self._dispatch(request)
-                writer.write(payload)
-                await writer.drain()
+                response = await self._dispatch(request, scratch, frame_buf)
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                finally:
+                    # asyncio socket transports copy in write(), so the
+                    # scratch view can be released as soon as drain returns;
+                    # both releases must happen before the next request or
+                    # the buffers cannot grow (BufferError by design)
+                    if isinstance(response, memoryview):
+                        response.release()
+                    request.release()
                 if not request.keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -218,11 +266,17 @@ class ReproServeDaemon:
             with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
 
-    async def _dispatch(self, request) -> bytes:
+    async def _dispatch(
+        self, request, scratch: bytearray, frame_buf: bytearray
+    ) -> "bytes | memoryview":
+        """Route one request; the response is a ``memoryview`` of
+        ``scratch`` (released by the connection loop after the write) or
+        plain ``bytes`` on the cold ``/metrics`` path."""
         loop = asyncio.get_running_loop()
         started = loop.time()
         endpoint = request.path if request.path in _ROUTES else "unknown"
         keep = request.keep_alive
+        frame = None  # (header, payload array) for binary-codec 200s
         try:
             if endpoint == "unknown":
                 raise HttpError(404, f"no route for {request.path!r}")
@@ -230,26 +284,43 @@ class ReproServeDaemon:
                 raise HttpError(
                     405, f"{endpoint} expects {_ROUTES[endpoint]}"
                 )
+            binary = request.content_type == FRAME_CONTENT_TYPE
             if endpoint == "/healthz":
                 status, body = self._handle_healthz()
             elif endpoint == "/metrics":
                 status, body = 200, None  # rendered below (not JSON)
             elif endpoint == "/v1/reduce":
-                status, body = await self._handle_reduce(request)
+                if binary:
+                    status, frame = await self._handle_reduce_binary(request)
+                    body = None
+                else:
+                    status, body = await self._handle_reduce(request)
             elif endpoint == "/v1/reduce_many":
-                status, body = await self._handle_reduce_many(request)
+                if binary:
+                    status, frame = await self._handle_reduce_many_binary(
+                        request
+                    )
+                    body = None
+                else:
+                    status, body = await self._handle_reduce_many(request)
             else:
+                if binary:
+                    raise HttpError(
+                        400,
+                        "/v1/ensemble is JSON-only (binary frames carry "
+                        "reduction payloads)",
+                    )
                 status, body = await self._handle_ensemble(request)
         except HttpError as exc:
-            status, body = exc.status, {"error": exc.message}
+            status, body, frame = exc.status, {"error": exc.message}, None
         except BatcherFull as exc:
-            status, body = 429, {"error": str(exc)}
+            status, body, frame = 429, {"error": str(exc)}, None
         except BatcherClosing as exc:
-            status, body = 503, {"error": str(exc)}
+            status, body, frame = 503, {"error": str(exc)}, None
         except DeadlineExceeded as exc:
-            status, body = 504, {"error": str(exc)}
+            status, body, frame = 504, {"error": str(exc)}, None
         except Exception as exc:  # noqa: BLE001 - 500, never a dropped conn
-            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            status, body, frame = 500, {"error": f"{type(exc).__name__}: {exc}"}, None
         if _OBS.enabled:
             _OBS.counter(
                 "repro_serve_requests_total",
@@ -270,14 +341,32 @@ class ReproServeDaemon:
                 content_type="text/plain; version=0.0.4; charset=utf-8",
                 keep_alive=keep,
             )
-        if status == 429:
-            return render_response(
+        render_started = loop.time()
+        if frame is not None:
+            header, payload = frame
+            frame_buf.clear()
+            append_frame(frame_buf, header, payload, kind=KIND_RESPONSE)
+            out = render_response_into(
+                scratch,
+                status,
+                frame_buf,
+                content_type=FRAME_CONTENT_TYPE,
+                keep_alive=keep,
+            )
+        else:
+            extra = {"Retry-After": "1"} if status == 429 else None
+            out = render_response_into(
+                scratch,
                 status,
                 json.dumps(body, separators=(",", ":")).encode(),
                 keep_alive=keep,
-                extra_headers={"Retry-After": "1"},
+                extra_headers=extra,
             )
-        return json_response(body, status, keep_alive=keep)
+        if _OBS.enabled:
+            _OBS.histogram(
+                "repro_serve_render_seconds", buckets=_LATENCY_BUCKETS
+            ).observe(loop.time() - render_started)
+        return out
 
     # -- endpoint handlers ---------------------------------------------------
     def _handle_healthz(self):
@@ -287,6 +376,52 @@ class ReproServeDaemon:
             "queue_depth": self.batcher.depth,
             "batches_processed": self.batcher.batches_processed,
         }
+
+    def _coerce_threshold(self, threshold, *, what: str) -> "float | None":
+        if threshold is None:
+            return None
+        try:
+            threshold = float(threshold)
+        except (TypeError, ValueError):
+            raise HttpError(400, f"{what}.threshold must be a number") from None
+        if not threshold >= 0:  # also rejects NaN
+            raise HttpError(400, f"{what}.threshold must be >= 0")
+        return threshold
+
+    def _coerce_deadline(self, deadline_ms, *, what: str) -> "float | None":
+        """``deadline_ms`` (or the daemon default) -> seconds, or None."""
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            raise HttpError(400, f"{what}.deadline_ms must be a number") from None
+        if not deadline_ms > 0:
+            raise HttpError(400, f"{what}.deadline_ms must be > 0")
+        return deadline_ms / 1e3
+
+    def _obs_ingest(self, codec: str, seconds: float) -> None:
+        """One decoded payload: codec split + wire-to-ndarray latency."""
+        if _OBS.enabled:
+            _OBS.counter("repro_serve_codec_total", codec=codec).inc()
+            _OBS.histogram(
+                "repro_serve_ingest_seconds",
+                buckets=_LATENCY_BUCKETS,
+                codec=codec,
+            ).observe(seconds)
+
+    def _scatter_view(self, arr: np.ndarray) -> "list[np.ndarray]":
+        """Block-scatter without ``SimComm.scatter_array``'s f8 coercion.
+
+        Frame payload slices stay zero-copy views in their wire dtype, so
+        precision-aware selection sees fp16/fp32 inputs at their own unit
+        roundoff instead of silently upcast copies.
+        """
+        return [
+            arr[s] for s in split_indices(arr.size, self.reducer.comm.n_ranks)
+        ]
 
     def _parse_item(self, obj, *, what: str):
         """One reduction item -> (chunks, threshold, deadline_s)."""
@@ -313,32 +448,14 @@ class ReproServeDaemon:
         else:
             values = decode_values(obj, what=what)
             chunks = self.reducer.comm.scatter_array(values)
-        threshold = obj.get("threshold")
-        if threshold is not None:
-            try:
-                threshold = float(threshold)
-            except (TypeError, ValueError):
-                raise HttpError(400, f"{what}.threshold must be a number") from None
-            if not threshold >= 0:  # also rejects NaN
-                raise HttpError(400, f"{what}.threshold must be >= 0")
-        deadline_ms = obj.get("deadline_ms", self.default_deadline_ms)
-        if deadline_ms is not None:
-            try:
-                deadline_ms = float(deadline_ms)
-            except (TypeError, ValueError):
-                raise HttpError(400, f"{what}.deadline_ms must be a number") from None
-            if not deadline_ms > 0:
-                raise HttpError(400, f"{what}.deadline_ms must be > 0")
-        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        threshold = self._coerce_threshold(obj.get("threshold"), what=what)
+        deadline_s = self._coerce_deadline(obj.get("deadline_ms"), what=what)
         return chunks, threshold, deadline_s
 
     @staticmethod
-    def _result_payload(result: AdaptiveResult) -> dict:
-        value = float(result.value)
+    def _result_meta(result: AdaptiveResult) -> dict:
         d = result.decision
         return {
-            "value": value,
-            "value_hex": value.hex(),
             "algorithm": d.code,
             "tier": d.tier,
             "threshold": d.threshold,
@@ -346,17 +463,114 @@ class ReproServeDaemon:
             "n": int(d.profile.n),
         }
 
+    @staticmethod
+    def _result_payload(result: AdaptiveResult) -> dict:
+        value = float(result.value)
+        return {
+            "value": value,
+            "value_hex": value.hex(),
+            **ReproServeDaemon._result_meta(result),
+        }
+
     async def _handle_reduce(self, request):
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         chunks, threshold, deadline_s = self._parse_item(
             request.json(), what="body"
         )
+        self._obs_ingest("json", loop.time() - started)
         future = self.batcher.submit(
             chunks, threshold=threshold, deadline_s=deadline_s
         )
         result = await future
         return 200, self._result_payload(result)
 
+    async def _handle_reduce_binary(self, request):
+        """``/v1/reduce`` over the binary frame codec (zero-copy ingest).
+
+        The 1-D payload is sliced into per-rank views of the connection's
+        receive buffer; the buffer stays pinned until this handler's future
+        resolves (the connection is strictly sequential), so the views are
+        valid through the whole reduction.  The response is a binary frame
+        whose 8 payload bytes are the result's exact float64 bits.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        header, payload = parse_frame(
+            request.body, kind=KIND_REQUEST, what="body"
+        )
+        arr = payload_array(header, payload, what="body")
+        if arr.ndim != 1:
+            raise HttpError(
+                400,
+                f"body: /v1/reduce takes a 1-D frame payload, got shape "
+                f"{list(arr.shape)}",
+            )
+        chunks = self._scatter_view(arr)
+        threshold = self._coerce_threshold(header.get("threshold"), what="body")
+        deadline_s = self._coerce_deadline(
+            header.get("deadline_ms"), what="body"
+        )
+        self._obs_ingest("binary", loop.time() - started)
+        result = await self.batcher.submit(
+            chunks, threshold=threshold, deadline_s=deadline_s
+        )
+        out_header = {
+            "status": 200,
+            "dtype": "<f8",
+            "shape": [1],
+            **self._result_meta(result),
+        }
+        return 200, (out_header, np.asarray([result.value], dtype="<f8"))
+
+    async def _handle_reduce_many_binary(self, request):
+        """``/v1/reduce_many`` over the binary frame codec.
+
+        The payload is a 2-D ``[items, n]`` matrix; each row scatters into
+        zero-copy per-rank views and the rows join the micro-batch queue
+        individually (all-or-nothing, like the JSON path).  The response
+        payload is the float64 result vector in row order.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        header, payload = parse_frame(
+            request.body, kind=KIND_REQUEST, what="body"
+        )
+        arr = payload_array(header, payload, what="body")
+        if arr.ndim != 2:
+            raise HttpError(
+                400,
+                f"body: /v1/reduce_many takes a 2-D [items, n] frame "
+                f"payload, got shape {list(arr.shape)}",
+            )
+        threshold = self._coerce_threshold(header.get("threshold"), what="body")
+        deadline_s = self._coerce_deadline(
+            header.get("deadline_ms"), what="body"
+        )
+        items = [self._scatter_view(row) for row in arr]
+        self._obs_ingest("binary", loop.time() - started)
+        if not items:
+            empty = np.empty(0, dtype="<f8")
+            return 200, (
+                {"status": 200, "dtype": "<f8", "shape": [0], "results": []},
+                empty,
+            )
+        futures = self.batcher.submit_many(
+            items, threshold=threshold, deadline_s=deadline_s
+        )
+        results = await asyncio.gather(*futures)
+        values = np.asarray([r.value for r in results], dtype="<f8")
+        out_header = {
+            "status": 200,
+            "dtype": "<f8",
+            "shape": [len(results)],
+            "results": [self._result_meta(r) for r in results],
+        }
+        return 200, (out_header, values)
+
     async def _handle_reduce_many(self, request):
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         body = request.json()
         if not isinstance(body, dict) or not isinstance(body.get("items"), list):
             raise HttpError(400, "body needs an 'items' list")
@@ -371,6 +585,7 @@ class ReproServeDaemon:
             ):
                 obj = {**obj, "threshold": shared_threshold}
             parsed.append(self._parse_item(obj, what=f"items[{i}]"))
+        self._obs_ingest("json", loop.time() - started)
         if not parsed:
             return 200, {"results": []}
         # all-or-nothing capacity check up front (no awaits between here and
@@ -397,8 +612,11 @@ class ReproServeDaemon:
         return 200, {"results": [self._result_payload(r) for r in results]}
 
     async def _handle_ensemble(self, request):
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         body = request.json()
         data = decode_values(body, what="body")
+        self._obs_ingest("json", loop.time() - started)
         try:
             algorithm = get_algorithm(str(body.get("algorithm", "")))
         except KeyError:
@@ -420,7 +638,6 @@ class ReproServeDaemon:
                 seed = int(seed)
             except (TypeError, ValueError):
                 raise HttpError(400, "seed must be an integer") from None
-        loop = asyncio.get_running_loop()
         try:
             values = await loop.run_in_executor(
                 None,

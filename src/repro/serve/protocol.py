@@ -12,9 +12,20 @@ Payload encodings for numeric arrays (both directions):
 
 * ``"values"`` — a plain JSON array of numbers (human/curl friendly);
 * ``"values_b64"`` — base64 of the raw little-endian float64 bytes.  This
-  is the bit-exact, parse-cheap form the bench client uses; JSON float
-  round-trip is *also* exact (shortest-repr), but parsing hundreds of
-  thousands of JSON numbers costs more than the reduction being served.
+  is the bit-exact, parse-cheap form; JSON float round-trip is *also*
+  exact (shortest-repr), but parsing hundreds of thousands of JSON
+  numbers costs more than the reduction being served;
+* the binary frame codec (``application/x-repro-frame``) lives in
+  :mod:`repro.serve.frames` — raw little-endian payload bytes that reach
+  NumPy as a zero-copy view of the connection's receive buffer.
+
+Zero-copy plumbing on this layer: :func:`read_request` can accumulate
+request bodies into a caller-owned reusable ``bytearray`` (one buffer per
+connection instead of a fresh ``bytes`` per request), and
+:func:`render_response_into` assembles responses from cached header
+scaffolds into a reusable scratch buffer.  :class:`KeepAliveClient` is
+the client-side mirror: one connection, one receive buffer, reused across
+requests.
 """
 
 from __future__ import annotations
@@ -32,10 +43,13 @@ __all__ = [
     "HttpResponse",
     "read_request",
     "render_response",
+    "render_response_into",
+    "header_scaffold",
     "json_response",
     "encode_values",
     "decode_values",
     "http_request",
+    "KeepAliveClient",
     "STATUS_REASONS",
 ]
 
@@ -71,13 +85,20 @@ class HttpError(Exception):
 
 @dataclass
 class HttpRequest:
-    """One parsed request: enough surface for routing and JSON bodies."""
+    """One parsed request: enough surface for routing and JSON bodies.
+
+    ``body`` is ``bytes`` on the one-shot path, or a ``memoryview`` slice
+    of the connection's reusable receive buffer when :func:`read_request`
+    was given one — zero-copy for binary-frame payloads.  A view body is
+    only valid until the next request is read on that connection; the
+    server calls :meth:`release` once the response is written.
+    """
 
     method: str
     path: str
     version: str
     headers: "dict[str, str]" = field(default_factory=dict)
-    body: bytes = b""
+    body: "bytes | memoryview" = b""
 
     @property
     def keep_alive(self) -> bool:
@@ -86,36 +107,90 @@ class HttpRequest:
             return conn == "keep-alive"
         return conn != "close"
 
+    @property
+    def content_type(self) -> str:
+        """The media type, lowercased, parameters stripped."""
+        return self.headers.get("content-type", "").partition(";")[0].strip().lower()
+
     def json(self):
         """Parse the body as JSON; raises :class:`HttpError` 400 on junk."""
-        if not self.body:
+        if not len(self.body):
             raise HttpError(400, "empty body where JSON was expected")
+        raw = self.body if isinstance(self.body, bytes) else bytes(self.body)
         try:
-            return json.loads(self.body)
+            return json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise HttpError(400, f"malformed JSON body: {exc}") from None
+
+    def release(self) -> None:
+        """Drop the body's buffer export (no-op for ``bytes`` bodies).
+
+        Must run before the connection reads its next request: a live
+        export would block the receive buffer from growing.  Any ndarray
+        still viewing the buffer (e.g. an unconsumed payload view) keeps
+        its own export — those must be dropped by whoever holds them.
+        """
+        if isinstance(self.body, memoryview):
+            self.body.release()
+        self.body = b""
 
 
 @dataclass
 class HttpResponse:
-    """Client-side view of a response (see :func:`http_request`)."""
+    """Client-side view of a response (see :func:`http_request`).
+
+    ``body`` is ``bytes`` from :func:`http_request`, or a ``memoryview``
+    of the client's reusable receive buffer from
+    :class:`KeepAliveClient` (valid until that client's next request).
+    """
 
     status: int
     headers: "dict[str, str]"
-    body: bytes
+    body: "bytes | memoryview"
 
     def json(self):
-        return json.loads(self.body)
+        raw = self.body if isinstance(self.body, bytes) else bytes(self.body)
+        return json.loads(raw)
+
+
+async def _read_body_into(
+    reader: asyncio.StreamReader, buffer: bytearray, length: int
+) -> memoryview:
+    """Fill ``buffer[:length]`` from the stream; returns the body view.
+
+    The buffer grows monotonically (never shrinks) and is reused across
+    requests, replacing the per-request ``bytes`` allocation and join the
+    one-shot path pays.  Growing raises :class:`BufferError` if a previous
+    request's view was never released — a loud invariant, not a leak.
+    """
+    if len(buffer) < length:
+        buffer += b"\0" * (length - len(buffer))
+    view = memoryview(buffer)[:length]
+    got = 0
+    while got < length:
+        chunk = await reader.read(length - got)
+        if not chunk:
+            view.release()
+            raise HttpError(400, "truncated request body")
+        view[got : got + len(chunk)] = chunk
+        got += len(chunk)
+    return view
 
 
 async def read_request(
     reader: asyncio.StreamReader,
     *,
     max_body: int = DEFAULT_MAX_BODY_BYTES,
+    buffer: "bytearray | None" = None,
 ) -> "HttpRequest | None":
     """Read one request off the stream; ``None`` on clean EOF (keep-alive
     connection closed between requests).  Malformed input raises
     :class:`HttpError` with the status the handler should answer with.
+
+    ``buffer`` opts into the zero-copy body path: the body accumulates
+    into that reusable per-connection ``bytearray`` and ``request.body``
+    is a ``memoryview`` slice of it (call ``request.release()`` when
+    done).  Without it the body is a fresh ``bytes`` as before.
     """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -140,7 +215,7 @@ async def read_request(
         if not sep:
             raise HttpError(400, f"malformed header line: {line!r}")
         headers[name.strip().lower()] = value.strip()
-    body = b""
+    body: "bytes | memoryview" = b""
     if "transfer-encoding" in headers:
         raise HttpError(411, "chunked request bodies are not supported")
     if "content-length" in headers:
@@ -153,10 +228,13 @@ async def read_request(
         if length > max_body:
             raise HttpError(413, f"body of {length} bytes exceeds cap {max_body}")
         if length:
-            try:
-                body = await reader.readexactly(length)
-            except asyncio.IncompleteReadError:
-                raise HttpError(400, "truncated request body") from None
+            if buffer is not None:
+                body = await _read_body_into(reader, buffer, length)
+            else:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    raise HttpError(400, "truncated request body") from None
     elif method in ("POST", "PUT", "PATCH"):
         raise HttpError(411, "Content-Length required")
     return HttpRequest(
@@ -184,6 +262,61 @@ def render_response(
         lines.append(f"{name}: {value}")
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
+
+
+#: cached header prefixes, keyed by (status, content_type, keep_alive) —
+#: everything before the Content-Length digits is identical across
+#: responses, so the hot render path does zero string formatting
+_SCAFFOLDS: "dict[tuple[int, str, bool], bytes]" = {}
+
+
+def header_scaffold(
+    status: int, content_type: str, keep_alive: bool
+) -> bytes:
+    """The preformatted response head up to the ``Content-Length`` value."""
+    key = (status, content_type, keep_alive)
+    scaffold = _SCAFFOLDS.get(key)
+    if scaffold is None:
+        reason = STATUS_REASONS.get(status, "Unknown")
+        scaffold = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "Content-Length: "
+        ).encode("latin-1")
+        _SCAFFOLDS[key] = scaffold
+    return scaffold
+
+
+def render_response_into(
+    scratch: bytearray,
+    status: int,
+    body: "bytes | bytearray | memoryview",
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
+) -> memoryview:
+    """Assemble a response into the reusable ``scratch`` buffer.
+
+    The allocation-free sibling of :func:`render_response`: the head comes
+    from a cached scaffold and the bytes land in ``scratch`` (cleared
+    first), so a steady-state connection renders every response into the
+    same allocation.  Returns a ``memoryview`` of the assembled response;
+    the caller must hand it to the transport **and release it** before the
+    next render on this connection (asyncio socket transports copy
+    synchronously in ``write``, so release-after-write is safe).
+    """
+    scratch.clear()
+    scratch += header_scaffold(status, content_type, keep_alive)
+    scratch += b"%d" % len(body)
+    if extra_headers:
+        for name, value in extra_headers.items():
+            scratch += f"\r\n{name}: {value}".encode("latin-1")
+    scratch += b"\r\n\r\n"
+    if len(body):
+        scratch += body
+    return memoryview(scratch)
 
 
 def json_response(
@@ -217,7 +350,13 @@ def decode_values(obj, *, what: str = "payload") -> np.ndarray:
                 400, f"{what}.values_b64 length {len(raw)} is not a "
                 "multiple of 8 (little-endian float64 expected)"
             )
-        return np.frombuffer(raw, dtype="<f8").astype(np.float64)
+        arr = np.frombuffer(raw, dtype="<f8")
+        if arr.dtype.isnative and arr.flags.aligned:
+            # already native-order aligned float64: hand back the
+            # read-only view over the decoded bytes — the old
+            # unconditional .astype doubled every b64 ingest
+            return arr
+        return arr.astype(np.float64)
     if "values" in obj:
         try:
             return np.asarray(obj["values"], dtype=np.float64).ravel()
@@ -278,3 +417,98 @@ async def http_request(
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
+
+
+class KeepAliveClient:
+    """One persistent connection with a reusable receive buffer.
+
+    The previous keep-alive path (:func:`http_request` with an explicit
+    reader/writer) reallocated a fresh ``bytes`` body per response via
+    ``readexactly`` — client-side churn that polluted the bench's
+    throughput floors.  This client reads each response body into one
+    monotonically-grown ``bytearray``, so the returned
+    :class:`HttpResponse.body` is a ``memoryview`` that stays valid until
+    the *next* :meth:`request` on this client (copy it out if you need it
+    longer).  Requests on one client are strictly sequential.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._buf = bytearray()
+        self._last: "memoryview | None" = None
+        self._send = bytearray()
+
+    async def connect(self) -> None:
+        if self._reader is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: "bytes | bytearray | memoryview | None" = None,
+        *,
+        content_type: str = "application/json",
+    ) -> HttpResponse:
+        """Send one request; the response body views this client's buffer."""
+        if self._last is not None:
+            self._last.release()
+            self._last = None
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        reader, writer = self._reader, self._writer
+        payload = b"" if body is None else body
+        send = self._send
+        send.clear()
+        send += (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        if len(payload):
+            send += payload
+        writer.write(send)
+        await writer.drain()
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed keep-alive connection")
+        status = int(status_line.decode("latin-1").split(" ", 2)[1])
+        headers: "dict[str, str]" = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        resp_body: "bytes | memoryview" = b""
+        if length:
+            resp_body = await _read_body_into(reader, self._buf, length)
+            self._last = resp_body
+        return HttpResponse(status=status, headers=headers, body=resp_body)
+
+    async def close(self) -> None:
+        if self._last is not None:
+            self._last.release()
+            self._last = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "KeepAliveClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

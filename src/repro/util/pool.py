@@ -728,6 +728,43 @@ class SharedArena:
         assert self._shm is not None, "reserve() before view()"
         return _buffer_view(self._shm, dtype, shape, offset=offset)
 
+    def write(self, array: np.ndarray, offset: int = 0) -> None:
+        """Copy ``array`` into the segment at ``offset`` (view-free).
+
+        The transient view is dropped before returning, so callers using
+        these helpers never hold an export that would block the next
+        :meth:`reserve` regrow.
+        """
+        array = np.asarray(array)
+        view = self.view(array.dtype, array.shape, offset=offset)
+        view[...] = array
+        del view
+
+    def write_concat(
+        self, arrays: "Sequence[np.ndarray]", total: int, dtype, offset: int = 0
+    ) -> None:
+        """Concatenate 1-D ``arrays`` straight into the segment at ``offset``.
+
+        This is the zero-intermediate ingest path for packed dispatch: each
+        source array — typically a ``memoryview``-backed slice of a socket
+        receive buffer — is copied exactly once, directly into shared
+        memory (``np.concatenate(out=...)``), with no staging allocation.
+        """
+        if not arrays:
+            return
+        view = self.view(dtype, (int(total),), offset=offset)
+        try:
+            np.concatenate(arrays, out=view)
+        finally:
+            del view
+
+    def read(self, dtype, shape, offset: int = 0) -> np.ndarray:
+        """Copy a region out of the segment (the view-free result path)."""
+        view = self.view(dtype, shape, offset=offset)
+        out = view.copy()
+        del view
+        return out
+
     def close(self) -> None:
         """Unlink and release the segment (idempotent)."""
         if self._shm is None:

@@ -35,10 +35,14 @@ from repro.serve import (
 from repro.serve.protocol import (
     HttpError,
     HttpRequest,
+    KeepAliveClient,
     decode_values,
     encode_values,
+    header_scaffold,
     http_request,
     read_request,
+    render_response,
+    render_response_into,
 )
 from repro.trees.evaluate import evaluate_ensemble
 from repro.summation.registry import get_algorithm
@@ -166,6 +170,184 @@ class TestProtocol:
             with pytest.raises(HttpError) as exc:
                 decode_values(obj)
             assert exc.value.status == 400
+
+    def test_decode_values_b64_is_no_copy(self, rng):
+        # regression: decode_values used an unconditional .astype that
+        # copied every b64 payload; the fast path must hand back a view
+        # over the decoded bytes
+        vals = rng.normal(size=513)
+        out = decode_values({"values_b64": encode_values(vals)})
+        assert out.base is not None  # a view, not an owning copy
+        assert not out.flags.writeable  # read-only over the bytes object
+        assert np.shares_memory(out, np.frombuffer(out.base, dtype="<f8"))
+        assert np.array_equal(out.view(np.uint64), vals.view(np.uint64))
+
+
+# ---------------------------------------------------------------------------
+# zero-copy protocol plumbing (reusable buffers, scaffolds, keep-alive client)
+# ---------------------------------------------------------------------------
+
+
+def _parse_raw_response(raw) -> "tuple[str, dict, bytes]":
+    head, _, body = bytes(raw).partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return lines[0], headers, body
+
+
+class TestZeroCopyProtocol:
+    def test_read_request_into_buffer_is_view(self):
+        async def run():
+            buf = bytearray()
+            req = await read_request(
+                _feed_reader(
+                    b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+                ),
+                buffer=buf,
+            )
+            assert isinstance(req.body, memoryview)
+            assert bytes(req.body) == b"abcd"
+            assert np.shares_memory(
+                np.frombuffer(req.body, dtype=np.uint8),
+                np.frombuffer(buf, dtype=np.uint8),
+            )
+            req.release()
+            # after release the same buffer serves (and grows for) the
+            # next request
+            req2 = await read_request(
+                _feed_reader(
+                    b"POST / HTTP/1.1\r\nContent-Length: 8\r\n\r\nabcdefgh"
+                ),
+                buffer=buf,
+            )
+            assert bytes(req2.body) == b"abcdefgh"
+            req2.release()
+            assert len(buf) == 8  # grown once, monotonically
+
+        asyncio.run(run())
+
+    def test_unreleased_body_blocks_buffer_growth(self):
+        async def run():
+            buf = bytearray()
+            req = await read_request(
+                _feed_reader(
+                    b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+                ),
+                buffer=buf,
+            )
+            # the loud invariant: growing under a live export must fail
+            # rather than silently copying
+            with pytest.raises(BufferError):
+                await read_request(
+                    _feed_reader(
+                        b"POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n"
+                        + b"x" * 64
+                    ),
+                    buffer=buf,
+                )
+            req.release()
+
+        asyncio.run(run())
+
+    def test_header_scaffold_is_cached(self):
+        a = header_scaffold(200, "application/json", True)
+        b = header_scaffold(200, "application/json", True)
+        assert a is b
+        assert a.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert a.endswith(b"Content-Length: ")
+
+    def test_render_into_matches_render(self):
+        scratch = bytearray()
+        cases = [
+            (200, b'{"x":1}', "application/json", True, None),
+            (429, b'{"error":"busy"}', "application/json", True,
+             {"Retry-After": "1"}),
+            (400, b"", "application/json", False, None),
+            (200, b"\x00\x01\x02payload", "application/x-repro-frame",
+             True, None),
+        ]
+        for status, body, ct, keep, extra in cases:
+            out = render_response_into(
+                scratch, status, body, content_type=ct, keep_alive=keep,
+                extra_headers=extra,
+            )
+            ref = render_response(
+                status, body, content_type=ct, keep_alive=keep,
+                extra_headers=extra,
+            )
+            # header order differs between the two renderers; compare
+            # status line, header set, and body
+            assert _parse_raw_response(out) == _parse_raw_response(ref)
+            out.release()  # reuse the same scratch for the next case
+
+    def test_render_into_requires_release(self):
+        scratch = bytearray()
+        out = render_response_into(scratch, 200, b"{}")
+        with pytest.raises(BufferError):
+            render_response_into(scratch, 200, b"{}")
+        out.release()
+        out2 = render_response_into(scratch, 200, b'{"ok":1}')
+        assert bytes(out2).endswith(b'{"ok":1}')
+        out2.release()
+
+
+class TestKeepAliveClient:
+    def test_buffer_reuse_across_requests(self):
+        async def run():
+            async def handler(reader, writer):
+                conn_buf = bytearray()
+                while True:
+                    req = await read_request(reader, buffer=conn_buf)
+                    if req is None:
+                        break
+                    body = bytes(req.body) if len(req.body) else b"{}"
+                    req.release()
+                    writer.write(render_response(200, body))
+                    await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with KeepAliveClient("127.0.0.1", port) as client:
+                    r1 = await client.request("POST", "/echo", b'{"a":1}')
+                    assert isinstance(r1.body, memoryview)
+                    assert r1.json() == {"a": 1}
+                    buf = client._buf
+                    r2 = await client.request("POST", "/echo", b'{"b":2}')
+                    assert client._buf is buf  # same reusable buffer
+                    assert r2.json() == {"b": 2}
+                    # the previous response's view was recycled by the
+                    # second request — that is the documented contract
+                    with pytest.raises(ValueError):
+                        bytes(r1.body)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_server_close_raises_connection_error(self):
+        async def run():
+            async def handler(reader, writer):
+                await reader.read(64)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                client = KeepAliveClient("127.0.0.1", port)
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.request("GET", "/")
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
 
 
 # ---------------------------------------------------------------------------
